@@ -1,0 +1,31 @@
+//! Custom bench harness: regenerates every paper table and figure.
+//!
+//! Run with `cargo bench -p cae-bench --bench tables`. The budget defaults
+//! to `fast` (minutes on two CPU cores); override with
+//! `CAE_BUDGET=smoke|fast|full`.
+
+use std::time::Instant;
+
+fn main() {
+    // Respect `cargo bench -- <filter>`: run only experiments whose name
+    // contains the filter. `--bench`/flags are ignored.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let budget = cae_bench::budget_from_env("fast");
+    println!("# CAE-DFKD table benchmarks (budget: {budget:?})\n");
+    let mut total = 0.0f64;
+    for name in cae_bench::ALL_EXPERIMENTS {
+        if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+            continue;
+        }
+        let start = Instant::now();
+        let report = cae_bench::run_one(name, &budget);
+        let secs = start.elapsed().as_secs_f64();
+        total += secs;
+        cae_bench::emit(&report);
+        println!("bench {name}: regenerated in {secs:.1}s\n");
+    }
+    println!("# total: {total:.1}s");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the design-choice ablation suite (memory capacity, λ_adv,
+//! CEND magnitude) at the full budget.
+
+fn main() {
+    let budget = cae_bench::budget_from_env("full");
+    let report = cae_bench::run_one("ablations", &budget);
+    cae_bench::emit(&report);
+}

@@ -1,0 +1,10 @@
+//! Regenerates every paper table and figure in order.
+
+fn main() {
+    let budget = cae_bench::budget_from_env("full");
+    for name in cae_bench::ALL_EXPERIMENTS {
+        eprintln!(">>> running {name} ...");
+        let report = cae_bench::run_one(name, &budget);
+        cae_bench::emit(&report);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper fig02Figure 02 at the full budget.
+
+fn main() {
+    let budget = cae_bench::budget_from_env("full");
+    let report = cae_bench::run_one("fig02", &budget);
+    cae_bench::emit(&report);
+}

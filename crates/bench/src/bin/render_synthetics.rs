@@ -1,0 +1,62 @@
+//! Materializes the paper's qualitative Figure 2b: grids of synthetic
+//! images produced by each method's generator, written as PPM files under
+//! `results/synthetics/`.
+
+use cae_core::config::DfkdConfig;
+use cae_core::method::MethodSpec;
+use cae_core::teacher::pretrained;
+use cae_core::trainer::DfkdTrainer;
+use cae_data::presets::ClassificationPreset;
+use cae_data::viz::{tile_batch, write_ppm};
+use cae_nn::models::Arch;
+use cae_tensor::rng::TensorRng;
+
+fn main() {
+    let budget = cae_bench::budget_from_env("fast");
+    let preset = ClassificationPreset::C100Sim;
+    let split = preset.generate(budget.seed);
+    let config = DfkdConfig::default();
+    let teacher = pretrained(
+        "teacher",
+        Arch::ResNet34,
+        &split.train,
+        &budget,
+        config.batch_size,
+    );
+    let dir = cae_bench::results_dir().join("synthetics");
+
+    // Real images for visual reference.
+    let mut rng = TensorRng::seed_from(1);
+    let indices: Vec<usize> = (0..16).map(|_| rng.index(split.train.len())).collect();
+    let (real, _) = split.train.batch(&indices);
+    write_ppm(&tile_batch(&real, 4), &dir.join("real.ppm")).expect("write real grid");
+    println!("wrote {}", dir.join("real.ppm").display());
+
+    for spec in [
+        MethodSpec::vanilla(),
+        MethodSpec::nayer_like(),
+        MethodSpec::cae_dfkd(4),
+    ] {
+        let mut srng = TensorRng::seed_from(2);
+        let student = Arch::ResNet18.build(preset.num_classes(), budget.base_width, &mut srng);
+        let names = preset.class_names();
+        let mut trainer = DfkdTrainer::new(
+            teacher.as_ref(),
+            student,
+            &names,
+            preset.resolution(),
+            &spec,
+            config,
+            &budget,
+            budget.seed,
+        );
+        trainer.run(&budget);
+        let (images, _) = trainer.memory().sample_batch(16, &mut srng);
+        let file = dir.join(format!(
+            "{}.ppm",
+            spec.name.to_lowercase().replace([' ', '-'], "_")
+        ));
+        write_ppm(&tile_batch(&images, 4), &file).expect("write synthetic grid");
+        println!("wrote {}", file.display());
+    }
+}

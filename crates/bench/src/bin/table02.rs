@@ -1,0 +1,7 @@
+//! Regenerates paper Table 02table02 at the full budget.
+
+fn main() {
+    let budget = cae_bench::budget_from_env("full");
+    let report = cae_bench::run_one("table02", &budget);
+    cae_bench::emit(&report);
+}

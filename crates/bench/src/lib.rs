@@ -1,0 +1,91 @@
+//! # cae-bench
+//!
+//! Benchmark harness regenerating every table and figure of the CAE-DFKD
+//! paper.
+//!
+//! * `cargo bench -p cae-bench` runs two harnesses:
+//!   * `tables` — regenerates **every** paper table/figure at the budget
+//!     selected by the `CAE_BUDGET` env var (`smoke`, `fast` — default, or
+//!     `full`) and prints the same rows/series the paper reports;
+//!   * `kernels` — Criterion micro-benchmarks of the hot kernels (conv,
+//!     matmul, CEND sampling, CNCL loss, generator/student steps, memory
+//!     bank).
+//! * `cargo run -p cae-bench --release --bin table02` (… `table01`–`table11`,
+//!   `fig02`, `fig05`, `all_tables`) regenerates one table at the `full`
+//!   budget (or the `CAE_BUDGET` override) and writes the JSON artifact to
+//!   `results/`.
+
+use cae_core::config::ExperimentBudget;
+use cae_core::report::Report;
+use std::path::PathBuf;
+
+/// Reads the experiment budget from `CAE_BUDGET` (`smoke` / `fast` /
+/// `full`), defaulting to `default_name`.
+///
+/// # Panics
+/// Panics if the variable holds an unknown value.
+pub fn budget_from_env(default_name: &str) -> ExperimentBudget {
+    let name = std::env::var("CAE_BUDGET").unwrap_or_else(|_| default_name.to_owned());
+    match name.as_str() {
+        "smoke" => ExperimentBudget::smoke(),
+        "fast" => ExperimentBudget::fast(),
+        "full" => ExperimentBudget::full(),
+        other => panic!("unknown CAE_BUDGET '{other}' (expected smoke|fast|full)"),
+    }
+}
+
+/// Directory where JSON report artifacts are written.
+pub fn results_dir() -> PathBuf {
+    std::env::var("CAE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Prints a report and persists its JSON artifact; used by every bin.
+pub fn emit(report: &Report) {
+    println!("{report}");
+    match report.save_json(&results_dir()) {
+        Ok(path) => println!("  saved: {}\n", path.display()),
+        Err(e) => eprintln!("  could not save JSON artifact: {e}\n"),
+    }
+}
+
+/// Runs one named experiment end to end (shared by the bins).
+pub fn run_one(name: &str, budget: &ExperimentBudget) -> Report {
+    use cae_core::experiments as ex;
+    match name {
+        "table01" => ex::table01::run(budget),
+        "table02" => ex::table02::run(budget),
+        "table03" => ex::table03::run(budget),
+        "table04" => ex::table04::run(budget),
+        "table05" => ex::table05::run(budget),
+        "table06" => ex::table06::run(budget),
+        "table07" => ex::table07::run(budget),
+        "table08" => ex::table08::run(budget),
+        "table09" => ex::table09::run(budget),
+        "table10" => ex::table10::run(budget),
+        "table11" => ex::table11::run(budget),
+        "fig02" => ex::fig02::run(budget),
+        "fig05" => ex::fig05::run(budget),
+        "ablations" => ex::ablations::run(budget),
+        other => panic!("unknown experiment '{other}'"),
+    }
+}
+
+/// All experiment names in paper order.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "table01", "fig02", "table02", "table03", "table04", "table05", "table06", "table07",
+    "table08", "table09", "table10", "table11", "fig05",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parsing() {
+        std::env::remove_var("CAE_BUDGET");
+        assert_eq!(budget_from_env("fast"), ExperimentBudget::fast());
+        assert_eq!(budget_from_env("smoke"), ExperimentBudget::smoke());
+    }
+}

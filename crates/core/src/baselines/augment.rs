@@ -1,0 +1,91 @@
+//! Image-level augmentations used by the Mixup and contrastive baselines
+//! (the operations paper Fig. 2c shows degrading ambiguous synthetic
+//! images).
+
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+
+/// Mixup over an NCHW batch: pairs each image with a circularly shifted
+/// partner, returning mixed images and per-row `(i, j, λ)` assignments.
+///
+/// # Panics
+/// Panics if the batch is not 4-d.
+pub fn mixup_batch(images: &Tensor, alpha: f32, rng: &mut TensorRng) -> (Tensor, Vec<(usize, usize, f32)>) {
+    let (n, c, h, w) = images.shape().nchw();
+    let stride = c * h * w;
+    let shift = 1 + rng.index(n.max(2) - 1);
+    let mut mixed = images.clone();
+    let mut assignment = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = (i + shift) % n;
+        // A Beta(α, α)-like draw via the average of uniforms, biased toward
+        // strong mixing for larger α.
+        let lam = 0.5 + (rng.uniform() - 0.5) * (1.0 - alpha.clamp(0.0, 1.0));
+        for p in 0..stride {
+            let a = images.data()[i * stride + p];
+            let b = images.data()[j * stride + p];
+            mixed.data_mut()[i * stride + p] = lam * a + (1.0 - lam) * b;
+        }
+        assignment.push((i, j, lam));
+    }
+    (mixed, assignment)
+}
+
+/// Produces two stochastically augmented views of an NCHW batch (horizontal
+/// flip, channel jitter, pixel noise) — the SimCLR-style pair construction
+/// used by the image-level contrastive baseline.
+pub fn two_views(images: &Tensor, rng: &mut TensorRng) -> (Tensor, Tensor) {
+    (augment_view(images, rng), augment_view(images, rng))
+}
+
+fn augment_view(images: &Tensor, rng: &mut TensorRng) -> Tensor {
+    let (n, c, h, w) = images.shape().nchw();
+    let mut out = images.clone();
+    for i in 0..n {
+        let flip = rng.uniform() < 0.5;
+        let jitter: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.2, 0.2)).collect();
+        let noise_std = rng.uniform_in(0.02, 0.12);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let sx = if flip { w - 1 - x } else { x };
+                    let src = images.data()[((i * c + ci) * h + y) * w + sx];
+                    let v = src + jitter[ci] + noise_std * rng.normal();
+                    out.data_mut()[((i * c + ci) * h + y) * w + x] = v.clamp(-1.0, 1.0);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixup_interpolates_pairs() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut img = Tensor::zeros(&[2, 1, 2, 2]);
+        for v in &mut img.data_mut()[4..8] {
+            *v = 1.0; // second image all ones
+        }
+        let (mixed, assign) = mixup_batch(&img, 0.8, &mut rng);
+        let (_, j, lam) = assign[0];
+        assert_eq!(j, 1);
+        // First mixed image = lam*0 + (1-lam)*1.
+        for &v in &mixed.data()[0..4] {
+            assert!((v - (1.0 - lam)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn views_differ_from_each_other_and_the_original() {
+        let mut rng = TensorRng::seed_from(1);
+        let img = rng.normal_tensor(&[2, 3, 4, 4], 0.0, 0.5);
+        let (a, b) = two_views(&img, &mut rng);
+        assert_ne!(a.data(), b.data());
+        assert_ne!(a.data(), img.data());
+        assert_eq!(a.shape(), img.shape());
+    }
+}

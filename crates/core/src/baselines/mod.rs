@@ -1,0 +1,9 @@
+//! Baseline-specific machinery: image-level augmentations (Mixup, two-view
+//! contrastive) and optimization-based inversion (DeepInversion-like).
+//!
+//! The baselines themselves are [`crate::method::MethodSpec`] configurations
+//! executed by the shared [`crate::trainer::DfkdTrainer`]; this module holds
+//! the code paths only they exercise.
+
+pub mod augment;
+pub mod deepinv;

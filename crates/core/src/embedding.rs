@@ -1,0 +1,188 @@
+//! Generator input providers: what each DFKD method feeds the generator.
+
+use crate::cend::CendLayer;
+use cae_lm::{initial_embeddings, LanguageModel, PromptTemplate};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+
+/// Produces per-class latent inputs for the generator.
+///
+/// The three variants span the methods compared in the paper:
+///
+/// * [`EmbeddingProvider::Gaussian`] — native DFKD: unstructured noise,
+///   class-agnostic (the class label only supervises the CE loss).
+/// * [`EmbeddingProvider::Label`] — NAYER-style: the raw language-model
+///   category embedding, no diffusion.
+/// * [`EmbeddingProvider::Cend`] — CAE-DFKD: category embeddings diffused
+///   by the CEND layer.
+#[derive(Debug, Clone)]
+pub enum EmbeddingProvider {
+    /// Unstructured Gaussian latents of the given dimension.
+    Gaussian {
+        /// Latent dimensionality.
+        dim: usize,
+    },
+    /// Raw offline category embeddings `E^off`.
+    Label {
+        /// The `[K, D]` table.
+        e_off: Tensor,
+    },
+    /// CEND-diffused category embeddings.
+    Cend {
+        /// The `[K, D]` table.
+        e_off: Tensor,
+        /// The diffusion layer.
+        layer: CendLayer,
+    },
+}
+
+impl EmbeddingProvider {
+    /// Builds the offline table from a language model and wraps it in a CEND
+    /// provider.
+    pub fn cend_from_lm(
+        lm: &dyn LanguageModel,
+        class_names: &[&str],
+        template: PromptTemplate,
+        layer: CendLayer,
+    ) -> Self {
+        EmbeddingProvider::Cend {
+            e_off: initial_embeddings(lm, class_names, template),
+            layer,
+        }
+    }
+
+    /// Builds the offline table from a language model and uses it raw
+    /// (NAYER-like).
+    pub fn label_from_lm(
+        lm: &dyn LanguageModel,
+        class_names: &[&str],
+        template: PromptTemplate,
+    ) -> Self {
+        EmbeddingProvider::Label {
+            e_off: initial_embeddings(lm, class_names, template),
+        }
+    }
+
+    /// Latent dimensionality fed to the generator.
+    pub fn dim(&self) -> usize {
+        match self {
+            EmbeddingProvider::Gaussian { dim } => *dim,
+            EmbeddingProvider::Label { e_off } | EmbeddingProvider::Cend { e_off, .. } => {
+                e_off.shape().dim(1)
+            }
+        }
+    }
+
+    /// Samples latent inputs for the given class labels.
+    ///
+    /// # Panics
+    /// Panics if a class index exceeds the embedding table (structured
+    /// variants only).
+    pub fn sample(&self, classes: &[usize], rng: &mut TensorRng) -> Tensor {
+        match self {
+            EmbeddingProvider::Gaussian { dim } => {
+                rng.normal_tensor(&[classes.len(), *dim], 0.0, 1.0)
+            }
+            EmbeddingProvider::Label { e_off } => {
+                // NAYER pairs its label-text embedding with a (periodically
+                // re-initialized) noisy layer; the analogue here is a small
+                // isotropic Gaussian jitter so repeated samples of one class
+                // are not byte-identical. This is *single-source, single
+                // distribution* noise — CEND's multi-source diffusion is the
+                // paper's contribution on top of it.
+                let (_, d) = e_off.shape().matrix();
+                let scale = 0.3 / (d as f32).sqrt();
+                let mut data = Vec::with_capacity(classes.len() * d);
+                for &k in classes {
+                    data.extend(
+                        e_off.data()[k * d..(k + 1) * d]
+                            .iter()
+                            .map(|&e| e + scale * rng.normal()),
+                    );
+                }
+                Tensor::from_vec(data, &[classes.len(), d]).expect("shape consistent")
+            }
+            EmbeddingProvider::Cend { e_off, layer } => layer.diffuse_batch(e_off, classes, rng),
+        }
+    }
+
+    /// The offline table, when the provider is structured.
+    pub fn e_off(&self) -> Option<&Tensor> {
+        match self {
+            EmbeddingProvider::Gaussian { .. } => None,
+            EmbeddingProvider::Label { e_off } | EmbeddingProvider::Cend { e_off, .. } => {
+                Some(e_off)
+            }
+        }
+    }
+
+    /// The CEND layer, when present.
+    pub fn cend_layer(&self) -> Option<&CendLayer> {
+        match self {
+            EmbeddingProvider::Cend { layer, .. } => Some(layer),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_lm::ClipSim;
+
+    #[test]
+    fn gaussian_provider_is_class_agnostic_noise() {
+        let p = EmbeddingProvider::Gaussian { dim: 16 };
+        let mut rng = TensorRng::seed_from(0);
+        let z = p.sample(&[0, 0, 1], &mut rng);
+        assert_eq!(z.shape().dims(), &[3, 16]);
+        // Same class, different draws.
+        assert_ne!(&z.data()[0..16], &z.data()[16..32]);
+    }
+
+    #[test]
+    fn label_provider_jitters_around_the_category_embedding() {
+        let lm = ClipSim::new();
+        let p = EmbeddingProvider::label_from_lm(&lm, &["cat", "dog"], PromptTemplate::ClassName);
+        let mut rng = TensorRng::seed_from(0);
+        let z = p.sample(&[1, 1], &mut rng);
+        let d = p.dim();
+        // Two draws of the same class: not identical (NAYER's noisy layer)…
+        assert_ne!(&z.data()[0..d], &z.data()[d..2 * d]);
+        // …but both close to the category embedding.
+        let e = p.e_off().expect("structured provider");
+        for row in 0..2 {
+            let dist2: f32 = z.data()[row * d..(row + 1) * d]
+                .iter()
+                .zip(&e.data()[d..2 * d])
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            assert!(dist2 < 0.5, "jitter too large: {dist2}");
+        }
+    }
+
+    #[test]
+    fn cend_provider_varies_around_label_embedding() {
+        let lm = ClipSim::new();
+        let layer = CendLayer::with_default_sources(4, 0.2);
+        let p = EmbeddingProvider::cend_from_lm(
+            &lm,
+            &["cat", "dog"],
+            PromptTemplate::ClassName,
+            layer,
+        );
+        let mut rng = TensorRng::seed_from(0);
+        let z1 = p.sample(&[0], &mut rng);
+        let z2 = p.sample(&[0], &mut rng);
+        assert_ne!(z1.data(), z2.data(), "diffusion must vary");
+        let e = p.e_off().expect("structured provider");
+        let d = p.dim();
+        let dist: f32 = z1
+            .data()
+            .iter()
+            .zip(&e.data()[0..d])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        assert!(dist < 1.0, "diffused latent strayed too far: {dist}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Design-choice ablations beyond the paper's own tables (DESIGN.md calls
+//! these out): memory-bank capacity, adversarial-loss weight `λ_adv`, and
+//! CEND perturbation magnitude `M`.
+
+use crate::config::{DfkdConfig, ExperimentBudget};
+use crate::method::{EmbeddingKind, MethodSpec};
+use crate::metrics::classification::top1_accuracy;
+use crate::report::Report;
+use crate::teacher::pretrained;
+use crate::trainer::DfkdTrainer;
+use cae_data::presets::ClassificationPreset;
+use cae_lm::{LmKind, PromptTemplate};
+use cae_nn::models::Arch;
+use cae_tensor::rng::TensorRng;
+
+fn run_with(config: DfkdConfig, spec: &MethodSpec, budget: &ExperimentBudget) -> f32 {
+    let preset = ClassificationPreset::C10Sim;
+    let split = preset.generate(budget.seed);
+    let teacher = pretrained("teacher", Arch::ResNet34, &split.train, budget, config.batch_size);
+    let mut rng = TensorRng::seed_from(budget.seed ^ 0xab1a);
+    let student = Arch::ResNet18.build(preset.num_classes(), budget.base_width, &mut rng);
+    let class_names = preset.class_names();
+    let mut trainer = DfkdTrainer::new(
+        teacher.as_ref(),
+        student,
+        &class_names,
+        preset.resolution(),
+        spec,
+        config,
+        budget,
+        budget.seed,
+    );
+    trainer.run(budget);
+    top1_accuracy(trainer.student(), &split.test, 32)
+}
+
+/// Runs the ablation suite.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let mut report = Report::new(
+        "Ablations",
+        "Design-choice ablations (CIFAR-10 sim, ResNet-34→ResNet-18, top-1 %)",
+        &["Top-1 Acc (%)"],
+    );
+
+    // Memory-bank capacity.
+    for capacity in [32usize, 128, 512] {
+        let config = DfkdConfig { memory_capacity: capacity, ..Default::default() };
+        let acc = run_with(config, &MethodSpec::cae_dfkd(4), budget);
+        report.push_full_row(&format!("memory capacity = {capacity}"), &[acc * 100.0]);
+    }
+
+    // Adversarial weight λ_adv.
+    for lambda in [0.0f32, 0.5, 2.0] {
+        let config = DfkdConfig { lambda_adv: lambda, ..Default::default() };
+        let acc = run_with(config, &MethodSpec::cae_dfkd(4), budget);
+        report.push_full_row(&format!("lambda_adv = {lambda}"), &[acc * 100.0]);
+    }
+
+    // CEND perturbation magnitude M.
+    for magnitude in [0.05f32, 0.3, 1.0] {
+        let spec = MethodSpec {
+            embedding: EmbeddingKind::Cend {
+                lm: LmKind::Clip,
+                template: PromptTemplate::ClassName,
+                n_sources: 4,
+                magnitude,
+            },
+            ..MethodSpec::cae_dfkd(4)
+        };
+        let acc = run_with(DfkdConfig::default(), &spec, budget);
+        report.push_full_row(&format!("CEND magnitude = {magnitude}"), &[acc * 100.0]);
+    }
+
+    report.note("expectation: mid-range memory/λ_adv/magnitude settings dominate the extremes");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Paper Figure 5: downstream qualitative comparison.
+//!
+//! The paper visualizes depth and segmentation predictions; the numeric
+//! proxy here is the per-pixel error summary of each method's predictions
+//! on the same held-out NYUv2 (sim) images: segmentation error rate
+//! (1 − pAcc) and depth absolute error. Lower is better, and the ordering
+//! mirrors the visual quality ordering in the figure.
+
+use crate::config::ExperimentBudget;
+use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::method::MethodSpec;
+use crate::pipeline::run_data_accessible;
+use crate::report::Report;
+use crate::transfer::{transfer_evaluate, TaskSet};
+use cae_data::dense::DensePreset;
+use cae_data::presets::ClassificationPreset;
+use cae_nn::models::Arch;
+
+/// Runs the experiment.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let preset = ClassificationPreset::C100Sim;
+    let pair = Pair::new(Arch::ResNet34, Arch::ResNet18);
+    let (train, test) = dense_split(DensePreset::NyuSim, budget);
+    let mut report = Report::new(
+        "Figure 5",
+        "Downstream error-map summary (seg error rate, depth abs error)",
+        &["seg err", "depth AErr"],
+    );
+
+    let (s_model, _) = run_data_accessible(preset, pair.student, budget);
+    let m = transfer_evaluate(s_model, TaskSet::nyu(), &train, &test, budget.finetune_steps, 5);
+    report.push_full_row(
+        "Student (data-accessible)",
+        &[1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)],
+    );
+
+    for spec in [
+        MethodSpec::vanilla().with_image_contrastive(1.0).named("Image-level CL"),
+        MethodSpec::cae_dfkd(4).named("CAE-DFKD (embedding-level)"),
+    ] {
+        let run = distill(preset, pair, &spec, budget);
+        let m = transfer_clone(
+            run.student.as_ref(),
+            pair.student,
+            preset.num_classes(),
+            budget,
+            TaskSet::nyu(),
+            &train,
+            &test,
+            6,
+        );
+        report.push_full_row(
+            &spec.name,
+            &[1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)],
+        );
+    }
+    report.note("paper shape: embedding-level (CAE-DFKD) error maps are cleaner than image-level contrastive");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 3);
+    }
+}

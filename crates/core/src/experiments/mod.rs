@@ -1,0 +1,144 @@
+//! One runner per paper table/figure. Every runner takes an
+//! [`ExperimentBudget`] and returns a [`Report`] with the same rows/columns
+//! (modulo the substitutions documented in DESIGN.md) as the paper.
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig05;
+pub mod table01;
+pub mod table02;
+pub mod table03;
+pub mod table04;
+pub mod table05;
+pub mod table06;
+pub mod table07;
+pub mod table08;
+pub mod table09;
+pub mod table10;
+pub mod table11;
+
+use crate::config::ExperimentBudget;
+use crate::method::MethodSpec;
+use crate::pipeline::{run_dfkd, DfkdRun};
+use crate::report::Report;
+use crate::teacher::clone_classifier;
+use crate::transfer::{transfer_evaluate, TaskSet, TransferMetrics};
+use cae_data::dense::{DenseDataset, DensePreset};
+use cae_data::presets::ClassificationPreset;
+use cae_nn::models::Arch;
+use cae_nn::module::Classifier;
+
+/// A teacher→student architecture pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pair {
+    /// Teacher architecture.
+    pub teacher: Arch,
+    /// Student architecture.
+    pub student: Arch,
+}
+
+impl Pair {
+    /// Creates a pair.
+    pub fn new(teacher: Arch, student: Arch) -> Self {
+        Pair { teacher, student }
+    }
+
+    /// Display label ("ResNet-34→ResNet-18").
+    pub fn label(&self) -> String {
+        format!("{}→{}", self.teacher.name(), self.student.name())
+    }
+}
+
+/// The five small-resolution pairs of paper Table II.
+pub fn table2_pairs() -> Vec<Pair> {
+    vec![
+        Pair::new(Arch::ResNet34, Arch::ResNet18),
+        Pair::new(Arch::Vgg11, Arch::ResNet18),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn16x1),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn16x2),
+    ]
+}
+
+/// Distills one cell (convenience wrapper around [`run_dfkd`]).
+pub fn distill(
+    preset: ClassificationPreset,
+    pair: Pair,
+    spec: &MethodSpec,
+    budget: &ExperimentBudget,
+) -> DfkdRun {
+    run_dfkd(preset, pair.teacher, pair.student, spec, budget, budget.seed)
+}
+
+/// Dense dataset sizes scaled by budget.
+pub fn dense_sizes(budget: &ExperimentBudget) -> (usize, usize) {
+    if budget.finetune_steps >= 200 {
+        (160, 40)
+    } else if budget.finetune_steps >= 80 {
+        (96, 24)
+    } else {
+        (24, 8)
+    }
+}
+
+/// Generates the dense train/test split for a preset under a budget.
+pub fn dense_split(preset: DensePreset, budget: &ExperimentBudget) -> (DenseDataset, DenseDataset) {
+    let (tr, te) = dense_sizes(budget);
+    preset.generate(tr, te, budget.seed ^ 0xd53e)
+}
+
+/// Clones a distilled backbone (so one student can be fine-tuned on several
+/// tasks) and transfer-evaluates it.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer_clone(
+    student: &dyn Classifier,
+    arch: Arch,
+    num_classes: usize,
+    budget: &ExperimentBudget,
+    tasks: TaskSet,
+    train: &DenseDataset,
+    test: &DenseDataset,
+    seed: u64,
+) -> TransferMetrics {
+    let backbone = clone_classifier(student, arch, num_classes, budget.base_width);
+    transfer_evaluate(backbone, tasks, train, test, budget.finetune_steps, seed)
+}
+
+/// Runs every table and figure, returning reports in paper order.
+pub fn run_all(budget: &ExperimentBudget) -> Vec<Report> {
+    vec![
+        table01::run(budget),
+        fig02::run(budget),
+        table02::run(budget),
+        table03::run(budget),
+        table04::run(budget),
+        table05::run(budget),
+        table06::run(budget),
+        table07::run(budget),
+        table08::run(budget),
+        table09::run(budget),
+        table10::run(budget),
+        table11::run(budget),
+        fig05::run(budget),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_match_paper_table2() {
+        let pairs = table2_pairs();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pairs[0].label(), "ResNet-34→ResNet-18");
+    }
+
+    #[test]
+    fn dense_sizes_scale_with_budget() {
+        let (smoke_tr, _) = dense_sizes(&ExperimentBudget::smoke());
+        let (fast_tr, _) = dense_sizes(&ExperimentBudget::fast());
+        let (full_tr, _) = dense_sizes(&ExperimentBudget::full());
+        assert!(smoke_tr < fast_tr && fast_tr < full_tr);
+    }
+}

@@ -1,0 +1,67 @@
+//! Paper Table VII: component ablation — CEND and CNCL added on top of a
+//! CMI-like base, evaluated by ADE-20K (sim) transfer, for two pairs.
+
+use crate::config::ExperimentBudget;
+use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::method::MethodSpec;
+use crate::report::Report;
+use crate::transfer::TaskSet;
+use cae_data::dense::DensePreset;
+use cae_data::presets::ClassificationPreset;
+use cae_nn::models::Arch;
+
+/// Runs the experiment.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let preset = ClassificationPreset::C100Sim;
+    let (train, test) = dense_split(DensePreset::AdeSim, budget);
+    let mut report = Report::new(
+        "Table VII",
+        "Component ablation over a CMI-like base (ADE-20K sim transfer)",
+        &["pAcc", "mIoU"],
+    );
+    for pair in [
+        Pair::new(Arch::ResNet34, Arch::ResNet18),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
+    ] {
+        let specs = [
+            MethodSpec::cmi_like().named("Base (CMI-like)"),
+            MethodSpec::cmi_like().named("Base").with_cend(4, 0.3),
+            MethodSpec::cmi_like()
+                .named("Base")
+                .with_cend(4, 0.3)
+                .with_cncl(),
+        ];
+        for spec in &specs {
+            let run = distill(preset, pair, spec, budget);
+            let m = transfer_clone(
+                run.student.as_ref(),
+                pair.student,
+                preset.num_classes(),
+                budget,
+                TaskSet::seg_only(),
+                &train,
+                &test,
+                7,
+            );
+            report.push_full_row(
+                &format!("{} [{}]", spec.name, pair.label()),
+                &[m.pacc.unwrap_or(0.0) * 100.0, m.miou.unwrap_or(0.0) * 100.0],
+            );
+        }
+    }
+    report.note("paper shape: Base < Base+CEND < Base+CEND+CNCL for both pairs");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 6);
+    }
+}

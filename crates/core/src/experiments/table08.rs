@@ -1,0 +1,71 @@
+//! Paper Table VIII: effect of the number of noise sources `N` on
+//! downstream generalization (NYUv2-sim segmentation mIoU), with a
+//! NAYER-like base, for two pairs.
+
+use crate::config::ExperimentBudget;
+use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::method::MethodSpec;
+use crate::report::Report;
+use crate::transfer::TaskSet;
+use cae_data::dense::DensePreset;
+use cae_data::presets::ClassificationPreset;
+use cae_nn::models::Arch;
+
+/// The swept source counts (paper: 2..6).
+pub const N_VALUES: [usize; 5] = [2, 3, 4, 5, 6];
+
+/// Runs the experiment.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let preset = ClassificationPreset::C100Sim;
+    let (train, test) = dense_split(DensePreset::NyuSim, budget);
+    let columns: Vec<String> = std::iter::once("Base".to_owned())
+        .chain(N_VALUES.iter().map(|n| format!("N={n}")))
+        .collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut report = Report::new(
+        "Table VIII",
+        "Noise-source count N vs downstream mIoU (NYUv2 sim segmentation)",
+        &col_refs,
+    );
+    for pair in [
+        Pair::new(Arch::ResNet34, Arch::ResNet18),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
+    ] {
+        let mut row = Vec::new();
+        let miou_of = |spec: &MethodSpec| {
+            let run = distill(preset, pair, spec, budget);
+            let m = transfer_clone(
+                run.student.as_ref(),
+                pair.student,
+                preset.num_classes(),
+                budget,
+                TaskSet::seg_only(),
+                &train,
+                &test,
+                8,
+            );
+            m.miou.unwrap_or(0.0) * 100.0
+        };
+        row.push(Some(miou_of(&MethodSpec::nayer_like())));
+        for &n in &N_VALUES {
+            row.push(Some(miou_of(&MethodSpec::cae_dfkd(n))));
+        }
+        report.push_row(&pair.label(), row);
+    }
+    report.note("paper shape: every N beats the base; N=4 is the most robust optimum");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns.len(), 6);
+    }
+}

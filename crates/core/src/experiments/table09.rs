@@ -1,0 +1,115 @@
+//! Paper Table IX: CEND's convergence speedup.
+//!
+//! The paper reports wall-clock epoch time with and without CEND; the
+//! underlying mechanism is that a "structured → structured" generator
+//! converges in fewer updates. We measure end-to-end: the wall-clock (and
+//! epochs) the full DFKD loop needs until the *student* reaches a fixed
+//! top-1 accuracy bar, with and without CEND, and report the speedup. The
+//! measurement is symmetric across methods (identical student pipeline and
+//! quality bar).
+
+use crate::config::{DfkdConfig, ExperimentBudget};
+use crate::experiments::Pair;
+use crate::method::MethodSpec;
+use crate::report::Report;
+use crate::teacher::pretrained;
+use crate::trainer::DfkdTrainer;
+use cae_data::presets::ClassificationPreset;
+use cae_nn::models::Arch;
+use cae_tensor::rng::TensorRng;
+
+/// Convergence measurement for one method on one pair: epochs and seconds
+/// until the student reaches `target_top1` on the held-out split.
+pub fn convergence_seconds(
+    pair: Pair,
+    spec: &MethodSpec,
+    budget: &ExperimentBudget,
+    target_top1: f32,
+    max_epochs: usize,
+) -> (usize, f32) {
+    let preset = ClassificationPreset::C100Sim;
+    let split = preset.generate(budget.seed);
+    let config = DfkdConfig::default();
+    let teacher = pretrained("teacher", pair.teacher, &split.train, budget, config.batch_size);
+    let mut rng = TensorRng::seed_from(budget.seed ^ 0x909);
+    let student = pair
+        .student
+        .build(preset.num_classes(), budget.base_width, &mut rng);
+    let class_names = preset.class_names();
+    let mut trainer = DfkdTrainer::new(
+        teacher.as_ref(),
+        student,
+        &class_names,
+        preset.resolution(),
+        spec,
+        config,
+        budget,
+        budget.seed,
+    );
+    let epoch_shape = (
+        budget.generator_steps_per_epoch,
+        budget.student_steps_per_epoch,
+    );
+    let (epochs, elapsed) =
+        trainer.time_to_student_accuracy(target_top1, &split.test, epoch_shape, max_epochs);
+    (epochs, elapsed.as_secs_f32())
+}
+
+/// Runs the experiment.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let mut report = Report::new(
+        "Table IX",
+        "DFKD convergence with vs without CEND (time for the student to reach the accuracy bar)",
+        &["w/o CEND epochs", "w/o CEND s", "w/ CEND epochs", "w/ CEND s", "SpeedUp ×"],
+    );
+    // Accuracy bar: 3.5× chance on the 20-class C100 sim.
+    let target = 3.5 / ClassificationPreset::C100Sim.num_classes() as f32;
+    let max_epochs = (budget.dfkd_epochs * 3).max(6);
+    // Single runs are noisy at this scale; average over a few seeds.
+    let seeds = [budget.seed, budget.seed ^ 0x1111, budget.seed ^ 0x2222];
+    for pair in [
+        Pair::new(Arch::ResNet34, Arch::ResNet18),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn16x1),
+    ] {
+        let mut acc = [0.0f32; 4]; // base epochs/s, cend epochs/s
+        for &seed in &seeds {
+            let seeded = ExperimentBudget { seed, ..*budget };
+            let (be, bs) = convergence_seconds(
+                pair,
+                &MethodSpec::vanilla().named("CAE-DFKD w/o CEND"),
+                &seeded,
+                target,
+                max_epochs,
+            );
+            let (ce, cs) =
+                convergence_seconds(pair, &MethodSpec::cend_only(4), &seeded, target, max_epochs);
+            acc[0] += be as f32;
+            acc[1] += bs;
+            acc[2] += ce as f32;
+            acc[3] += cs;
+        }
+        let n = seeds.len() as f32;
+        let (base_epochs, base_s, cend_epochs, cend_s) =
+            (acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n);
+        let speedup = if cend_s > 0.0 { base_s / cend_s } else { 1.0 };
+        report.push_full_row(
+            &pair.label(),
+            &[base_epochs, base_s, cend_epochs, cend_s, speedup],
+        );
+    }
+    report.note("paper shape: w/ CEND converges faster (paper: 1.37×/1.71× epoch-time speedup)");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 2);
+    }
+}

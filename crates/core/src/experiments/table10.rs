@@ -1,0 +1,61 @@
+//! Paper Table X: choice of language model (doc2vec / CLIP / SBERT) vs
+//! downstream COCO mAP@50, for two pairs.
+
+use crate::config::ExperimentBudget;
+use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::method::MethodSpec;
+use crate::report::Report;
+use crate::transfer::TaskSet;
+use cae_data::dense::DensePreset;
+use cae_data::presets::ClassificationPreset;
+use cae_lm::LmKind;
+use cae_nn::models::Arch;
+
+/// Runs the experiment.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let preset = ClassificationPreset::C100Sim;
+    let (train, test) = dense_split(DensePreset::CocoSim, budget);
+    let mut report = Report::new(
+        "Table X",
+        "Language-model choice vs COCO-2017 (sim) mAP@50",
+        &["doc2vec", "CLIP", "SBERT"],
+    );
+    for pair in [
+        Pair::new(Arch::ResNet34, Arch::ResNet18),
+        Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
+    ] {
+        let mut row = Vec::new();
+        for lm in [LmKind::Doc2Vec, LmKind::Clip, LmKind::Sbert] {
+            let spec = MethodSpec::cae_dfkd(4).with_lm(lm);
+            let run = distill(preset, pair, &spec, budget);
+            let m = transfer_clone(
+                run.student.as_ref(),
+                pair.student,
+                preset.num_classes(),
+                budget,
+                TaskSet::detection_only(),
+                &train,
+                &test,
+                10,
+            );
+            row.push(Some(m.map50.unwrap_or(0.0) * 100.0));
+        }
+        report.push_row(&pair.label(), row);
+    }
+    report.note("paper shape: all three LMs work; CLIP is slightly best");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Paper Table XI: prompt design — `"a photo of {class name}"` vs the
+//! privacy-preserving `"a photo of {class index}"` — on NYUv2 (sim)
+//! segmentation, for two pairs.
+
+use crate::config::ExperimentBudget;
+use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::method::MethodSpec;
+use crate::report::Report;
+use crate::transfer::TaskSet;
+use cae_data::dense::DensePreset;
+use cae_data::presets::ClassificationPreset;
+use cae_lm::PromptTemplate;
+use cae_nn::models::Arch;
+
+/// Runs the experiment.
+pub fn run(budget: &ExperimentBudget) -> Report {
+    let preset = ClassificationPreset::C100Sim;
+    let (train, test) = dense_split(DensePreset::NyuSim, budget);
+    let mut report = Report::new(
+        "Table XI",
+        "Prompt design vs NYUv2 (sim) segmentation",
+        &["mIoU", "pAcc"],
+    );
+    for pair in [
+        Pair::new(Arch::ResNet34, Arch::ResNet18),
+        Pair::new(Arch::Vgg11, Arch::ResNet18),
+    ] {
+        for (template, label) in [
+            (PromptTemplate::ClassName, "a photo of {class name}"),
+            (PromptTemplate::ClassIndex, "a photo of {class index}"),
+        ] {
+            let spec = MethodSpec::cae_dfkd(4).with_template(template);
+            let run = distill(preset, pair, &spec, budget);
+            let m = transfer_clone(
+                run.student.as_ref(),
+                pair.student,
+                preset.num_classes(),
+                budget,
+                TaskSet::seg_only(),
+                &train,
+                &test,
+                11,
+            );
+            report.push_full_row(
+                &format!("{} [{}]", label, pair.label()),
+                &[m.miou.unwrap_or(0.0) * 100.0, m.pacc.unwrap_or(0.0) * 100.0],
+            );
+        }
+    }
+    report.note("paper shape: class-name prompts slightly beat class-index prompts; both work");
+    report.note(&format!("budget: {budget:?}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes at smoke budget; exercised by the bench harness"]
+    fn smoke_rows() {
+        let r = run(&ExperimentBudget::smoke());
+        assert_eq!(r.rows.len(), 4);
+    }
+}

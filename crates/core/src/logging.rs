@@ -1,0 +1,100 @@
+//! Lightweight scalar logging: named training curves with CSV export.
+//!
+//! Experiment figures (loss trajectories, convergence curves) are persisted
+//! next to the JSON reports so EXPERIMENTS.md numbers remain regenerable.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// A collection of named scalar series indexed by step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CurveLog {
+    series: BTreeMap<String, Vec<(usize, f32)>>,
+}
+
+impl CurveLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        CurveLog::default()
+    }
+
+    /// Appends `(step, value)` to the series `name` (created on first use).
+    pub fn push(&mut self, name: &str, step: usize, value: f32) {
+        self.series.entry(name.to_owned()).or_default().push((step, value));
+    }
+
+    /// The recorded series names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// A series by name.
+    pub fn series(&self, name: &str) -> Option<&[(usize, f32)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Last value of a series.
+    pub fn last(&self, name: &str) -> Option<f32> {
+        self.series.get(name).and_then(|s| s.last()).map(|&(_, v)| v)
+    }
+
+    /// Simple smoothing: mean of the last `window` values of a series.
+    pub fn tail_mean(&self, name: &str, window: usize) -> Option<f32> {
+        let s = self.series.get(name)?;
+        if s.is_empty() {
+            return None;
+        }
+        let tail = &s[s.len().saturating_sub(window.max(1))..];
+        Some(tail.iter().map(|&(_, v)| v).sum::<f32>() / tail.len() as f32)
+    }
+
+    /// Renders the log as long-format CSV (`series,step,value`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,step,value\n");
+        for (name, points) in &self.series {
+            for &(step, value) in points {
+                out.push_str(&format!("{name},{step},{value}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Returns any I/O error from creating directories or writing.
+    pub fn save_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = CurveLog::new();
+        log.push("loss", 0, 2.0);
+        log.push("loss", 1, 1.0);
+        log.push("acc", 1, 0.5);
+        assert_eq!(log.names(), vec!["acc", "loss"]);
+        assert_eq!(log.last("loss"), Some(1.0));
+        assert_eq!(log.tail_mean("loss", 2), Some(1.5));
+        assert_eq!(log.series("missing"), None);
+    }
+
+    #[test]
+    fn csv_is_long_format() {
+        let mut log = CurveLog::new();
+        log.push("a", 0, 1.5);
+        let csv = log.to_csv();
+        assert!(csv.starts_with("series,step,value\n"));
+        assert!(csv.contains("a,0,1.5"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The DFKD objectives (Eqs. 2, 5 and 6 of the paper).
+
+use cae_nn::module::BnBatchStats;
+use cae_tensor::Var;
+
+/// Batch-norm statistic matching loss `L_BN`: for every BN layer of the
+/// (frozen) teacher, the squared distance between the batch statistics of
+/// the *synthetic* batch and the running statistics accumulated on real
+/// data. Gradients flow through the batch statistics into the generator.
+///
+/// # Panics
+/// Panics if `stats` is empty.
+pub fn bn_loss(stats: &[BnBatchStats]) -> Var {
+    assert!(
+        !stats.is_empty(),
+        "bn_loss requires at least one captured BN layer"
+    );
+    let mut total: Option<Var> = None;
+    for s in stats {
+        // Whiten by the running variance so every layer contributes at a
+        // comparable scale regardless of its feature magnitudes; otherwise
+        // wide/late layers dominate and the CE/adversarial terms drown.
+        let inv_var = Var::constant(s.running_var.map(|v| 1.0 / (v + 1e-5)));
+        let mean_term = s
+            .mean
+            .sub(&Var::constant(s.running_mean.clone()))
+            .square()
+            .mul(&inv_var)
+            .mean_all();
+        let var_term = s
+            .var
+            .sub(&Var::constant(s.running_var.clone()))
+            .square()
+            .mul(&inv_var.square())
+            .mean_all();
+        let term = mean_term.add(&var_term);
+        total = Some(match total {
+            Some(t) => t.add(&term),
+            None => term,
+        });
+    }
+    total
+        .expect("stats nonempty")
+        .scale(1.0 / stats.len() as f32)
+}
+
+/// Differentiable KL divergence `KL(p ‖ q)` between two logit variables
+/// (both connected to the graph), averaged over the batch.
+///
+/// # Panics
+/// Panics if the shapes differ or are not 2-d.
+pub fn kl_between_logits(p_logits: &Var, q_logits: &Var) -> Var {
+    let (n, _) = p_logits.value().shape().matrix();
+    let lp = p_logits.log_softmax_rows();
+    let lq = q_logits.log_softmax_rows();
+    let p = lp.exp();
+    p.mul(&lp.sub(&lq)).sum_all().scale(1.0 / n as f32)
+}
+
+/// The generator's adversarial term `L_adv` (Eq. 2 seen from the generator's
+/// side): the *negated* teacher–student divergence, so that *minimizing*
+/// `L_adv` maximizes the disagreement the student must then resolve.
+pub fn adversarial_loss(teacher_logits: &Var, student_logits: &Var) -> Var {
+    kl_between_logits(teacher_logits, student_logits).neg()
+}
+
+/// Total-variation prior encouraging piecewise-smooth synthetic images
+/// (used by the DeepInversion-like baseline).
+///
+/// # Panics
+/// Panics if `x` is not 4-d.
+pub fn total_variation(x: &Var) -> Var {
+    let (n, c, h, w) = x.value().shape().nchw();
+    let right = x.slice_spatial(0, h, 1, w).sub(&x.slice_spatial(0, h, 0, w - 1));
+    let down = x.slice_spatial(1, h, 0, w).sub(&x.slice_spatial(0, h - 1, 0, w));
+    let scale = 1.0 / (n * c * h * w) as f32;
+    right
+        .square()
+        .sum_all()
+        .add(&down.square().sum_all())
+        .scale(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_tensor::gradcheck::check_gradients;
+    use cae_tensor::rng::TensorRng;
+    use cae_tensor::Tensor;
+
+    #[test]
+    fn kl_between_identical_logits_is_zero() {
+        let mut rng = TensorRng::seed_from(0);
+        let t = rng.normal_tensor(&[3, 4], 0.0, 1.0);
+        let a = Var::constant(t.clone());
+        let b = Var::constant(t);
+        assert!(kl_between_logits(&a, &b).item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn adversarial_loss_decreases_as_disagreement_grows() {
+        let t = Var::constant(Tensor::from_vec(vec![3.0, 0.0], &[1, 2]).unwrap());
+        let agree = Var::constant(Tensor::from_vec(vec![3.0, 0.0], &[1, 2]).unwrap());
+        let disagree = Var::constant(Tensor::from_vec(vec![0.0, 3.0], &[1, 2]).unwrap());
+        assert!(adversarial_loss(&t, &disagree).item() < adversarial_loss(&t, &agree).item());
+    }
+
+    #[test]
+    fn kl_gradcheck_both_sides() {
+        let mut rng = TensorRng::seed_from(1);
+        let a = Var::parameter(rng.normal_tensor(&[2, 3], 0.0, 1.0));
+        let b = Var::parameter(rng.normal_tensor(&[2, 3], 0.0, 1.0));
+        let r = check_gradients(&[a.clone(), b.clone()], 1e-3, || kl_between_logits(&a, &b));
+        assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn tv_is_zero_for_constant_images_positive_otherwise() {
+        let flat = Var::constant(Tensor::full(&[1, 1, 4, 4], 0.7));
+        assert!(total_variation(&flat).item().abs() < 1e-9);
+        let mut rng = TensorRng::seed_from(2);
+        let noisy = Var::constant(rng.normal_tensor(&[1, 1, 4, 4], 0.0, 1.0));
+        assert!(total_variation(&noisy).item() > 0.0);
+    }
+
+    #[test]
+    fn tv_gradcheck() {
+        let mut rng = TensorRng::seed_from(3);
+        let x = Var::parameter(rng.normal_tensor(&[1, 2, 4, 4], 0.0, 1.0));
+        let r = check_gradients(&[x.clone()], 1e-3, || total_variation(&x));
+        assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
+    }
+}

@@ -1,0 +1,139 @@
+//! The synthetic-image memory bank (paper Fig. 3).
+//!
+//! Generator updates *write* freshly synthesized batches; student updates
+//! *read* random replay batches. The bank is a bounded ring buffer so stale
+//! images from early, low-quality generator states age out.
+
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Bounded replay buffer of labelled synthetic images.
+#[derive(Debug, Clone)]
+pub struct MemoryBank {
+    entries: VecDeque<(Vec<f32>, usize)>,
+    capacity: usize,
+    image_dims: Vec<usize>,
+}
+
+impl MemoryBank {
+    /// Creates a bank holding at most `capacity` images of shape
+    /// `image_dims` (CHW).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, image_dims: &[usize]) -> Self {
+        assert!(capacity > 0, "memory capacity must be positive");
+        MemoryBank {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            image_dims: image_dims.to_vec(),
+        }
+    }
+
+    /// Number of stored images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in images.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Writes a labelled NCHW batch, evicting the oldest images when full.
+    ///
+    /// # Panics
+    /// Panics if the batch's trailing dimensions differ from the bank's
+    /// image shape or `labels.len()` differs from the batch size.
+    pub fn push_batch(&mut self, images: &Tensor, labels: &[usize]) {
+        let dims = images.shape().dims();
+        assert_eq!(
+            &dims[1..],
+            self.image_dims.as_slice(),
+            "batch image shape {:?} differs from bank shape {:?}",
+            &dims[1..],
+            self.image_dims
+        );
+        assert_eq!(dims[0], labels.len(), "one label per image required");
+        let stride: usize = self.image_dims.iter().product();
+        for (i, &label) in labels.iter().enumerate() {
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries
+                .push_back((images.data()[i * stride..(i + 1) * stride].to_vec(), label));
+        }
+    }
+
+    /// Draws a uniform random replay batch (with replacement).
+    ///
+    /// # Panics
+    /// Panics if the bank is empty or `batch` is zero.
+    pub fn sample_batch(&self, batch: usize, rng: &mut TensorRng) -> (Tensor, Vec<usize>) {
+        assert!(!self.is_empty(), "cannot sample from an empty memory bank");
+        assert!(batch > 0, "batch size must be positive");
+        let stride: usize = self.image_dims.iter().product();
+        let mut data = Vec::with_capacity(batch * stride);
+        let mut labels = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let (img, label) = &self.entries[rng.index(self.entries.len())];
+            data.extend_from_slice(img);
+            labels.push(*label);
+        }
+        let mut dims = vec![batch];
+        dims.extend_from_slice(&self.image_dims);
+        (
+            Tensor::from_vec(data, &dims).expect("shape consistent"),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: usize, fill: f32) -> (Tensor, Vec<usize>) {
+        (Tensor::full(&[n, 3, 2, 2], fill), vec![1; n])
+    }
+
+    #[test]
+    fn push_and_sample_roundtrip() {
+        let mut bank = MemoryBank::new(8, &[3, 2, 2]);
+        let (imgs, labels) = batch(4, 0.5);
+        bank.push_batch(&imgs, &labels);
+        assert_eq!(bank.len(), 4);
+        let mut rng = TensorRng::seed_from(0);
+        let (out, lbl) = bank.sample_batch(2, &mut rng);
+        assert_eq!(out.shape().dims(), &[2, 3, 2, 2]);
+        assert_eq!(lbl, vec![1, 1]);
+        assert!(out.data().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut bank = MemoryBank::new(4, &[3, 2, 2]);
+        let (old, l1) = batch(4, 1.0);
+        bank.push_batch(&old, &l1);
+        let (new, l2) = batch(4, 2.0);
+        bank.push_batch(&new, &l2);
+        assert_eq!(bank.len(), 4);
+        let mut rng = TensorRng::seed_from(0);
+        let (out, _) = bank.sample_batch(8, &mut rng);
+        assert!(out.data().iter().all(|&v| v == 2.0), "old images must be gone");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty memory bank")]
+    fn sampling_empty_bank_panics() {
+        let bank = MemoryBank::new(4, &[3, 2, 2]);
+        let mut rng = TensorRng::seed_from(0);
+        bank.sample_batch(1, &mut rng);
+    }
+}

@@ -1,0 +1,247 @@
+//! Method specifications: CAE-DFKD and every compared baseline expressed as
+//! a configuration of the shared DFKD trainer.
+
+use crate::cncl::CnclConfig;
+use cae_lm::{LmKind, PromptTemplate};
+use serde::{Deserialize, Serialize};
+
+/// How generator latents are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EmbeddingKind {
+    /// Unstructured Gaussian noise (native DFKD).
+    Gaussian,
+    /// Raw language-model category embeddings (NAYER-style label input).
+    Label {
+        /// Which simulated encoder provides the embeddings.
+        lm: LmKind,
+        /// Prompt template.
+        template: PromptTemplate,
+    },
+    /// CEND-diffused category embeddings (CAE-DFKD).
+    Cend {
+        /// Which simulated encoder provides the embeddings.
+        lm: LmKind,
+        /// Prompt template.
+        template: PromptTemplate,
+        /// Number of noise sources `N`.
+        n_sources: usize,
+        /// Perturbation magnitude `M_n` (shared across sources).
+        magnitude: f32,
+    },
+}
+
+/// Image-level student-side augmentation (the techniques Table I shows to
+/// *hurt* DFKD).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StudentAug {
+    /// No image-level augmentation.
+    None,
+    /// Mixup over synthetic images with Beta-like mixing strength.
+    Mixup {
+        /// Mixing concentration (larger → stronger mixing).
+        alpha: f32,
+    },
+    /// SimCLR-style two-view contrastive loss over augmented synthetic
+    /// images.
+    ImageContrastive {
+        /// Loss weight.
+        weight: f32,
+    },
+}
+
+/// A full method specification; constructors cover every row of the paper's
+/// tables that we re-implement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodSpec {
+    /// Display name used in reports.
+    pub name: String,
+    /// Generator latent source.
+    pub embedding: EmbeddingKind,
+    /// Image-level student augmentation.
+    pub student_aug: StudentAug,
+    /// Whether the CNCL loss is enabled (CAE-DFKD's second component).
+    pub use_cncl: bool,
+    /// CNCL hyper-parameters (used when `use_cncl`).
+    pub cncl: CnclConfig,
+    /// Re-initialize the generator every this many epochs (NAYER's periodic
+    /// re-initialization). `None` disables.
+    pub generator_reinit_every: Option<usize>,
+    /// Use optimization-based inversion (DeepInversion) instead of a
+    /// generator network.
+    pub optimization_based: bool,
+}
+
+impl MethodSpec {
+    /// Native generator-based DFKD: Gaussian latents, CE+BN+adv generator,
+    /// KL student (the DAFL/ZSKT/DFQ family).
+    pub fn vanilla() -> Self {
+        MethodSpec {
+            name: "Vanilla DFKD".to_owned(),
+            embedding: EmbeddingKind::Gaussian,
+            student_aug: StudentAug::None,
+            use_cncl: false,
+            cncl: CnclConfig::default(),
+            generator_reinit_every: None,
+            optimization_based: false,
+        }
+    }
+
+    /// DeepInversion-like optimization-based inversion (no generator).
+    pub fn deepinv_like() -> Self {
+        MethodSpec {
+            name: "DeepInv-like".to_owned(),
+            optimization_based: true,
+            ..MethodSpec::vanilla()
+        }
+    }
+
+    /// CMI-like: vanilla inversion plus an image-level contrastive term —
+    /// the mechanism CMI adds over plain inversion.
+    pub fn cmi_like() -> Self {
+        MethodSpec {
+            name: "CMI-like".to_owned(),
+            student_aug: StudentAug::ImageContrastive { weight: 0.5 },
+            ..MethodSpec::vanilla()
+        }
+    }
+
+    /// NAYER-like: label-text embedding latents plus periodic generator
+    /// re-initialization.
+    pub fn nayer_like() -> Self {
+        MethodSpec {
+            name: "NAYER-like".to_owned(),
+            embedding: EmbeddingKind::Label {
+                lm: LmKind::Clip,
+                template: PromptTemplate::ClassName,
+            },
+            generator_reinit_every: Some(5),
+            ..MethodSpec::vanilla()
+        }
+    }
+
+    /// CAE-DFKD with `n` CEND noise sources and CNCL enabled (the paper's
+    /// method; default `n = 4`).
+    pub fn cae_dfkd(n: usize) -> Self {
+        MethodSpec {
+            name: "CAE-DFKD".to_owned(),
+            embedding: EmbeddingKind::Cend {
+                lm: LmKind::Clip,
+                template: PromptTemplate::ClassName,
+                n_sources: n,
+                magnitude: 0.3,
+            },
+            use_cncl: true,
+            ..MethodSpec::vanilla()
+        }
+    }
+
+    /// CAE-DFKD with CEND only (Table VII's middle ablation row).
+    pub fn cend_only(n: usize) -> Self {
+        let mut spec = MethodSpec::cae_dfkd(n);
+        spec.name = "CEND only".to_owned();
+        spec.use_cncl = false;
+        spec
+    }
+
+    /// Returns a copy using a different language model (Table X).
+    pub fn with_lm(mut self, lm: LmKind) -> Self {
+        match &mut self.embedding {
+            EmbeddingKind::Label { lm: slot, .. } | EmbeddingKind::Cend { lm: slot, .. } => {
+                *slot = lm;
+            }
+            EmbeddingKind::Gaussian => {}
+        }
+        self.name = format!("{} [{}]", self.name, lm.name());
+        self
+    }
+
+    /// Returns a copy using a different prompt template (Table XI).
+    pub fn with_template(mut self, template: PromptTemplate) -> Self {
+        match &mut self.embedding {
+            EmbeddingKind::Label { template: slot, .. }
+            | EmbeddingKind::Cend { template: slot, .. } => *slot = template,
+            EmbeddingKind::Gaussian => {}
+        }
+        self
+    }
+
+    /// Returns a copy with Mixup applied to synthetic images (Table I).
+    pub fn with_mixup(mut self, alpha: f32) -> Self {
+        self.student_aug = StudentAug::Mixup { alpha };
+        self.name = format!("{} + Mixup", self.name);
+        self
+    }
+
+    /// Returns a copy with image-level contrastive learning (Table I).
+    pub fn with_image_contrastive(mut self, weight: f32) -> Self {
+        self.student_aug = StudentAug::ImageContrastive { weight };
+        self.name = format!("{} + Contrastive Learning", self.name);
+        self
+    }
+
+    /// Returns a copy whose generator latents come from CEND (Table VII:
+    /// adding CEND on top of a baseline).
+    pub fn with_cend(mut self, n_sources: usize, magnitude: f32) -> Self {
+        self.embedding = EmbeddingKind::Cend {
+            lm: LmKind::Clip,
+            template: PromptTemplate::ClassName,
+            n_sources,
+            magnitude,
+        };
+        self.name = format!("{} + CEND", self.name);
+        self
+    }
+
+    /// Returns a copy with the CNCL loss enabled (Table VII: adding CNCL on
+    /// top of CEND).
+    ///
+    /// # Panics
+    /// Panics if the embedding is not CEND (CNCL needs diffused positives).
+    pub fn with_cncl(mut self) -> Self {
+        assert!(
+            matches!(self.embedding, EmbeddingKind::Cend { .. }),
+            "CNCL requires a CEND embedding provider"
+        );
+        self.use_cncl = true;
+        self.name = format!("{} + CNCL", self.name);
+        self
+    }
+
+    /// Returns a copy with a new display name.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Number of CEND noise sources, when CEND is active.
+    pub fn n_sources(&self) -> Option<usize> {
+        match self.embedding {
+            EmbeddingKind::Cend { n_sources, .. } => Some(n_sources),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_distinct() {
+        assert_ne!(MethodSpec::vanilla(), MethodSpec::cmi_like());
+        assert_ne!(MethodSpec::nayer_like(), MethodSpec::cae_dfkd(4));
+        assert!(MethodSpec::deepinv_like().optimization_based);
+        assert!(MethodSpec::cae_dfkd(4).use_cncl);
+        assert!(!MethodSpec::cend_only(4).use_cncl);
+        assert_eq!(MethodSpec::cae_dfkd(5).n_sources(), Some(5));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MethodSpec::nayer_like().with_mixup(0.4);
+        assert!(matches!(m.student_aug, StudentAug::Mixup { .. }));
+        assert!(m.name.contains("Mixup"));
+        let c = MethodSpec::cae_dfkd(4).with_lm(LmKind::Sbert);
+        assert!(c.name.contains("SBERT"));
+    }
+}

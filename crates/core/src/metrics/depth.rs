@@ -1,0 +1,69 @@
+//! Depth-estimation metrics: absolute and relative error (paper Table V).
+
+/// Accumulated depth errors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DepthErrors {
+    abs_sum: f64,
+    rel_sum: f64,
+    count: u64,
+}
+
+impl DepthErrors {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        DepthErrors::default()
+    }
+
+    /// Adds one image's per-pixel predictions and ground truth.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn add(&mut self, pred: &[f32], gt: &[f32]) {
+        assert_eq!(pred.len(), gt.len(), "prediction/label size mismatch");
+        for (&p, &g) in pred.iter().zip(gt) {
+            let diff = (p - g).abs() as f64;
+            self.abs_sum += diff;
+            self.rel_sum += diff / (g.abs().max(1e-3) as f64);
+            self.count += 1;
+        }
+    }
+
+    /// Mean absolute error (the paper's AErr, lower is better).
+    pub fn abs_error(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.abs_sum / self.count as f64) as f32
+        }
+    }
+
+    /// Mean relative error (the paper's RErr, lower is better).
+    pub fn rel_error(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.rel_sum / self.count as f64) as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_prediction_has_zero_error() {
+        let mut e = DepthErrors::new();
+        e.add(&[0.5, 1.0], &[0.5, 1.0]);
+        assert_eq!(e.abs_error(), 0.0);
+        assert_eq!(e.rel_error(), 0.0);
+    }
+
+    #[test]
+    fn constant_offset_yields_that_abs_error() {
+        let mut e = DepthErrors::new();
+        e.add(&[1.1, 2.1], &[1.0, 2.0]);
+        assert!((e.abs_error() - 0.1).abs() < 1e-5);
+        assert!((e.rel_error() - 0.075).abs() < 1e-4); // (0.1/1 + 0.1/2)/2
+    }
+}

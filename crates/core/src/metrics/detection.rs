@@ -1,0 +1,221 @@
+//! Object-detection mAP (paper Table VI: mAP, mAP@50, mAP@75 and
+//! small/medium/large buckets).
+
+use cae_data::dense::BBox;
+
+/// One scored detection.
+#[derive(Debug, Clone, Copy)]
+pub struct Detection {
+    /// Predicted box (with class).
+    pub bbox: BBox,
+    /// Confidence score.
+    pub score: f32,
+}
+
+/// Object-size bucket, relative to the image area (scaled analogue of the
+/// COCO 32²/96² absolute thresholds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeBucket {
+    /// Area below 1/16 of the image.
+    Small,
+    /// Area in [1/16, 1/4) of the image.
+    Medium,
+    /// Area at least 1/4 of the image.
+    Large,
+}
+
+impl SizeBucket {
+    /// Classifies a box within an `image_area`-pixel image.
+    pub fn of(bbox: &BBox, image_area: usize) -> SizeBucket {
+        let a = bbox.area() as f32 / image_area.max(1) as f32;
+        if a < 1.0 / 16.0 {
+            SizeBucket::Small
+        } else if a < 0.25 {
+            SizeBucket::Medium
+        } else {
+            SizeBucket::Large
+        }
+    }
+}
+
+/// Average precision for one class at one IoU threshold over a set of
+/// images (all-point interpolation).
+fn average_precision(
+    per_image: &[(Vec<Detection>, Vec<BBox>)],
+    class: usize,
+    iou_thr: f32,
+    bucket: Option<(SizeBucket, usize)>,
+) -> Option<f32> {
+    // Collect class ground truth per image, tracking bucket membership.
+    let mut gt_boxes: Vec<Vec<(BBox, bool)>> = Vec::new(); // (box, in-bucket)
+    let mut total_gt = 0usize;
+    for (_, gts) in per_image {
+        let boxes: Vec<(BBox, bool)> = gts
+            .iter()
+            .filter(|b| b.class == class)
+            .map(|b| {
+                let keep = match bucket {
+                    Some((bk, area)) => SizeBucket::of(b, area) == bk,
+                    None => true,
+                };
+                (*b, keep)
+            })
+            .collect();
+        total_gt += boxes.iter().filter(|(_, keep)| *keep).count();
+        gt_boxes.push(boxes);
+    }
+    if total_gt == 0 {
+        return None;
+    }
+
+    // Flatten predictions with image ids, sorted by descending score.
+    let mut preds: Vec<(usize, Detection)> = Vec::new();
+    for (img, (dets, _)) in per_image.iter().enumerate() {
+        for d in dets.iter().filter(|d| d.bbox.class == class) {
+            preds.push((img, *d));
+        }
+    }
+    preds.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).expect("finite scores"));
+
+    let mut matched: Vec<Vec<bool>> = gt_boxes.iter().map(|g| vec![false; g.len()]).collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::new(); // (recall, precision)
+    for (img, det) in preds {
+        // Best unmatched ground truth.
+        let mut best = None;
+        let mut best_iou = iou_thr;
+        for (gi, (g, _)) in gt_boxes[img].iter().enumerate() {
+            if matched[img][gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(g);
+            if iou >= best_iou {
+                best_iou = iou;
+                best = Some(gi);
+            }
+        }
+        match best {
+            Some(gi) => {
+                matched[img][gi] = true;
+                if gt_boxes[img][gi].1 {
+                    tp += 1;
+                } else {
+                    // Matched an out-of-bucket object: ignore the detection.
+                    continue;
+                }
+            }
+            None => fp += 1,
+        }
+        curve.push((tp as f32 / total_gt as f32, tp as f32 / (tp + fp) as f32));
+    }
+
+    // All-point AP: integrate precision envelope over recall.
+    let mut ap = 0.0f32;
+    let mut prev_recall = 0.0f32;
+    let mut i = 0usize;
+    while i < curve.len() {
+        let recall = curve[i].0;
+        // Maximum precision at recall ≥ current.
+        let max_prec = curve[i..]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(0.0f32, f32::max);
+        ap += (recall - prev_recall) * max_prec;
+        prev_recall = recall;
+        // Skip forward to the next recall change.
+        while i < curve.len() && curve[i].0 <= recall {
+            i += 1;
+        }
+    }
+    Some(ap)
+}
+
+/// Mean average precision over classes, at one IoU threshold, optionally
+/// restricted to one size bucket.
+pub fn mean_ap(
+    per_image: &[(Vec<Detection>, Vec<BBox>)],
+    num_classes: usize,
+    iou_thr: f32,
+    bucket: Option<(SizeBucket, usize)>,
+) -> f32 {
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for c in 0..num_classes {
+        if let Some(ap) = average_precision(per_image, c, iou_thr, bucket) {
+            total += ap;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f32
+    }
+}
+
+/// COCO-style mAP averaged over IoU thresholds 0.5..0.95 (step 0.05).
+pub fn coco_map(per_image: &[(Vec<Detection>, Vec<BBox>)], num_classes: usize) -> f32 {
+    let thresholds: Vec<f32> = (0..10).map(|i| 0.5 + 0.05 * i as f32).collect();
+    let sum: f32 = thresholds
+        .iter()
+        .map(|&t| mean_ap(per_image, num_classes, t, None))
+        .sum();
+    sum / thresholds.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx(x0: usize, y0: usize, x1: usize, y1: usize, class: usize) -> BBox {
+        BBox { x0, y0, x1, y1, class }
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let gt = vec![bx(2, 2, 8, 8, 0)];
+        let det = vec![Detection { bbox: bx(2, 2, 8, 8, 0), score: 0.9 }];
+        let data = vec![(det, gt)];
+        assert!((mean_ap(&data, 1, 0.5, None) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_objects_reduce_recall() {
+        let gt = vec![bx(0, 0, 4, 4, 0), bx(8, 8, 12, 12, 0)];
+        let det = vec![Detection { bbox: bx(0, 0, 4, 4, 0), score: 0.9 }];
+        let data = vec![(det, gt)];
+        let ap = mean_ap(&data, 1, 0.5, None);
+        assert!((ap - 0.5).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let gt = vec![bx(0, 0, 4, 4, 0)];
+        let det = vec![
+            Detection { bbox: bx(20, 20, 24, 24, 0), score: 0.95 }, // FP first
+            Detection { bbox: bx(0, 0, 4, 4, 0), score: 0.9 },
+        ];
+        let data = vec![(det, gt)];
+        let ap = mean_ap(&data, 1, 0.5, None);
+        assert!(ap < 1.0 && ap > 0.0, "ap {ap}");
+    }
+
+    #[test]
+    fn higher_iou_threshold_is_stricter() {
+        let gt = vec![bx(0, 0, 10, 10, 0)];
+        // Shifted box: IoU ≈ 0.68.
+        let det = vec![Detection { bbox: bx(2, 0, 12, 10, 0), score: 0.9 }];
+        let data = vec![(det, gt)];
+        assert!(mean_ap(&data, 1, 0.5, None) > 0.9);
+        assert!(mean_ap(&data, 1, 0.75, None) < 0.1);
+    }
+
+    #[test]
+    fn size_buckets_partition() {
+        let area = 20 * 20;
+        assert_eq!(SizeBucket::of(&bx(0, 0, 4, 4, 0), area), SizeBucket::Small);
+        assert_eq!(SizeBucket::of(&bx(0, 0, 8, 8, 0), area), SizeBucket::Medium);
+        assert_eq!(SizeBucket::of(&bx(0, 0, 12, 12, 0), area), SizeBucket::Large);
+    }
+}

@@ -1,0 +1,11 @@
+//! Evaluation metrics matching the paper's tables: top-1 accuracy,
+//! teacher-confidence histograms (Fig. 2a), segmentation mIoU / pixel
+//! accuracy, depth errors, surface-normal angle statistics and detection
+//! mAP.
+
+pub mod classification;
+pub mod confidence;
+pub mod depth;
+pub mod detection;
+pub mod normals;
+pub mod seg;

@@ -1,0 +1,102 @@
+//! Surface-normal metrics: mean/median angular error and within-t°
+//! percentages (paper Table V).
+
+/// Accumulated angular errors between predicted and ground-truth unit
+/// normals.
+#[derive(Debug, Clone, Default)]
+pub struct NormalErrors {
+    angles_deg: Vec<f32>,
+}
+
+impl NormalErrors {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        NormalErrors::default()
+    }
+
+    /// Adds per-pixel normals in planar `[3·P]` layout (x-plane, y-plane,
+    /// z-plane), the layout produced by the dense world and the normal head.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are not multiples of 3.
+    pub fn add_planar(&mut self, pred: &[f32], gt: &[f32]) {
+        assert_eq!(pred.len(), gt.len(), "prediction/label size mismatch");
+        assert_eq!(pred.len() % 3, 0, "planar normals require 3 planes");
+        let p = pred.len() / 3;
+        for i in 0..p {
+            let dot = pred[i] * gt[i]
+                + pred[p + i] * gt[p + i]
+                + pred[2 * p + i] * gt[2 * p + i];
+            let pn = (pred[i].powi(2) + pred[p + i].powi(2) + pred[2 * p + i].powi(2))
+                .sqrt()
+                .max(1e-8);
+            let gn = (gt[i].powi(2) + gt[p + i].powi(2) + gt[2 * p + i].powi(2))
+                .sqrt()
+                .max(1e-8);
+            let cos = (dot / (pn * gn)).clamp(-1.0, 1.0);
+            self.angles_deg.push(cos.acos().to_degrees());
+        }
+    }
+
+    /// Mean angular error in degrees (lower is better).
+    pub fn mean(&self) -> f32 {
+        if self.angles_deg.is_empty() {
+            0.0
+        } else {
+            self.angles_deg.iter().sum::<f32>() / self.angles_deg.len() as f32
+        }
+    }
+
+    /// Median angular error in degrees (lower is better).
+    pub fn median(&self) -> f32 {
+        if self.angles_deg.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.angles_deg.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("angles are finite"));
+        sorted[sorted.len() / 2]
+    }
+
+    /// Fraction of pixels with angular error within `t` degrees (higher is
+    /// better). The paper reports t ∈ {11.25, 22.5, 30}.
+    pub fn within_degrees(&self, t: f32) -> f32 {
+        if self.angles_deg.is_empty() {
+            return 0.0;
+        }
+        let hits = self.angles_deg.iter().filter(|&&a| a <= t).count();
+        hits as f32 / self.angles_deg.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_normals_have_zero_error() {
+        let mut e = NormalErrors::new();
+        let n = vec![0.0, 0.0, 1.0]; // one pixel, planar layout
+        e.add_planar(&n, &n);
+        assert!(e.mean() < 1e-3);
+        assert_eq!(e.within_degrees(11.25), 1.0);
+    }
+
+    #[test]
+    fn orthogonal_normals_are_ninety_degrees() {
+        let mut e = NormalErrors::new();
+        e.add_planar(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]);
+        assert!((e.mean() - 90.0).abs() < 1e-3);
+        assert_eq!(e.within_degrees(30.0), 0.0);
+    }
+
+    #[test]
+    fn median_of_mixed_errors() {
+        let mut e = NormalErrors::new();
+        // Three pixels: 0°, 0°, 90°.
+        e.add_planar(
+            &[0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        );
+        assert!(e.median() < 1.0);
+    }
+}

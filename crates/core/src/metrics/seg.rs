@@ -1,0 +1,103 @@
+//! Semantic-segmentation metrics: mean IoU and pixel accuracy.
+
+/// Accumulates a confusion matrix over (prediction, ground-truth) pixel
+/// pairs and derives mIoU / pAcc, the metrics used for NYUv2 and ADE-20K in
+/// the paper.
+#[derive(Debug, Clone)]
+pub struct SegConfusion {
+    num_classes: usize,
+    matrix: Vec<u64>, // [gt * num_classes + pred]
+}
+
+impl SegConfusion {
+    /// Creates an empty confusion matrix over `num_classes` classes.
+    ///
+    /// # Panics
+    /// Panics if `num_classes` is zero.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        SegConfusion {
+            num_classes,
+            matrix: vec![0; num_classes * num_classes],
+        }
+    }
+
+    /// Adds one image's predictions.
+    ///
+    /// # Panics
+    /// Panics if slices differ in length or contain out-of-range ids.
+    pub fn add(&mut self, pred: &[usize], gt: &[usize]) {
+        assert_eq!(pred.len(), gt.len(), "prediction/label size mismatch");
+        for (&p, &g) in pred.iter().zip(gt) {
+            assert!(p < self.num_classes && g < self.num_classes, "class id out of range");
+            self.matrix[g * self.num_classes + p] += 1;
+        }
+    }
+
+    /// Pixel accuracy.
+    pub fn pixel_accuracy(&self) -> f32 {
+        let total: u64 = self.matrix.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.num_classes)
+            .map(|c| self.matrix[c * self.num_classes + c])
+            .sum();
+        diag as f32 / total as f32
+    }
+
+    /// Mean intersection-over-union over classes that appear in the ground
+    /// truth or predictions.
+    pub fn mean_iou(&self) -> f32 {
+        let mut total = 0.0f32;
+        let mut classes = 0usize;
+        for c in 0..self.num_classes {
+            let tp = self.matrix[c * self.num_classes + c];
+            let gt_total: u64 = (0..self.num_classes)
+                .map(|p| self.matrix[c * self.num_classes + p])
+                .sum();
+            let pred_total: u64 = (0..self.num_classes)
+                .map(|g| self.matrix[g * self.num_classes + c])
+                .sum();
+            let union = gt_total + pred_total - tp;
+            if union > 0 {
+                total += tp as f32 / union as f32;
+                classes += 1;
+            }
+        }
+        if classes == 0 {
+            0.0
+        } else {
+            total / classes as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let mut c = SegConfusion::new(3);
+        c.add(&[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert!((c.pixel_accuracy() - 1.0).abs() < 1e-6);
+        assert!((c.mean_iou() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_right_scores_between() {
+        let mut c = SegConfusion::new(2);
+        c.add(&[0, 0, 1, 1], &[0, 1, 1, 0]);
+        assert!((c.pixel_accuracy() - 0.5).abs() < 1e-6);
+        let iou = c.mean_iou();
+        assert!(iou > 0.0 && iou < 1.0);
+    }
+
+    #[test]
+    fn absent_classes_do_not_dilute_miou() {
+        let mut c = SegConfusion::new(5);
+        c.add(&[0, 0], &[0, 0]); // classes 1..4 never appear
+        assert!((c.mean_iou() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,170 @@
+//! Tabular experiment reports: rendered as text for the console and
+//! serialized as JSON artifacts under `results/`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// One row of a report: a label plus one value per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// Row label (method name, category, …).
+    pub label: String,
+    /// Values, one per report column; `None` renders as `-`.
+    pub values: Vec<Option<f32>>,
+}
+
+/// A table or figure reproduction: identifier, caption, columns and rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Identifier matching the paper ("Table II", "Figure 2a", …).
+    pub id: String,
+    /// Short caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<ReportRow>,
+    /// Free-form notes (budget, substitutions, expected shape).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the value count differs from the column count.
+    pub fn push_row(&mut self, label: &str, values: Vec<Option<f32>>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push(ReportRow {
+            label: label.to_owned(),
+            values,
+        });
+    }
+
+    /// Appends a fully populated row.
+    pub fn push_full_row(&mut self, label: &str, values: &[f32]) {
+        self.push_row(label, values.iter().map(|&v| Some(v)).collect());
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
+    }
+
+    /// Looks up a cell by row label and column header.
+    pub fn cell(&self, label: &str, column: &str) -> Option<f32> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .and_then(|r| r.values.get(col).copied().flatten())
+    }
+
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report from its JSON artifact.
+    ///
+    /// # Errors
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the JSON artifact to `dir/<id>.json` (spaces replaced).
+    ///
+    /// # Errors
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let file = dir.join(format!("{}.json", self.id.replace([' ', '/'], "_").to_lowercase()));
+        std::fs::write(&file, self.to_json())?;
+        Ok(file)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("method".len()))
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(8) + 2)
+            .collect::<Vec<_>>();
+        write!(f, "{:label_w$}", "method")?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, "{c:>w$}", w = w)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:label_w$}", row.label)?;
+            for (v, w) in row.values.iter().zip(&col_w) {
+                match v {
+                    Some(v) => write!(f, "{v:>w$.3}", w = w)?,
+                    None => write!(f, "{:>w$}", "-", w = w)?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_and_serialize() {
+        let mut r = Report::new("Table T", "demo", &["acc", "miou"]);
+        r.push_full_row("CAE-DFKD", &[0.9, 0.5]);
+        r.push_row("Base", vec![Some(0.8), None]);
+        r.note("fast budget");
+        let text = r.to_string();
+        assert!(text.contains("CAE-DFKD"));
+        assert!(text.contains('-'));
+        let json = r.to_json();
+        let back: Report = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back, r);
+        assert_eq!(r.cell("CAE-DFKD", "miou"), Some(0.5));
+        assert_eq!(r.cell("Base", "miou"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn row_arity_is_checked() {
+        let mut r = Report::new("T", "demo", &["a", "b"]);
+        r.push_full_row("x", &[1.0]);
+    }
+}

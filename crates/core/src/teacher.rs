@@ -1,0 +1,165 @@
+//! Supervised pre-training of teachers and data-accessible student
+//! references, with a per-session cache.
+//!
+//! Every DFKD experiment needs the same frozen teacher for a given
+//! (dataset, architecture, budget) triple; training it once and sharing it
+//! across method cells keeps table runs tractable. Models are not `Send`
+//! (autograd nodes are `Rc`-based), so the cache is thread-local.
+
+use crate::config::ExperimentBudget;
+use cae_data::dataset::Dataset;
+use cae_nn::loss::cross_entropy;
+use cae_nn::models::Arch;
+use cae_nn::module::{copy_state, Classifier, ForwardCtx};
+use cae_nn::optim::{CosineSchedule, Optimizer, Sgd};
+use cae_tensor::rng::TensorRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+thread_local! {
+    static CACHE: RefCell<HashMap<String, Rc<dyn Classifier>>> = RefCell::new(HashMap::new());
+}
+
+/// Trains `model` supervised on `dataset` for `steps` SGD steps with cosine
+/// annealing. Returns the final running training loss.
+pub fn train_supervised(
+    model: &dyn Classifier,
+    dataset: &Dataset,
+    steps: usize,
+    batch_size: usize,
+    base_lr: f32,
+    rng: &mut TensorRng,
+) -> f32 {
+    let mut opt = Sgd::new(model.parameters(), base_lr, 0.9, 5e-4);
+    let schedule = CosineSchedule::new(base_lr, steps);
+    let mut step = 0usize;
+    let mut last_loss = f32::NAN;
+    'outer: loop {
+        for batch in dataset.epoch_batches(batch_size, rng) {
+            if step >= steps {
+                break 'outer;
+            }
+            opt.set_lr(schedule.lr_at(step));
+            let (x, y) = dataset.batch(&batch);
+            let logits = model.forward(&cae_tensor::Var::constant(x), &mut ForwardCtx::train());
+            let loss = cross_entropy(&logits, &y);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+            last_loss = loss.item();
+            step += 1;
+        }
+    }
+    last_loss
+}
+
+/// Returns a supervised classifier for `(arch, dataset)` trained under
+/// `budget`, training it on first request and caching it for the rest of
+/// the session.
+///
+/// The cached model must be treated as read-only; use
+/// [`clone_classifier`] before fine-tuning.
+pub fn pretrained(
+    key_prefix: &str,
+    arch: Arch,
+    dataset: &Dataset,
+    budget: &ExperimentBudget,
+    batch_size: usize,
+) -> Rc<dyn Classifier> {
+    let key = format!(
+        "{key_prefix}/{arch:?}/k{}/r{}/n{}/s{}/w{}/seed{}",
+        dataset.num_classes(),
+        dataset.resolution(),
+        dataset.len(),
+        budget.pretrain_steps,
+        budget.base_width,
+        budget.seed,
+    );
+    if let Some(hit) = CACHE.with(|c| c.borrow().get(&key).cloned()) {
+        return hit;
+    }
+    let mut rng = TensorRng::seed_from(budget.seed ^ 0x7e4c_4e12);
+    let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
+    train_supervised(
+        model.as_ref(),
+        dataset,
+        budget.pretrain_steps,
+        batch_size,
+        0.1,
+        &mut rng,
+    );
+    let rc: Rc<dyn Classifier> = Rc::from(model);
+    CACHE.with(|c| c.borrow_mut().insert(key, rc.clone()));
+    rc
+}
+
+/// Clears the teacher cache (useful in long test sessions).
+pub fn clear_cache() {
+    CACHE.with(|c| c.borrow_mut().clear());
+}
+
+/// Builds a structurally identical classifier and copies all weights and
+/// batch-norm statistics from `src`.
+///
+/// # Panics
+/// Panics if `arch`/`num_classes`/`base_width` do not describe `src`.
+pub fn clone_classifier(
+    src: &dyn Classifier,
+    arch: Arch,
+    num_classes: usize,
+    base_width: usize,
+) -> Box<dyn Classifier> {
+    let mut rng = TensorRng::seed_from(0);
+    let dst = arch.build(num_classes, base_width, &mut rng);
+    copy_state(src, dst.as_ref());
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::classification::top1_accuracy;
+    use cae_data::presets::ClassificationPreset;
+    use cae_data::world::VisionWorld;
+    use cae_data::SplitDataset;
+
+    #[test]
+    fn supervised_training_beats_chance() {
+        let world = VisionWorld::new(4, 8, 3);
+        let split = SplitDataset::sample(&world, 24, 8, 1);
+        let mut rng = TensorRng::seed_from(0);
+        let model = Arch::ResNet18.build(4, 4, &mut rng);
+        train_supervised(model.as_ref(), &split.train, 60, 16, 0.1, &mut rng);
+        let acc = top1_accuracy(model.as_ref(), &split.test, 16);
+        assert!(acc > 0.4, "accuracy {acc} not above chance (0.25)");
+    }
+
+    #[test]
+    fn cache_returns_the_same_model() {
+        clear_cache();
+        let split = ClassificationPreset::C10Sim.generate(9);
+        let tiny = ExperimentBudget::smoke();
+        let a = pretrained("t", Arch::ResNet18, &split.train, &tiny, 16);
+        let b = pretrained("t", Arch::ResNet18, &split.train, &tiny, 16);
+        assert!(Rc::ptr_eq(&a, &b));
+        clear_cache();
+    }
+
+    #[test]
+    fn clone_classifier_reproduces_outputs() {
+        let world = VisionWorld::new(3, 8, 5);
+        let split = SplitDataset::sample(&world, 8, 4, 2);
+        let mut rng = TensorRng::seed_from(1);
+        let model = Arch::Wrn16x1.build(3, 4, &mut rng);
+        train_supervised(model.as_ref(), &split.train, 10, 8, 0.1, &mut rng);
+        let copy = clone_classifier(model.as_ref(), Arch::Wrn16x1, 3, 4);
+        let (x, _) = split.test.batch(&[0, 1, 2]);
+        let xa = cae_tensor::Var::constant(x);
+        let ya = model.forward(&xa, &mut ForwardCtx::eval());
+        let yb = copy.forward(&xa, &mut ForwardCtx::eval());
+        for (a, b) in ya.value().data().iter().zip(yb.value().data()) {
+            assert!((a - b).abs() < 1e-5, "outputs differ: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Core-crate integration tests: cross-module behaviour that unit tests
+//! don't cover.
+
+use cae_core::config::{DfkdConfig, ExperimentBudget};
+use cae_core::method::MethodSpec;
+use cae_core::metrics::confidence::confidence_profile;
+use cae_core::report::Report;
+use cae_core::teacher::{pretrained, train_supervised};
+use cae_core::trainer::DfkdTrainer;
+use cae_data::presets::ClassificationPreset;
+use cae_data::world::VisionWorld;
+use cae_data::SplitDataset;
+use cae_nn::models::Arch;
+use cae_tensor::rng::TensorRng;
+
+#[test]
+fn memory_capacity_is_respected_throughout_training() {
+    let world = VisionWorld::new(3, 8, 31);
+    let split = SplitDataset::sample(&world, 12, 4, 2);
+    let mut rng = TensorRng::seed_from(0);
+    let teacher = Arch::ResNet18.build(3, 4, &mut rng);
+    train_supervised(teacher.as_ref(), &split.train, 20, 12, 0.1, &mut rng);
+    let budget = ExperimentBudget::smoke();
+    let config = DfkdConfig {
+        batch_size: 8,
+        memory_capacity: 24,
+        ..Default::default()
+    };
+    let mut trainer = DfkdTrainer::new(
+        teacher.as_ref(),
+        Arch::Wrn16x1.build(3, 4, &mut rng),
+        &["a", "b", "c"],
+        8,
+        &MethodSpec::cae_dfkd(3),
+        config,
+        &budget,
+        1,
+    );
+    for _ in 0..6 {
+        trainer.generator_step();
+        assert!(trainer.memory().len() <= 24);
+    }
+    assert_eq!(trainer.memory().len(), 24);
+}
+
+#[test]
+fn a_trained_teacher_is_confident_on_real_images_not_noise() {
+    let world = VisionWorld::new(4, 8, 17);
+    let split = SplitDataset::sample(&world, 30, 10, 5);
+    let mut rng = TensorRng::seed_from(3);
+    let teacher = Arch::ResNet34.build(4, 4, &mut rng);
+    train_supervised(teacher.as_ref(), &split.train, 100, 16, 0.1, &mut rng);
+
+    let indices: Vec<usize> = (0..32).collect();
+    let (real, labels) = split.test.batch(&indices);
+    let real_profile = confidence_profile(teacher.as_ref(), &real, &labels, 4, 0.5);
+    let noise = rng.normal_tensor(&[32, 3, 8, 8], 0.0, 1.0);
+    let noise_profile = confidence_profile(teacher.as_ref(), &noise, &labels, 4, 0.5);
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    assert!(
+        mean(&real_profile.mean_max_prob) > mean(&noise_profile.mean_max_prob) - 0.05,
+        "teacher should be at least as confident on in-distribution images"
+    );
+}
+
+#[test]
+fn method_specs_serialize_roundtrip() {
+    for spec in [
+        MethodSpec::vanilla(),
+        MethodSpec::deepinv_like(),
+        MethodSpec::cmi_like(),
+        MethodSpec::nayer_like(),
+        MethodSpec::cae_dfkd(5),
+        MethodSpec::cend_only(2),
+        MethodSpec::nayer_like().with_mixup(0.3),
+    ] {
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: MethodSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, spec);
+    }
+}
+
+#[test]
+fn reports_persist_to_disk() {
+    let mut report = Report::new("Table T/demo", "persistence", &["x"]);
+    report.push_full_row("row", &[1.0]);
+    let dir = std::env::temp_dir().join("cae_report_test");
+    let path = report.save_json(&dir).expect("save succeeds");
+    let loaded = Report::from_json(&std::fs::read_to_string(&path).expect("read"))
+        .expect("parse");
+    assert_eq!(loaded, report);
+    assert!(path.file_name().expect("name").to_string_lossy().contains("table_t_demo"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn teacher_cache_key_distinguishes_budgets_and_archs() {
+    cae_core::teacher::clear_cache();
+    let split = ClassificationPreset::C10Sim.generate(4);
+    let smoke = ExperimentBudget::smoke();
+    let other = ExperimentBudget {
+        pretrain_steps: smoke.pretrain_steps + 1,
+        ..smoke
+    };
+    let a = pretrained("k", Arch::Wrn16x1, &split.train, &smoke, 16);
+    let b = pretrained("k", Arch::Wrn16x1, &split.train, &other, 16);
+    let c = pretrained("k", Arch::Wrn16x2, &split.train, &smoke, 16);
+    assert!(!std::rc::Rc::ptr_eq(&a, &b), "budget must be part of the key");
+    assert!(!std::rc::Rc::ptr_eq(&a, &c), "arch must be part of the key");
+    cae_core::teacher::clear_cache();
+}

@@ -1,0 +1,160 @@
+//! In-memory labelled datasets and batching.
+
+use crate::world::VisionWorld;
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+
+/// A labelled, in-memory image classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+    resolution: usize,
+}
+
+impl Dataset {
+    /// Samples a balanced dataset of `per_class` images per category from
+    /// `world`.
+    pub fn sample_balanced(world: &VisionWorld, per_class: usize, rng: &mut TensorRng) -> Self {
+        let mut images = Vec::with_capacity(world.num_classes() * per_class);
+        let mut labels = Vec::with_capacity(world.num_classes() * per_class);
+        for k in 0..world.num_classes() {
+            for _ in 0..per_class {
+                images.push(world.sample(k, rng).data().to_vec());
+                labels.push(k);
+            }
+        }
+        Dataset {
+            images,
+            labels,
+            num_classes: world.num_classes(),
+            resolution: world.resolution(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of categories.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image side length.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Assembles the samples at `indices` into an NCHW batch.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let r = self.resolution;
+        let mut data = Vec::with_capacity(indices.len() * 3 * r * r);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.images[i]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(data, &[indices.len(), 3, r, r])
+                .expect("length matches dims by construction"),
+            labels,
+        )
+    }
+
+    /// Yields shuffled minibatch index lists covering one epoch.
+    pub fn epoch_batches(&self, batch_size: usize, rng: &mut TensorRng) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.index(i + 1);
+            order.swap(i, j);
+        }
+        order
+            .chunks(batch_size.max(1))
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+/// A train/test split over the same world.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out evaluation partition.
+    pub test: Dataset,
+}
+
+impl SplitDataset {
+    /// Samples `train_per_class`/`test_per_class` balanced images per
+    /// category from `world`, using independent RNG streams.
+    pub fn sample(
+        world: &VisionWorld,
+        train_per_class: usize,
+        test_per_class: usize,
+        seed: u64,
+    ) -> Self {
+        let mut train_rng = TensorRng::seed_from(seed);
+        let mut test_rng = TensorRng::seed_from(seed ^ 0xdead_beef);
+        SplitDataset {
+            train: Dataset::sample_balanced(world, train_per_class, &mut train_rng),
+            test: Dataset::sample_balanced(world, test_per_class, &mut test_rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_split() -> SplitDataset {
+        let world = VisionWorld::new(3, 8, 11);
+        SplitDataset::sample(&world, 4, 2, 5)
+    }
+
+    #[test]
+    fn balanced_sizes() {
+        let s = tiny_split();
+        assert_eq!(s.train.len(), 12);
+        assert_eq!(s.test.len(), 6);
+        let count0 = (0..s.train.len()).filter(|&i| s.train.label(i) == 0).count();
+        assert_eq!(count0, 4);
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let s = tiny_split();
+        let (x, y) = s.train.batch(&[0, 5, 11]);
+        assert_eq!(x.shape().dims(), &[3, 3, 8, 8]);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn epoch_batches_cover_everything_once() {
+        let s = tiny_split();
+        let mut rng = TensorRng::seed_from(0);
+        let batches = s.train.epoch_batches(5, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,41 @@
+//! # cae-data
+//!
+//! Procedural datasets for the CAE-DFKD reproduction.
+//!
+//! The paper evaluates on CIFAR-10/100, Tiny-ImageNet and ImageNet-1K for
+//! recognition, and on NYUv2 / ADE-20K / COCO-2017 for downstream transfer.
+//! None of that data is available here, so this crate provides *procedural
+//! worlds*: class-conditional image distributions whose classes are defined
+//! by seeded colour/stripe/blob parameters with intra-class jitter
+//! ([`world`]), and a dense-prediction world composing class-textured
+//! objects over a smooth height-field, from which segmentation masks, depth
+//! maps, surface normals and bounding boxes are derived analytically
+//! ([`dense`]).
+//!
+//! The substitution preserves what DFKD actually needs: a learnable,
+//! class-structured distribution for teacher pre-training and inversion, and
+//! downstream tasks whose labels are consistent functions of the same visual
+//! vocabulary, so *transferability differences between methods remain
+//! measurable*.
+//!
+//! # Example
+//!
+//! ```
+//! use cae_data::presets::ClassificationPreset;
+//!
+//! let split = ClassificationPreset::C10Sim.generate(42);
+//! assert_eq!(split.train.num_classes(), 10);
+//! let (images, labels) = split.train.batch(&[0, 1, 2]);
+//! assert_eq!(images.shape().dims()[0], 3);
+//! assert_eq!(labels.len(), 3);
+//! ```
+
+pub mod dataset;
+pub mod dense;
+pub mod presets;
+pub mod viz;
+pub mod world;
+
+pub use dataset::{Dataset, SplitDataset};
+pub use presets::ClassificationPreset;
+pub use world::VisionWorld;

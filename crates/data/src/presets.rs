@@ -1,0 +1,159 @@
+//! Classification dataset presets simulating the paper's benchmarks.
+//!
+//! Class counts and resolutions are scaled for CPU training; the *relative*
+//! ordering (CIFAR-10 < CIFAR-100 < Tiny-ImageNet in class count,
+//! CIFAR < Tiny-ImageNet < ImageNet in resolution) is preserved. Every
+//! preset carries real class-name vocabularies so the language-model prompts
+//! (`"a photo of {class}"`) are meaningful.
+
+use crate::dataset::SplitDataset;
+use crate::world::VisionWorld;
+
+/// The CIFAR-10 vocabulary.
+pub const C10_NAMES: [&str; 10] = [
+    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+];
+
+/// Twenty CIFAR-100 class names (the scaled stand-in for the 100-class set).
+pub const C100_NAMES: [&str; 20] = [
+    "apple", "aquarium fish", "bear", "beaver", "bicycle", "bottle", "bridge", "butterfly",
+    "camel", "castle", "chair", "clock", "dolphin", "elephant", "forest", "lamp", "maple tree",
+    "motorcycle", "mushroom", "orange",
+];
+
+/// Thirty Tiny-ImageNet class names (scaled stand-in for the 200-class set).
+pub const TINY_NAMES: [&str; 30] = [
+    "goldfish", "salamander", "bullfrog", "tailed frog", "alligator", "boa constrictor",
+    "trilobite", "scorpion", "spider", "centipede", "goose", "koala", "jellyfish", "snail",
+    "lobster", "flamingo", "penguin", "whale", "walrus", "chihuahua", "shepherd dog",
+    "golden retriever", "tabby cat", "persian cat", "cougar", "lion", "brown bear", "ladybug",
+    "fly", "bee",
+];
+
+/// Twelve ImageNet-1K class names (scaled stand-in for the 1000-class set).
+pub const IMAGENET_NAMES: [&str; 12] = [
+    "tench", "great white shark", "hammerhead", "electric ray", "cock", "hen", "ostrich",
+    "brambling", "goldfinch", "house finch", "junco", "indigo bunting",
+];
+
+/// The four recognition benchmarks of the paper, in scaled procedural form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ClassificationPreset {
+    /// CIFAR-10 stand-in: 10 classes at 12×12.
+    C10Sim,
+    /// CIFAR-100 stand-in: 20 classes at 12×12.
+    C100Sim,
+    /// Tiny-ImageNet stand-in: 30 classes at 16×16.
+    TinyImageNetSim,
+    /// ImageNet-1K stand-in: 12 classes at 24×24.
+    ImageNetSim,
+}
+
+impl ClassificationPreset {
+    /// Display name referencing the simulated benchmark.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassificationPreset::C10Sim => "CIFAR-10 (sim)",
+            ClassificationPreset::C100Sim => "CIFAR-100 (sim)",
+            ClassificationPreset::TinyImageNetSim => "Tiny-ImageNet (sim)",
+            ClassificationPreset::ImageNetSim => "ImageNet-1K (sim)",
+        }
+    }
+
+    /// Class-name vocabulary for language-model prompts.
+    pub fn class_names(&self) -> Vec<&'static str> {
+        match self {
+            ClassificationPreset::C10Sim => C10_NAMES.to_vec(),
+            ClassificationPreset::C100Sim => C100_NAMES.to_vec(),
+            ClassificationPreset::TinyImageNetSim => TINY_NAMES.to_vec(),
+            ClassificationPreset::ImageNetSim => IMAGENET_NAMES.to_vec(),
+        }
+    }
+
+    /// Number of categories.
+    pub fn num_classes(&self) -> usize {
+        self.class_names().len()
+    }
+
+    /// Image side length (a multiple of 4, matching the generator).
+    pub fn resolution(&self) -> usize {
+        match self {
+            ClassificationPreset::C10Sim | ClassificationPreset::C100Sim => 12,
+            ClassificationPreset::TinyImageNetSim => 16,
+            ClassificationPreset::ImageNetSim => 24,
+        }
+    }
+
+    /// Training images per class.
+    pub fn train_per_class(&self) -> usize {
+        match self {
+            ClassificationPreset::C10Sim => 120,
+            ClassificationPreset::C100Sim => 80,
+            ClassificationPreset::TinyImageNetSim => 60,
+            ClassificationPreset::ImageNetSim => 60,
+        }
+    }
+
+    /// Test images per class.
+    pub fn test_per_class(&self) -> usize {
+        match self {
+            ClassificationPreset::C10Sim => 30,
+            ClassificationPreset::C100Sim => 25,
+            ClassificationPreset::TinyImageNetSim => 15,
+            ClassificationPreset::ImageNetSim => 15,
+        }
+    }
+
+    /// Builds the world defining the preset's categories.
+    pub fn world(&self, seed: u64) -> VisionWorld {
+        VisionWorld::new(self.num_classes(), self.resolution(), seed)
+    }
+
+    /// Samples the full train/test split.
+    pub fn generate(&self, seed: u64) -> SplitDataset {
+        SplitDataset::sample(
+            &self.world(seed),
+            self.train_per_class(),
+            self.test_per_class(),
+            seed ^ 0x5a5a,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for p in [
+            ClassificationPreset::C10Sim,
+            ClassificationPreset::C100Sim,
+            ClassificationPreset::TinyImageNetSim,
+            ClassificationPreset::ImageNetSim,
+        ] {
+            assert_eq!(p.class_names().len(), p.num_classes());
+            assert_eq!(p.resolution() % 4, 0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn resolution_ordering_matches_paper() {
+        assert!(
+            ClassificationPreset::C10Sim.resolution()
+                < ClassificationPreset::TinyImageNetSim.resolution()
+        );
+        assert!(
+            ClassificationPreset::TinyImageNetSim.resolution()
+                < ClassificationPreset::ImageNetSim.resolution()
+        );
+    }
+
+    #[test]
+    fn generate_produces_expected_sizes() {
+        let s = ClassificationPreset::C10Sim.generate(1);
+        assert_eq!(s.train.len(), 10 * 120);
+        assert_eq!(s.test.len(), 10 * 30);
+        assert_eq!(s.train.resolution(), 12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Image export: render `[3, H, W]` tensors (pixel range `[-1, 1]`) as
+//! binary PPM files and tile batches into grids.
+//!
+//! Used to materialize the paper's qualitative panels (Fig. 2b synthetic
+//! images, Fig. 5 downstream comparisons) as real image artifacts.
+
+use cae_tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// Converts a `[-1, 1]` channel value to a display byte.
+fn to_byte(v: f32) -> u8 {
+    (((v + 1.0) * 0.5).clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Renders one `[3, H, W]` image into interleaved RGB bytes.
+///
+/// # Panics
+/// Panics if the tensor is not `[3, H, W]`.
+pub fn to_rgb_bytes(image: &Tensor) -> (Vec<u8>, usize, usize) {
+    let dims = image.shape().dims();
+    assert!(
+        dims.len() == 3 && dims[0] == 3,
+        "expected a [3, H, W] image, got {dims:?}"
+    );
+    let (h, w) = (dims[1], dims[2]);
+    let mut bytes = Vec::with_capacity(3 * h * w);
+    for p in 0..h * w {
+        for c in 0..3 {
+            bytes.push(to_byte(image.data()[c * h * w + p]));
+        }
+    }
+    (bytes, w, h)
+}
+
+/// Tiles an NCHW batch into one `[3, rows·H, cols·W]` grid image (excess
+/// cells are black).
+///
+/// # Panics
+/// Panics if the batch is not `[N, 3, H, W]` or `cols` is zero.
+pub fn tile_batch(batch: &Tensor, cols: usize) -> Tensor {
+    let (n, c, h, w) = batch.shape().nchw();
+    assert_eq!(c, 3, "expected RGB images");
+    assert!(cols > 0, "cols must be positive");
+    let rows = n.div_ceil(cols);
+    let (gh, gw) = (rows * h, cols * w);
+    let mut grid = Tensor::full(&[3, gh, gw], -1.0);
+    for i in 0..n {
+        let (r, col) = (i / cols, i % cols);
+        for ci in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    let src = batch.data()[((i * 3 + ci) * h + y) * w + x];
+                    grid.data_mut()[ci * gh * gw + (r * h + y) * gw + col * w + x] = src;
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Writes a `[3, H, W]` image as a binary PPM (P6) file.
+///
+/// # Errors
+/// Returns any I/O error from creating directories or writing the file.
+///
+/// # Panics
+/// Panics if the tensor is not `[3, H, W]`.
+pub fn write_ppm(image: &Tensor, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let (bytes, w, h) = to_rgb_bytes(image);
+    let mut file = std::fs::File::create(path)?;
+    write!(file, "P6\n{w} {h}\n255\n")?;
+    file.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_mapping_covers_the_range() {
+        assert_eq!(to_byte(-1.0), 0);
+        assert_eq!(to_byte(1.0), 255);
+        assert_eq!(to_byte(0.0), 128);
+        assert_eq!(to_byte(-5.0), 0); // clamped
+    }
+
+    #[test]
+    fn rgb_bytes_are_interleaved() {
+        // 1x1 image with channels (-1, 0, 1) → bytes (0, 128, 255).
+        let img = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3, 1, 1]).unwrap();
+        let (bytes, w, h) = to_rgb_bytes(&img);
+        assert_eq!((w, h), (1, 1));
+        assert_eq!(bytes, vec![0, 128, 255]);
+    }
+
+    #[test]
+    fn tiling_places_images_and_pads() {
+        let batch = Tensor::full(&[3, 3, 2, 2], 1.0); // three white 2x2 images
+        let grid = tile_batch(&batch, 2);
+        assert_eq!(grid.shape().dims(), &[3, 4, 4]);
+        // Fourth cell (bottom-right) is padding (-1).
+        let gh = 4;
+        let gw = 4;
+        assert_eq!(grid.data()[0 * gh * gw + 2 * gw + 2], -1.0);
+        assert_eq!(grid.data()[0], 1.0);
+    }
+
+    #[test]
+    fn ppm_file_has_header_and_payload() {
+        let img = Tensor::full(&[3, 2, 2], 0.0);
+        let dir = std::env::temp_dir().join("cae_viz_test");
+        let path = dir.join("img.ppm");
+        write_ppm(&img, &path).expect("write succeeds");
+        let content = std::fs::read(&path).expect("read back");
+        assert!(content.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(content.len(), 11 + 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the procedural data worlds.
+
+use cae_data::dataset::SplitDataset;
+use cae_data::dense::DenseWorld;
+use cae_data::viz::tile_batch;
+use cae_data::world::VisionWorld;
+use cae_tensor::rng::TensorRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every sampled image stays inside the pixel range for any world.
+    #[test]
+    fn images_stay_in_range(classes in 2usize..8, res in 4usize..16, seed in 0u64..500) {
+        let world = VisionWorld::new(classes, res, seed);
+        let mut rng = TensorRng::seed_from(seed ^ 1);
+        for k in 0..classes {
+            let img = world.sample(k, &mut rng);
+            prop_assert_eq!(img.shape().dims(), &[3, res, res]);
+            prop_assert!(img.min() >= -1.0 && img.max() <= 1.0);
+        }
+    }
+
+    /// World construction is a pure function of its seed.
+    #[test]
+    fn worlds_are_deterministic(classes in 2usize..6, seed in 0u64..500) {
+        let a = VisionWorld::new(classes, 8, seed);
+        let b = VisionWorld::new(classes, 8, seed);
+        let mut ra = TensorRng::seed_from(9);
+        let mut rb = TensorRng::seed_from(9);
+        for k in 0..classes {
+            let sa = a.sample(k, &mut ra);
+            let sb = b.sample(k, &mut rb);
+            prop_assert_eq!(sa.data(), sb.data());
+        }
+    }
+
+    /// Splits are balanced and disjointly seeded (train ≠ test pixelwise).
+    #[test]
+    fn splits_are_balanced(classes in 2usize..5, per_train in 2usize..6, per_test in 1usize..4, seed in 0u64..200) {
+        let world = VisionWorld::new(classes, 6, seed);
+        let split = SplitDataset::sample(&world, per_train, per_test, seed ^ 3);
+        prop_assert_eq!(split.train.len(), classes * per_train);
+        prop_assert_eq!(split.test.len(), classes * per_test);
+        for k in 0..classes {
+            let count = (0..split.train.len()).filter(|&i| split.train.label(i) == k).count();
+            prop_assert_eq!(count, per_train);
+        }
+        let (a, _) = split.train.batch(&[0]);
+        let (b, _) = split.test.batch(&[0]);
+        prop_assert_ne!(a.data(), b.data());
+    }
+
+    /// Dense samples are internally consistent: seg ids bounded, depth
+    /// positive, normals unit, boxes inside the image and consistent with
+    /// the number of placed objects.
+    #[test]
+    fn dense_samples_are_consistent(classes in 2usize..6, res in 8usize..20, seed in 0u64..300) {
+        let world = DenseWorld::new(classes, res, seed);
+        let mut rng = TensorRng::seed_from(seed ^ 7);
+        let s = world.sample(&mut rng);
+        prop_assert_eq!(s.seg.len(), res * res);
+        prop_assert!(s.seg.iter().all(|&c| c <= classes));
+        prop_assert!(s.depth.data().iter().all(|&d| d > -0.5 && d < 2.5));
+        let nd = s.normals.data();
+        let p = res * res;
+        for px in 0..p {
+            let n2 = nd[px].powi(2) + nd[p + px].powi(2) + nd[2 * p + px].powi(2);
+            prop_assert!((n2 - 1.0).abs() < 1e-3);
+        }
+        prop_assert!(!s.boxes.is_empty() && s.boxes.len() <= 3);
+        for b in &s.boxes {
+            prop_assert!(b.x1 <= res && b.y1 <= res && b.x0 < b.x1 && b.y0 < b.y1);
+            prop_assert!(b.class < classes);
+        }
+    }
+
+    /// Tiling preserves pixel values and pads with black.
+    #[test]
+    fn tiling_preserves_pixels(n in 1usize..7, cols in 1usize..4, seed in 0u64..100) {
+        let mut rng = TensorRng::seed_from(seed);
+        let batch = rng.uniform_tensor(&[n, 3, 2, 2], -1.0, 1.0);
+        let grid = tile_batch(&batch, cols);
+        let rows = n.div_ceil(cols);
+        prop_assert_eq!(grid.shape().dims(), &[3, rows * 2, cols * 2]);
+        // First image's top-left pixel lands at the grid origin, channel 0.
+        prop_assert_eq!(grid.data()[0], batch.data()[0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cae-lm
+//!
+//! Simulated pre-trained language models for the CAE-DFKD reproduction.
+//!
+//! The paper seeds its generator with *category-structured* embeddings
+//! produced offline by a pre-trained text encoder (CLIP by default; SBERT
+//! and doc2vec are ablated in Table X) from prompts like
+//! `"a photo of {class}"`. No pre-trained checkpoints are available in this
+//! environment, so this crate provides deterministic *simulations* that
+//! preserve the properties the method actually depends on:
+//!
+//! * distinct categories map to well-separated directions (structured, in
+//!   contrast to unstructured Gaussian noise);
+//! * the shared prompt prefix contributes a common component, the class
+//!   token the discriminative one;
+//! * class-*index* prompts ("a photo of class 7") are slightly less
+//!   separated than class-*name* prompts, because numeric tokens embed into
+//!   a smaller subspace (reproducing the small gap in paper Table XI);
+//! * the three simulated encoders differ in dimensionality and noise level,
+//!   with the CLIP simulation the cleanest (reproducing paper Table X).
+//!
+//! # Example
+//!
+//! ```
+//! use cae_lm::{initial_embeddings, ClipSim, LanguageModel, PromptTemplate};
+//!
+//! let lm = ClipSim::new();
+//! let classes = ["cat", "dog", "ship"];
+//! let e_off = initial_embeddings(&lm, &classes, PromptTemplate::ClassName);
+//! assert_eq!(e_off.shape().dims(), &[3, lm.embed_dim()]);
+//! ```
+
+pub mod model;
+pub mod prompt;
+pub mod sims;
+
+pub use model::{initial_embeddings, LanguageModel, LmKind};
+pub use prompt::PromptTemplate;
+pub use sims::{ClipSim, Doc2VecSim, SbertSim};

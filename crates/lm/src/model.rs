@@ -1,0 +1,135 @@
+//! The [`LanguageModel`] trait and category-embedding helpers.
+
+use crate::prompt::PromptTemplate;
+use crate::sims::{ClipSim, Doc2VecSim, SbertSim};
+use cae_tensor::Tensor;
+
+/// A (simulated) pre-trained text encoder mapping prompts to embeddings.
+///
+/// Implementations must be deterministic: the same prompt always maps to the
+/// same embedding, as the paper's `E^off` is computed once, offline.
+pub trait LanguageModel {
+    /// Human-readable model name (matches the paper's Table X rows).
+    fn name(&self) -> &'static str;
+
+    /// Embedding dimensionality `D`.
+    fn embed_dim(&self) -> usize;
+
+    /// Encodes a prompt into a unit-norm embedding of length
+    /// [`LanguageModel::embed_dim`].
+    fn embed(&self, prompt: &str) -> Tensor;
+}
+
+/// Selector for the three simulated encoders (paper Table X).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LmKind {
+    /// CLIP text-encoder simulation (the paper's default; cleanest
+    /// separation).
+    Clip,
+    /// Sentence-BERT simulation.
+    Sbert,
+    /// doc2vec simulation (lowest-dimensional, noisiest).
+    Doc2Vec,
+}
+
+impl LmKind {
+    /// Builds the simulated model.
+    pub fn build(&self) -> Box<dyn LanguageModel> {
+        match self {
+            LmKind::Clip => Box::new(ClipSim::new()),
+            LmKind::Sbert => Box::new(SbertSim::new()),
+            LmKind::Doc2Vec => Box::new(Doc2VecSim::new()),
+        }
+    }
+
+    /// Name matching the paper's Table X columns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LmKind::Clip => "CLIP",
+            LmKind::Sbert => "SBERT",
+            LmKind::Doc2Vec => "doc2vec",
+        }
+    }
+}
+
+/// Builds the initial category embedding space `E^off ∈ R^{K×D}`
+/// (paper §III-B): one prompt per category, encoded once, offline.
+pub fn initial_embeddings(
+    lm: &dyn LanguageModel,
+    class_names: &[&str],
+    template: PromptTemplate,
+) -> Tensor {
+    let d = lm.embed_dim();
+    let mut data = Vec::with_capacity(class_names.len() * d);
+    for (k, name) in class_names.iter().enumerate() {
+        let e = lm.embed(&template.render(name, k));
+        debug_assert_eq!(e.shape().dims(), &[d]);
+        data.extend_from_slice(e.data());
+    }
+    Tensor::from_vec(data, &[class_names.len(), d])
+        .expect("length matches dims by construction")
+}
+
+/// Mean pairwise cosine similarity between rows of a `[K, D]` embedding
+/// table — a scalar measure of how *separated* (structured) the category
+/// space is. Lower is better separated.
+pub fn mean_pairwise_cosine(table: &Tensor) -> f32 {
+    let (k, d) = table.shape().matrix();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    let mut count = 0usize;
+    for i in 0..k {
+        let a = &table.data()[i * d..(i + 1) * d];
+        let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+        for j in (i + 1)..k {
+            let b = &table.data()[j * d..(j + 1) * d];
+            let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            total += dot / (na * nb);
+            count += 1;
+        }
+    }
+    total / count as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build_and_are_deterministic() {
+        for kind in [LmKind::Clip, LmKind::Sbert, LmKind::Doc2Vec] {
+            let lm = kind.build();
+            let a = lm.embed("a photo of cat");
+            let b = lm.embed("a photo of cat");
+            assert_eq!(a.data(), b.data(), "{} not deterministic", kind.name());
+            assert_eq!(a.numel(), lm.embed_dim());
+        }
+    }
+
+    #[test]
+    fn different_classes_are_separated() {
+        let lm = LmKind::Clip.build();
+        let e = initial_embeddings(
+            lm.as_ref(),
+            &["cat", "dog", "airplane", "ship"],
+            PromptTemplate::ClassName,
+        );
+        // Rows must not be near-identical.
+        assert!(mean_pairwise_cosine(&e) < 0.9);
+    }
+
+    #[test]
+    fn name_prompts_at_least_as_separated_as_index_prompts() {
+        let lm = LmKind::Clip.build();
+        let classes = ["cat", "dog", "airplane", "ship", "truck", "horse"];
+        let by_name = initial_embeddings(lm.as_ref(), &classes, PromptTemplate::ClassName);
+        let by_index = initial_embeddings(lm.as_ref(), &classes, PromptTemplate::ClassIndex);
+        assert!(
+            mean_pairwise_cosine(&by_name) <= mean_pairwise_cosine(&by_index) + 1e-3,
+            "class-name prompts should separate at least as well"
+        );
+    }
+}

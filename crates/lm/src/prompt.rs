@@ -1,0 +1,53 @@
+//! Prompt templates (paper §III-B and Table XI).
+
+use std::fmt;
+
+/// How the per-category prompt is rendered before being fed to the language
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PromptTemplate {
+    /// `"a photo of {class name}"` — the paper's default.
+    ClassName,
+    /// `"a photo of class {index}"` — the privacy-preserving fallback for
+    /// settings where class names are restricted (paper §V-5).
+    ClassIndex,
+}
+
+impl PromptTemplate {
+    /// Renders the prompt for category `index` named `name`.
+    ///
+    /// ```
+    /// use cae_lm::PromptTemplate;
+    /// assert_eq!(PromptTemplate::ClassName.render("cat", 0), "a photo of cat");
+    /// assert_eq!(PromptTemplate::ClassIndex.render("cat", 7), "a photo of class 7");
+    /// ```
+    pub fn render(&self, name: &str, index: usize) -> String {
+        match self {
+            PromptTemplate::ClassName => format!("a photo of {name}"),
+            PromptTemplate::ClassIndex => format!("a photo of class {index}"),
+        }
+    }
+}
+
+impl fmt::Display for PromptTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromptTemplate::ClassName => write!(f, "a photo of {{class name}}"),
+            PromptTemplate::ClassIndex => write!(f, "a photo of {{class index}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_render_expected_strings() {
+        assert_eq!(PromptTemplate::ClassName.render("truck", 3), "a photo of truck");
+        assert_eq!(
+            PromptTemplate::ClassIndex.render("truck", 3),
+            "a photo of class 3"
+        );
+    }
+}

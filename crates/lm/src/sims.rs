@@ -1,0 +1,219 @@
+//! The three simulated text encoders.
+//!
+//! Each encoder tokenizes the prompt on whitespace, maps every token to a
+//! deterministic pseudo-random direction (seeded by a hash of the token and
+//! the model's identity), and averages token directions with a mild
+//! position-dependent weight before L2 normalization. Numeric tokens embed
+//! into only the first half of the dimensions, which makes class-*index*
+//! prompts slightly more mutually correlated than class-*name* prompts —
+//! the behaviour the paper observes in Table XI.
+//!
+//! The three models differ in dimensionality and an internal isotropy
+//! parameter (fraction of dimensions that carry a shared, non-discriminative
+//! bias), ordering their usefulness CLIP ≥ SBERT ≥ doc2vec, as in Table X.
+
+use crate::model::LanguageModel;
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+
+/// FNV-1a hash for deterministic token seeding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Shared token-averaging encoder parameterized per simulated model.
+#[derive(Debug, Clone)]
+struct SimEncoder {
+    name: &'static str,
+    dim: usize,
+    /// Per-model seed so the three encoders occupy different spaces.
+    model_seed: u64,
+    /// Fraction of energy assigned to a shared (class-independent) bias
+    /// direction: higher → embeddings more mutually correlated → less
+    /// structured.
+    isotropy_loss: f32,
+}
+
+impl SimEncoder {
+    fn token_vector(&self, token: &str) -> Vec<f32> {
+        let seed = fnv1a(token.as_bytes()) ^ self.model_seed;
+        let mut rng = TensorRng::seed_from(seed);
+        let numeric = token.chars().all(|c| c.is_ascii_digit());
+        let mut v = vec![0.0f32; self.dim];
+        if numeric {
+            // Numeric tokens share a common "digit" direction plus a smaller
+            // individual component: distinct indices stay separable but are
+            // more mutually correlated than distinct words — the source of
+            // the small class-index penalty in paper Table XI.
+            let mut digit_rng = TensorRng::seed_from(self.model_seed ^ 0xd161);
+            for x in v.iter_mut() {
+                *x = 0.6 * digit_rng.normal() + 0.8 * rng.normal();
+            }
+        } else {
+            for x in v.iter_mut() {
+                *x = rng.normal();
+            }
+        }
+        v
+    }
+
+    fn embed(&self, prompt: &str) -> Tensor {
+        let tokens: Vec<&str> = prompt.split_whitespace().collect();
+        let mut acc = vec![0.0f32; self.dim];
+        let last = tokens.len().saturating_sub(1);
+        for (pos, tok) in tokens.iter().enumerate() {
+            // The trailing token (the class slot) dominates, mimicking the
+            // prompt-template structure where the suffix is discriminative.
+            let weight = if pos == last { 2.0 } else { 0.5 };
+            for (a, t) in acc.iter_mut().zip(self.token_vector(tok)) {
+                *a += weight * t;
+            }
+        }
+        // Shared bias direction (same for every prompt under this model).
+        let mut bias_rng = TensorRng::seed_from(self.model_seed ^ 0x5eed);
+        let norm: f32 = acc.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+        let bias_scale = self.isotropy_loss * norm;
+        for a in acc.iter_mut() {
+            *a += bias_scale * bias_rng.normal() / (self.dim as f32).sqrt();
+        }
+        // L2 normalize.
+        let norm: f32 = acc.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+        for a in acc.iter_mut() {
+            *a /= norm;
+        }
+        Tensor::from_vec(acc, &[self.dim]).expect("length matches dim")
+    }
+}
+
+macro_rules! sim_model {
+    ($(#[$doc:meta])* $name:ident, $label:literal, $dim:literal, $seed:literal, $iso:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            enc: SimEncoder,
+        }
+
+        impl $name {
+            /// Creates the simulated encoder.
+            pub fn new() -> Self {
+                $name {
+                    enc: SimEncoder {
+                        name: $label,
+                        dim: $dim,
+                        model_seed: $seed,
+                        isotropy_loss: $iso,
+                    },
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl LanguageModel for $name {
+            fn name(&self) -> &'static str {
+                self.enc.name
+            }
+
+            fn embed_dim(&self) -> usize {
+                self.enc.dim
+            }
+
+            fn embed(&self, prompt: &str) -> Tensor {
+                self.enc.embed(prompt)
+            }
+        }
+    };
+}
+
+sim_model!(
+    /// Simulated CLIP text encoder: highest dimensionality, cleanest
+    /// category separation (the paper's default LM).
+    ClipSim, "CLIP", 64, 0x11c1_1b01, 0.05
+);
+
+sim_model!(
+    /// Simulated Sentence-BERT encoder: mid dimensionality, mildly
+    /// anisotropic.
+    SbertSim, "SBERT", 48, 0x5be7_0002, 0.25
+);
+
+sim_model!(
+    /// Simulated doc2vec encoder: lowest dimensionality, most anisotropic.
+    Doc2VecSim, "doc2vec", 32, 0xd0c2_0003, 0.15
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{initial_embeddings, mean_pairwise_cosine};
+    use crate::prompt::PromptTemplate;
+
+    const CLASSES: [&str; 8] = [
+        "cat", "dog", "airplane", "ship", "truck", "horse", "frog", "bird",
+    ];
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        for lm in [&ClipSim::new() as &dyn LanguageModel, &SbertSim::new(), &Doc2VecSim::new()] {
+            let e = lm.embed("a photo of cat");
+            let n: f32 = e.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4, "{} norm {n}", lm.name());
+        }
+    }
+
+    #[test]
+    fn clip_sim_is_best_separated() {
+        let sep = |lm: &dyn LanguageModel| {
+            mean_pairwise_cosine(&initial_embeddings(lm, &CLASSES, PromptTemplate::ClassName))
+        };
+        let clip = sep(&ClipSim::new());
+        let sbert = sep(&SbertSim::new());
+        let doc2vec = sep(&Doc2VecSim::new());
+        assert!(
+            clip <= sbert + 0.05,
+            "CLIP sim ({clip}) should separate at least as well as SBERT sim ({sbert})"
+        );
+        assert!(clip < 0.5 && sbert < 0.9 && doc2vec < 0.9);
+    }
+
+    #[test]
+    fn shared_prefix_produces_related_but_distinct_embeddings() {
+        let lm = ClipSim::new();
+        let a = lm.embed("a photo of cat");
+        let b = lm.embed("a photo of dog");
+        let cos: f32 = a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum();
+        assert!(cos > -0.5 && cos < 0.99, "cosine {cos}");
+    }
+
+    #[test]
+    fn numeric_tokens_are_more_mutually_correlated_than_words() {
+        let lm = ClipSim::new();
+        let cos = |a: &Tensor, b: &Tensor| -> f32 {
+            a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum()
+        };
+        let mut num_total = 0.0f32;
+        let mut word_total = 0.0f32;
+        let words = ["cat", "dog", "ship", "horse", "frog", "bird"];
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let (ni, nj) = (lm.embed(&format!("{i}")), lm.embed(&format!("{j}")));
+                num_total += cos(&ni, &nj);
+                let (wi, wj) = (lm.embed(words[i]), lm.embed(words[j]));
+                word_total += cos(&wi, &wj);
+            }
+        }
+        assert!(
+            num_total > word_total,
+            "numeric tokens should correlate more: {num_total} vs {word_total}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the simulated language models.
+
+use cae_lm::{initial_embeddings, ClipSim, Doc2VecSim, LanguageModel, LmKind, PromptTemplate, SbertSim};
+use proptest::prelude::*;
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Embeddings are unit-norm for arbitrary prompts under every model.
+    #[test]
+    fn embeddings_are_unit_norm(prompt in "[a-z]{1,12}( [a-z]{1,12}){0,4}") {
+        for lm in [
+            &ClipSim::new() as &dyn LanguageModel,
+            &SbertSim::new(),
+            &Doc2VecSim::new(),
+        ] {
+            let e = lm.embed(&prompt);
+            prop_assert_eq!(e.numel(), lm.embed_dim());
+            let norm: f32 = e.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-3, "{} norm {norm}", lm.name());
+        }
+    }
+
+    /// Same prompt → identical embedding; different class token → different
+    /// embedding (determinism + discrimination).
+    #[test]
+    fn deterministic_and_discriminative(a in "[a-z]{3,10}", b in "[a-z]{3,10}") {
+        prop_assume!(a != b);
+        let lm = ClipSim::new();
+        let pa = format!("a photo of {a}");
+        let pb = format!("a photo of {b}");
+        let (e1, e2, e3) = (lm.embed(&pa), lm.embed(&pa), lm.embed(&pb));
+        prop_assert_eq!(e1.data(), e2.data());
+        prop_assert_ne!(e1.data(), e3.data());
+    }
+
+    /// Same-class prompts under different templates stay positively related
+    /// (shared class token and prefix).
+    #[test]
+    fn templates_stay_related(name in "[a-z]{3,10}", idx in 0usize..50) {
+        let lm = ClipSim::new();
+        let a = lm.embed(&PromptTemplate::ClassName.render(&name, idx));
+        let b = lm.embed(&format!("a small photo of {name}"));
+        prop_assert!(cosine(a.data(), b.data()) > 0.2, "templates diverged");
+    }
+
+    /// The embedding table E^off has one unit row per class for every model
+    /// kind and template.
+    #[test]
+    fn table_shape_invariants(k in 2usize..12, template_idx in 0usize..2) {
+        let template = [PromptTemplate::ClassName, PromptTemplate::ClassIndex][template_idx];
+        let names: Vec<String> = (0..k).map(|i| format!("class{i}name")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        for kind in [LmKind::Clip, LmKind::Sbert, LmKind::Doc2Vec] {
+            let lm = kind.build();
+            let table = initial_embeddings(lm.as_ref(), &refs, template);
+            prop_assert_eq!(table.shape().dims(), &[k, lm.embed_dim()]);
+            for row in 0..k {
+                let d = lm.embed_dim();
+                let norm: f32 = table.data()[row * d..(row + 1) * d]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    .sqrt();
+                prop_assert!((norm - 1.0).abs() < 1e-3);
+            }
+        }
+    }
+}

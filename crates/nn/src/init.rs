@@ -1,0 +1,33 @@
+//! Weight initialization.
+
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+
+/// Kaiming-normal initialization for a convolution weight `[O, C, k, k]`:
+/// `std = sqrt(2 / fan_in)` with `fan_in = C·k·k`.
+pub fn kaiming_conv(out_ch: usize, in_ch: usize, kernel: usize, rng: &mut TensorRng) -> Tensor {
+    let fan_in = (in_ch * kernel * kernel) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    rng.normal_tensor(&[out_ch, in_ch, kernel, kernel], 0.0, std)
+}
+
+/// Kaiming-normal initialization for a linear weight `[in, out]` stored in
+/// input-major order (`y = x · W`).
+pub fn kaiming_linear(in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Tensor {
+    let std = (2.0 / in_dim as f32).sqrt();
+    rng.normal_tensor(&[in_dim, out_dim], 0.0, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = TensorRng::seed_from(0);
+        let w = kaiming_conv(64, 16, 3, &mut rng);
+        let std = (w.sq_norm() / w.numel() as f32).sqrt();
+        let expected = (2.0f32 / (16.0 * 9.0)).sqrt();
+        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Classification and distillation losses.
+
+use cae_tensor::{Tensor, Var};
+
+/// Cross-entropy between logits `[N, K]` and hard labels.
+///
+/// # Panics
+/// Panics if `targets.len()` differs from the batch size or any label is out
+/// of range.
+pub fn cross_entropy(logits: &Var, targets: &[usize]) -> Var {
+    logits
+        .log_softmax_rows()
+        .gather_rows(targets)
+        .mean_all()
+        .neg()
+}
+
+/// Cross-entropy between logits and a constant soft-target distribution
+/// `[N, K]` (used by Mixup).
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn soft_cross_entropy(logits: &Var, target_probs: &Tensor) -> Var {
+    let n = logits.dims()[0].max(1) as f32;
+    logits
+        .log_softmax_rows()
+        .mul_const(target_probs)
+        .sum_all()
+        .scale(-1.0 / n)
+}
+
+/// Temperature-scaled KL distillation loss `KL(p_T ‖ p_S)` between frozen
+/// teacher logits and student logits, with the conventional `T²` gradient
+/// rescaling.
+///
+/// The teacher term is a constant; gradients flow only into
+/// `student_logits`.
+///
+/// # Panics
+/// Panics if the logit shapes differ.
+pub fn kd_kl_divergence(student_logits: &Var, teacher_logits: &Tensor, temperature: f32) -> Var {
+    let (n, k) = student_logits.value().shape().matrix();
+    let t_probs = teacher_logits.scale(1.0 / temperature).softmax_rows();
+    assert_eq!(
+        t_probs.shape().dims(),
+        &[n, k],
+        "teacher/student logit shapes differ"
+    );
+    // Constant teacher entropy term: Σ p ln p / N.
+    let entropy: f32 = t_probs.data().iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f32>()
+        / n as f32;
+    let log_ps = student_logits.scale(1.0 / temperature).log_softmax_rows();
+    let ce = log_ps.mul_const(&t_probs).sum_all().scale(-1.0 / n as f32);
+    ce.add_scalar(entropy).scale(temperature * temperature)
+}
+
+/// Mean squared error between two same-shape variables.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn mse(a: &Var, b: &Var) -> Var {
+    a.sub(b).square().mean_all()
+}
+
+/// Mean absolute (L1) error between two same-shape variables.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn l1(a: &Var, b: &Var) -> Var {
+    a.sub(b).abs().mean_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_tensor::gradcheck::check_gradients;
+    use cae_tensor::rng::TensorRng;
+
+    #[test]
+    fn cross_entropy_is_minimized_by_correct_confident_logits() {
+        let good = Var::constant(Tensor::from_vec(vec![10.0, -10.0], &[1, 2]).unwrap());
+        let bad = Var::constant(Tensor::from_vec(vec![-10.0, 10.0], &[1, 2]).unwrap());
+        assert!(cross_entropy(&good, &[0]).item() < 1e-3);
+        assert!(cross_entropy(&bad, &[0]).item() > 5.0);
+    }
+
+    #[test]
+    fn kd_loss_zero_when_student_matches_teacher() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]).unwrap();
+        let s = Var::constant(logits.clone());
+        let loss = kd_kl_divergence(&s, &logits, 4.0);
+        assert!(loss.item().abs() < 1e-5, "loss {}", loss.item());
+    }
+
+    #[test]
+    fn kd_loss_positive_and_differentiable_when_mismatched() {
+        let mut rng = TensorRng::seed_from(5);
+        let t = rng.normal_tensor(&[3, 4], 0.0, 1.0);
+        let s = Var::parameter(rng.normal_tensor(&[3, 4], 0.0, 1.0));
+        let loss = kd_kl_divergence(&s, &t, 2.0);
+        assert!(loss.item() > 0.0);
+        let r = check_gradients(&[s.clone()], 1e-3, || kd_kl_divergence(&s, &t, 2.0));
+        assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let mut rng = TensorRng::seed_from(6);
+        let x = Var::parameter(rng.normal_tensor(&[4, 3], 0.0, 1.0));
+        let r = check_gradients(&[x.clone()], 1e-3, || cross_entropy(&x, &[0, 1, 2, 1]));
+        assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn soft_cross_entropy_matches_hard_when_one_hot() {
+        let mut rng = TensorRng::seed_from(7);
+        let x = Var::constant(rng.normal_tensor(&[2, 3], 0.0, 1.0));
+        let one_hot =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let hard = cross_entropy(&x, &[0, 2]).item();
+        let soft = soft_cross_entropy(&x, &one_hot).item();
+        assert!((hard - soft).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,176 @@
+//! The DFKD image generator.
+//!
+//! A DCGAN-style decoder mapping a latent embedding to an image in `[-1, 1]`:
+//! linear projection to a small spatial grid, two nearest-neighbour
+//! upsampling stages with 3×3 convolutions, batch normalization and leaky
+//! ReLU, and a tanh output layer. This is the generator family used across
+//! generator-based DFKD methods (DAFL, DFQ, CMI, NAYER, CAE-DFKD); the
+//! methods differ in *what they feed it* and *how they train it*, which is
+//! exactly what the `cae-core` crate implements.
+
+use crate::layers::{BatchNorm2d, Conv2d, Linear};
+use crate::module::{ForwardCtx, Generator, Module};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Var;
+
+/// Configuration of a [`DfkdGenerator`].
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Latent input dimension (must match the embedding provider).
+    pub latent_dim: usize,
+    /// Base channel count of the decoder.
+    pub base_channels: usize,
+    /// Output image side (must be divisible by 4).
+    pub out_size: usize,
+    /// Output channels (3 for RGB).
+    pub out_channels: usize,
+}
+
+impl GeneratorConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    /// Panics if `out_size` is not divisible by 4.
+    pub fn new(latent_dim: usize, base_channels: usize, out_size: usize) -> Self {
+        assert!(
+            out_size % 4 == 0 && out_size >= 4,
+            "generator output size must be a positive multiple of 4, got {out_size}"
+        );
+        GeneratorConfig {
+            latent_dim,
+            base_channels,
+            out_size,
+            out_channels: 3,
+        }
+    }
+}
+
+/// DCGAN-style DFKD generator. See the [module docs](self).
+#[derive(Debug)]
+pub struct DfkdGenerator {
+    config: GeneratorConfig,
+    project: Linear,
+    bn0: BatchNorm2d,
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    conv_out: Conv2d,
+}
+
+impl DfkdGenerator {
+    /// Builds a generator.
+    pub fn new(config: GeneratorConfig, rng: &mut TensorRng) -> Self {
+        let gc = config.base_channels;
+        let h0 = config.out_size / 4;
+        DfkdGenerator {
+            project: Linear::new(config.latent_dim, gc * h0 * h0, rng),
+            bn0: BatchNorm2d::new(gc),
+            conv1: Conv2d::new(gc, gc, 3, 1, 1, false, rng),
+            bn1: BatchNorm2d::new(gc),
+            conv2: Conv2d::new(gc, gc / 2, 3, 1, 1, false, rng),
+            bn2: BatchNorm2d::new(gc / 2),
+            conv_out: Conv2d::new(gc / 2, config.out_channels, 3, 1, 1, true, rng),
+            config,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> GeneratorConfig {
+        self.config
+    }
+}
+
+impl Module for DfkdGenerator {
+    fn forward(&self, z: &Var, ctx: &mut ForwardCtx) -> Var {
+        self.generate(z, ctx)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        p.extend(self.project.parameters());
+        p.extend(self.bn0.parameters());
+        p.extend(self.conv1.parameters());
+        p.extend(self.bn1.parameters());
+        p.extend(self.conv2.parameters());
+        p.extend(self.bn2.parameters());
+        p.extend(self.conv_out.parameters());
+        p
+    }
+
+    fn buffers(&self) -> Vec<cae_tensor::Tensor> {
+        [&self.bn0, &self.bn1, &self.bn2]
+            .iter()
+            .flat_map(|bn| bn.buffers())
+            .collect()
+    }
+
+    fn set_buffers(&self, bufs: &[cae_tensor::Tensor]) {
+        assert_eq!(bufs.len(), 6, "buffer count mismatch");
+        for (i, bn) in [&self.bn0, &self.bn1, &self.bn2].iter().enumerate() {
+            bn.set_buffers(&bufs[i * 2..i * 2 + 2]);
+        }
+    }
+}
+
+impl Generator for DfkdGenerator {
+    fn latent_dim(&self) -> usize {
+        self.config.latent_dim
+    }
+
+    fn generate(&self, z: &Var, ctx: &mut ForwardCtx) -> Var {
+        let n = z.dims()[0];
+        let gc = self.config.base_channels;
+        let h0 = self.config.out_size / 4;
+        let mut h = self
+            .project
+            .forward(z, ctx)
+            .reshape(&[n, gc, h0, h0]);
+        h = self.bn0.forward(&h, ctx).leaky_relu(0.2);
+        h = h.upsample_nearest2d(2);
+        h = self
+            .bn1
+            .forward(&self.conv1.forward(&h, ctx), ctx)
+            .leaky_relu(0.2);
+        h = h.upsample_nearest2d(2);
+        h = self
+            .bn2
+            .forward(&self.conv2.forward(&h, ctx), ctx)
+            .leaky_relu(0.2);
+        self.conv_out.forward(&h, ctx).tanh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_images_in_range() {
+        let mut rng = TensorRng::seed_from(0);
+        let g = DfkdGenerator::new(GeneratorConfig::new(16, 8, 12), &mut rng);
+        let z = Var::constant(rng.normal_tensor(&[4, 16], 0.0, 1.0));
+        let img = g.generate(&z, &mut ForwardCtx::train());
+        assert_eq!(img.dims(), vec![4, 3, 12, 12]);
+        for &v in img.value().data() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generator_is_trainable_end_to_end() {
+        let mut rng = TensorRng::seed_from(1);
+        let g = DfkdGenerator::new(GeneratorConfig::new(8, 8, 8), &mut rng);
+        let z = Var::constant(rng.normal_tensor(&[2, 8], 0.0, 1.0));
+        let img = g.generate(&z, &mut ForwardCtx::train());
+        img.square().mean_all().backward();
+        let with_grad = g.parameters().iter().filter(|p| p.grad().is_some()).count();
+        assert_eq!(with_grad, g.parameters().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_bad_output_size() {
+        GeneratorConfig::new(8, 8, 10);
+    }
+}

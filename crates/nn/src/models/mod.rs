@@ -1,0 +1,140 @@
+//! Model families used in the paper's evaluation.
+//!
+//! All models are *scaled* variants of their namesakes: the architecture
+//! family (residual topology, wide-resnet `6n+4` layout, VGG conv/pool
+//! stacks) is preserved while width/depth are reduced for CPU training.
+//! Relative capacity ordering between variants is preserved, which is what
+//! the teacher→student comparisons in the paper exercise.
+
+mod generator;
+mod resnet;
+mod vgg;
+mod wideresnet;
+
+pub use generator::{DfkdGenerator, GeneratorConfig};
+pub use resnet::{ResNet, ResNetConfig};
+pub use vgg::{Vgg, VggConfig};
+pub use wideresnet::{WideResNet, WideResNetConfig};
+
+use crate::module::Classifier;
+use cae_tensor::rng::TensorRng;
+
+/// The classifier architectures appearing in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Arch {
+    /// ResNet-18 (scaled): basic blocks `[2, 2, 2]`.
+    ResNet18,
+    /// ResNet-34 (scaled): basic blocks `[3, 4, 3]`.
+    ResNet34,
+    /// ResNet-50 (scaled): bottleneck blocks `[2, 3, 2]`.
+    ResNet50,
+    /// WRN-40-2 (scaled): `n = 3`, widen factor 2.
+    Wrn40x2,
+    /// WRN-40-1 (scaled): `n = 3`, widen factor 1.
+    Wrn40x1,
+    /// WRN-16-2 (scaled): `n = 1`, widen factor 2.
+    Wrn16x2,
+    /// WRN-16-1 (scaled): `n = 1`, widen factor 1.
+    Wrn16x1,
+    /// VGG-11 (scaled).
+    Vgg11,
+}
+
+impl Arch {
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::ResNet18 => "ResNet-18",
+            Arch::ResNet34 => "ResNet-34",
+            Arch::ResNet50 => "ResNet-50",
+            Arch::Wrn40x2 => "WRN-40-2",
+            Arch::Wrn40x1 => "WRN-40-1",
+            Arch::Wrn16x2 => "WRN-16-2",
+            Arch::Wrn16x1 => "WRN-16-1",
+            Arch::Vgg11 => "VGG-11",
+        }
+    }
+
+    /// Builds the scaled model.
+    ///
+    /// `base_width` controls overall capacity (the simulation analogue of
+    /// channel counts; 4–8 is typical here).
+    pub fn build(
+        &self,
+        num_classes: usize,
+        base_width: usize,
+        rng: &mut TensorRng,
+    ) -> Box<dyn Classifier> {
+        match self {
+            Arch::ResNet18 => Box::new(ResNet::new(
+                ResNetConfig::basic([2, 2, 2], base_width, num_classes),
+                rng,
+            )),
+            Arch::ResNet34 => Box::new(ResNet::new(
+                ResNetConfig::basic([3, 4, 3], base_width, num_classes),
+                rng,
+            )),
+            Arch::ResNet50 => Box::new(ResNet::new(
+                ResNetConfig::bottleneck([2, 3, 2], base_width, num_classes),
+                rng,
+            )),
+            Arch::Wrn40x2 => Box::new(WideResNet::new(
+                WideResNetConfig::new(3, 2, base_width, num_classes),
+                rng,
+            )),
+            Arch::Wrn40x1 => Box::new(WideResNet::new(
+                WideResNetConfig::new(3, 1, base_width, num_classes),
+                rng,
+            )),
+            Arch::Wrn16x2 => Box::new(WideResNet::new(
+                WideResNetConfig::new(1, 2, base_width, num_classes),
+                rng,
+            )),
+            Arch::Wrn16x1 => Box::new(WideResNet::new(
+                WideResNetConfig::new(1, 1, base_width, num_classes),
+                rng,
+            )),
+            Arch::Vgg11 => Box::new(Vgg::new(VggConfig::vgg11(base_width, num_classes), rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ForwardCtx;
+    use cae_tensor::{Tensor, Var};
+
+    #[test]
+    fn every_arch_builds_and_classifies() {
+        let mut rng = TensorRng::seed_from(0);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 8, 8]));
+        for arch in [
+            Arch::ResNet18,
+            Arch::ResNet34,
+            Arch::ResNet50,
+            Arch::Wrn40x2,
+            Arch::Wrn40x1,
+            Arch::Wrn16x2,
+            Arch::Wrn16x1,
+            Arch::Vgg11,
+        ] {
+            let m = arch.build(5, 4, &mut rng);
+            let (emb, logits) = m.forward_embedding(&x, &mut ForwardCtx::eval());
+            assert_eq!(logits.dims(), vec![2, 5], "{}", arch.name());
+            assert_eq!(emb.dims(), vec![2, m.embed_dim()], "{}", arch.name());
+            assert!(m.num_parameters() > 0);
+        }
+    }
+
+    #[test]
+    fn capacity_ordering_is_preserved() {
+        let mut rng = TensorRng::seed_from(0);
+        let n34 = Arch::ResNet34.build(10, 4, &mut rng).num_parameters();
+        let n18 = Arch::ResNet18.build(10, 4, &mut rng).num_parameters();
+        let w402 = Arch::Wrn40x2.build(10, 4, &mut rng).num_parameters();
+        let w161 = Arch::Wrn16x1.build(10, 4, &mut rng).num_parameters();
+        assert!(n34 > n18, "ResNet-34 must outsize ResNet-18");
+        assert!(w402 > w161, "WRN-40-2 must outsize WRN-16-1");
+    }
+}

@@ -1,0 +1,301 @@
+//! CIFAR-style residual networks (basic and bottleneck blocks).
+
+use crate::layers::{BatchNorm2d, Conv2d, Linear};
+use crate::module::{Classifier, ForwardCtx, Module};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Var;
+
+/// Block flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Basic,
+    Bottleneck,
+}
+
+/// Configuration of a scaled residual network.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    blocks: [usize; 3],
+    base_width: usize,
+    num_classes: usize,
+    kind: BlockKind,
+}
+
+impl ResNetConfig {
+    /// Basic-block network (ResNet-18/34 family) with stage widths
+    /// `[w, 2w, 4w]`.
+    pub fn basic(blocks: [usize; 3], base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks,
+            base_width,
+            num_classes,
+            kind: BlockKind::Basic,
+        }
+    }
+
+    /// Bottleneck network (ResNet-50 family; expansion 2 in this scaled
+    /// variant).
+    pub fn bottleneck(blocks: [usize; 3], base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks,
+            base_width,
+            num_classes,
+            kind: BlockKind::Bottleneck,
+        }
+    }
+}
+
+const BOTTLENECK_EXPANSION: usize = 2;
+
+#[derive(Debug)]
+struct Block {
+    kind: BlockKind,
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    conv3: Option<Conv2d>,
+    bn3: Option<BatchNorm2d>,
+    down: Option<(Conv2d, BatchNorm2d)>,
+}
+
+impl Block {
+    fn basic(in_ch: usize, out_ch: usize, stride: usize, rng: &mut TensorRng) -> Self {
+        let down = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(in_ch, out_ch, 1, stride, 0, false, rng),
+                BatchNorm2d::new(out_ch),
+            )
+        });
+        Block {
+            kind: BlockKind::Basic,
+            conv1: Conv2d::new(in_ch, out_ch, 3, stride, 1, false, rng),
+            bn1: BatchNorm2d::new(out_ch),
+            conv2: Conv2d::new(out_ch, out_ch, 3, 1, 1, false, rng),
+            bn2: BatchNorm2d::new(out_ch),
+            conv3: None,
+            bn3: None,
+            down,
+        }
+    }
+
+    fn bottleneck(in_ch: usize, mid_ch: usize, stride: usize, rng: &mut TensorRng) -> Self {
+        let out_ch = mid_ch * BOTTLENECK_EXPANSION;
+        let down = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(in_ch, out_ch, 1, stride, 0, false, rng),
+                BatchNorm2d::new(out_ch),
+            )
+        });
+        Block {
+            kind: BlockKind::Bottleneck,
+            conv1: Conv2d::new(in_ch, mid_ch, 1, 1, 0, false, rng),
+            bn1: BatchNorm2d::new(mid_ch),
+            conv2: Conv2d::new(mid_ch, mid_ch, 3, stride, 1, false, rng),
+            bn2: BatchNorm2d::new(mid_ch),
+            conv3: Some(Conv2d::new(mid_ch, out_ch, 1, 1, 0, false, rng)),
+            bn3: Some(BatchNorm2d::new(out_ch)),
+            down,
+        }
+    }
+
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let identity = match &self.down {
+            Some((conv, bn)) => bn.forward(&conv.forward(x, ctx), ctx),
+            None => x.clone(),
+        };
+        let mut h = self.bn1.forward(&self.conv1.forward(x, ctx), ctx).relu();
+        h = self.bn2.forward(&self.conv2.forward(&h, ctx), ctx);
+        if self.kind == BlockKind::Bottleneck {
+            h = h.relu();
+            let conv3 = self.conv3.as_ref().expect("bottleneck has conv3");
+            let bn3 = self.bn3.as_ref().expect("bottleneck has bn3");
+            h = bn3.forward(&conv3.forward(&h, ctx), ctx);
+        }
+        h.add(&identity).relu()
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        p.extend(self.conv1.parameters());
+        p.extend(self.bn1.parameters());
+        p.extend(self.conv2.parameters());
+        p.extend(self.bn2.parameters());
+        if let Some(c) = &self.conv3 {
+            p.extend(c.parameters());
+        }
+        if let Some(b) = &self.bn3 {
+            p.extend(b.parameters());
+        }
+        if let Some((c, b)) = &self.down {
+            p.extend(c.parameters());
+            p.extend(b.parameters());
+        }
+        p
+    }
+
+    fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        let mut bns = vec![&self.bn1, &self.bn2];
+        if let Some(b) = &self.bn3 {
+            bns.push(b);
+        }
+        if let Some((_, b)) = &self.down {
+            bns.push(b);
+        }
+        bns
+    }
+}
+
+/// A scaled CIFAR-style residual network: 3×3 stem, three stages with
+/// stride-2 transitions, global average pooling and a linear head.
+#[derive(Debug)]
+pub struct ResNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    stages: Vec<Block>,
+    head: Linear,
+    embed_dim: usize,
+    num_classes: usize,
+}
+
+impl ResNet {
+    /// Builds the network described by `config`.
+    pub fn new(config: ResNetConfig, rng: &mut TensorRng) -> Self {
+        let w = config.base_width;
+        let widths = [w, 2 * w, 4 * w];
+        let expansion = match config.kind {
+            BlockKind::Basic => 1,
+            BlockKind::Bottleneck => BOTTLENECK_EXPANSION,
+        };
+        let stem = Conv2d::new(3, w, 3, 1, 1, false, rng);
+        let stem_bn = BatchNorm2d::new(w);
+        let mut stages = Vec::new();
+        let mut in_ch = w;
+        for (si, &width) in widths.iter().enumerate() {
+            let stride0 = if si == 0 { 1 } else { 2 };
+            for bi in 0..config.blocks[si] {
+                let stride = if bi == 0 { stride0 } else { 1 };
+                let block = match config.kind {
+                    BlockKind::Basic => Block::basic(in_ch, width, stride, rng),
+                    BlockKind::Bottleneck => Block::bottleneck(in_ch, width, stride, rng),
+                };
+                in_ch = width * expansion;
+                stages.push(block);
+            }
+        }
+        let embed_dim = in_ch;
+        let head = Linear::new(embed_dim, config.num_classes, rng);
+        ResNet {
+            stem,
+            stem_bn,
+            stages,
+            head,
+            embed_dim,
+            num_classes: config.num_classes,
+        }
+    }
+}
+
+impl ResNet {
+    fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        let mut bns = vec![&self.stem_bn];
+        for b in &self.stages {
+            bns.extend(b.bn_layers());
+        }
+        bns
+    }
+}
+
+impl Module for ResNet {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        self.forward_embedding(x, ctx).1
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        p.extend(self.stem.parameters());
+        p.extend(self.stem_bn.parameters());
+        for b in &self.stages {
+            p.extend(b.parameters());
+        }
+        p.extend(self.head.parameters());
+        p
+    }
+
+    fn buffers(&self) -> Vec<cae_tensor::Tensor> {
+        self.bn_layers().iter().flat_map(|bn| bn.buffers()).collect()
+    }
+
+    fn set_buffers(&self, bufs: &[cae_tensor::Tensor]) {
+        let bns = self.bn_layers();
+        assert_eq!(bufs.len(), bns.len() * 2, "buffer count mismatch");
+        for (i, bn) in bns.iter().enumerate() {
+            bn.set_buffers(&bufs[i * 2..i * 2 + 2]);
+        }
+    }
+}
+
+impl Classifier for ResNet {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn forward_embedding(&self, x: &Var, ctx: &mut ForwardCtx) -> (Var, Var) {
+        let emb = self.forward_spatial(x, ctx).global_avg_pool();
+        let logits = self.head.forward(&emb, ctx);
+        (emb, logits)
+    }
+
+    fn forward_spatial(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let mut h = self.stem_bn.forward(&self.stem.forward(x, ctx), ctx).relu();
+        for block in &self.stages {
+            h = block.forward(&h, ctx);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_tensor::Tensor;
+
+    #[test]
+    fn basic_resnet_shapes() {
+        let mut rng = TensorRng::seed_from(0);
+        let net = ResNet::new(ResNetConfig::basic([1, 1, 1], 4, 7), &mut rng);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 12, 12]));
+        let (emb, logits) = net.forward_embedding(&x, &mut ForwardCtx::eval());
+        assert_eq!(emb.dims(), vec![2, 16]);
+        assert_eq!(logits.dims(), vec![2, 7]);
+    }
+
+    #[test]
+    fn bottleneck_resnet_shapes() {
+        let mut rng = TensorRng::seed_from(1);
+        let net = ResNet::new(ResNetConfig::bottleneck([1, 1, 1], 4, 3), &mut rng);
+        let x = Var::constant(Tensor::zeros(&[1, 3, 16, 16]));
+        let (emb, logits) = net.forward_embedding(&x, &mut ForwardCtx::eval());
+        assert_eq!(emb.dims(), vec![1, 32]); // 4w * expansion 2
+        assert_eq!(logits.dims(), vec![1, 3]);
+    }
+
+    #[test]
+    fn training_forward_is_differentiable_to_all_params() {
+        let mut rng = TensorRng::seed_from(2);
+        let net = ResNet::new(ResNetConfig::basic([1, 1, 1], 4, 3), &mut rng);
+        let x = Var::constant(rng.normal_tensor(&[4, 3, 8, 8], 0.0, 1.0));
+        let logits = net.forward(&x, &mut ForwardCtx::train());
+        crate::loss::cross_entropy(&logits, &[0, 1, 2, 0]).backward();
+        let with_grad = net
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        assert_eq!(with_grad, net.parameters().len());
+    }
+}

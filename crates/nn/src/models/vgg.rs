@@ -1,0 +1,156 @@
+//! Scaled VGG with batch normalization.
+
+use crate::layers::{BatchNorm2d, Conv2d, Linear};
+use crate::module::{Classifier, ForwardCtx, Module};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Var;
+
+/// One VGG feature stage: a convolution (+BN+ReLU) optionally followed by a
+/// 2×2 max-pool.
+#[derive(Debug, Clone, Copy)]
+struct StageSpec {
+    width: usize,
+    pool: bool,
+}
+
+/// Configuration of a scaled VGG network.
+#[derive(Debug, Clone)]
+pub struct VggConfig {
+    stages: Vec<StageSpec>,
+    num_classes: usize,
+}
+
+impl VggConfig {
+    /// Scaled VGG-11: five conv stages with pooling after stages 1, 2 and 4,
+    /// widths `[w, 2w, 4w, 4w, 4w]`.
+    pub fn vgg11(base_width: usize, num_classes: usize) -> Self {
+        let w = base_width;
+        VggConfig {
+            stages: vec![
+                StageSpec { width: w, pool: true },
+                StageSpec { width: 2 * w, pool: true },
+                StageSpec { width: 4 * w, pool: false },
+                StageSpec { width: 4 * w, pool: true },
+                StageSpec { width: 4 * w, pool: false },
+            ],
+            num_classes,
+        }
+    }
+}
+
+/// A scaled VGG classifier (conv/BN/ReLU stacks with max pooling, global
+/// average pooling and a linear head).
+#[derive(Debug)]
+pub struct Vgg {
+    convs: Vec<(Conv2d, BatchNorm2d, bool)>,
+    head: Linear,
+    embed_dim: usize,
+    num_classes: usize,
+}
+
+impl Vgg {
+    /// Builds the network described by `config`.
+    pub fn new(config: VggConfig, rng: &mut TensorRng) -> Self {
+        let mut convs = Vec::new();
+        let mut in_ch = 3;
+        for stage in &config.stages {
+            convs.push((
+                Conv2d::new(in_ch, stage.width, 3, 1, 1, false, rng),
+                BatchNorm2d::new(stage.width),
+                stage.pool,
+            ));
+            in_ch = stage.width;
+        }
+        Vgg {
+            head: Linear::new(in_ch, config.num_classes, rng),
+            embed_dim: in_ch,
+            num_classes: config.num_classes,
+            convs,
+        }
+    }
+}
+
+impl Module for Vgg {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        self.forward_embedding(x, ctx).1
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        for (c, b, _) in &self.convs {
+            p.extend(c.parameters());
+            p.extend(b.parameters());
+        }
+        p.extend(self.head.parameters());
+        p
+    }
+
+    fn buffers(&self) -> Vec<cae_tensor::Tensor> {
+        self.convs.iter().flat_map(|(_, b, _)| b.buffers()).collect()
+    }
+
+    fn set_buffers(&self, bufs: &[cae_tensor::Tensor]) {
+        assert_eq!(bufs.len(), self.convs.len() * 2, "buffer count mismatch");
+        for (i, (_, b, _)) in self.convs.iter().enumerate() {
+            b.set_buffers(&bufs[i * 2..i * 2 + 2]);
+        }
+    }
+}
+
+impl Classifier for Vgg {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn forward_embedding(&self, x: &Var, ctx: &mut ForwardCtx) -> (Var, Var) {
+        let emb = self.forward_spatial(x, ctx).global_avg_pool();
+        let logits = self.head.forward(&emb, ctx);
+        (emb, logits)
+    }
+
+    fn forward_spatial(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let mut h = x.clone();
+        for (conv, bn, pool) in &self.convs {
+            h = bn.forward(&conv.forward(&h, ctx), ctx).relu();
+            if *pool {
+                let (_, _, hh, _) = {
+                    let v = h.value();
+                    v.shape().nchw()
+                };
+                if hh >= 2 {
+                    h = h.max_pool2d(2, 2);
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_tensor::Tensor;
+
+    #[test]
+    fn vgg_shapes() {
+        let mut rng = TensorRng::seed_from(0);
+        let net = Vgg::new(VggConfig::vgg11(4, 6), &mut rng);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 12, 12]));
+        let (emb, logits) = net.forward_embedding(&x, &mut ForwardCtx::eval());
+        assert_eq!(emb.dims(), vec![2, 16]);
+        assert_eq!(logits.dims(), vec![2, 6]);
+    }
+
+    #[test]
+    fn vgg_handles_tiny_inputs_without_pool_underflow() {
+        let mut rng = TensorRng::seed_from(1);
+        let net = Vgg::new(VggConfig::vgg11(4, 3), &mut rng);
+        let x = Var::constant(Tensor::zeros(&[1, 3, 4, 4]));
+        let logits = net.forward(&x, &mut ForwardCtx::eval());
+        assert_eq!(logits.dims(), vec![1, 3]);
+    }
+}

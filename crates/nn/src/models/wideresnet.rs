@@ -1,0 +1,214 @@
+//! Scaled WideResNet (pre-activation residual blocks, `6n+4` layout).
+
+use crate::layers::{BatchNorm2d, Conv2d, Linear};
+use crate::module::{Classifier, ForwardCtx, Module};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Var;
+
+/// Configuration of a scaled WideResNet.
+///
+/// The real WRN-`d`-`k` has `n = (d - 4) / 6` blocks per stage and widen
+/// factor `k`; the scaled variants keep `k` and shrink `n` and the base
+/// width.
+#[derive(Debug, Clone, Copy)]
+pub struct WideResNetConfig {
+    /// Blocks per stage.
+    pub n: usize,
+    /// Widen factor.
+    pub widen: usize,
+    /// Base channel count (real WRN uses 16).
+    pub base_width: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl WideResNetConfig {
+    /// Creates a config.
+    pub fn new(n: usize, widen: usize, base_width: usize, num_classes: usize) -> Self {
+        WideResNetConfig {
+            n,
+            widen,
+            base_width,
+            num_classes,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PreactBlock {
+    bn1: BatchNorm2d,
+    conv1: Conv2d,
+    bn2: BatchNorm2d,
+    conv2: Conv2d,
+    down: Option<Conv2d>,
+}
+
+impl PreactBlock {
+    fn new(in_ch: usize, out_ch: usize, stride: usize, rng: &mut TensorRng) -> Self {
+        let down = (stride != 1 || in_ch != out_ch)
+            .then(|| Conv2d::new(in_ch, out_ch, 1, stride, 0, false, rng));
+        PreactBlock {
+            bn1: BatchNorm2d::new(in_ch),
+            conv1: Conv2d::new(in_ch, out_ch, 3, stride, 1, false, rng),
+            bn2: BatchNorm2d::new(out_ch),
+            conv2: Conv2d::new(out_ch, out_ch, 3, 1, 1, false, rng),
+            down,
+        }
+    }
+
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let pre = self.bn1.forward(x, ctx).relu();
+        let identity = match &self.down {
+            Some(conv) => conv.forward(&pre, ctx),
+            None => x.clone(),
+        };
+        let mut h = self.conv1.forward(&pre, ctx);
+        h = self.conv2.forward(&self.bn2.forward(&h, ctx).relu(), ctx);
+        h.add(&identity)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        p.extend(self.bn1.parameters());
+        p.extend(self.conv1.parameters());
+        p.extend(self.bn2.parameters());
+        p.extend(self.conv2.parameters());
+        if let Some(c) = &self.down {
+            p.extend(c.parameters());
+        }
+        p
+    }
+}
+
+/// A scaled WideResNet classifier.
+#[derive(Debug)]
+pub struct WideResNet {
+    stem: Conv2d,
+    blocks: Vec<PreactBlock>,
+    final_bn: BatchNorm2d,
+    head: Linear,
+    embed_dim: usize,
+    num_classes: usize,
+}
+
+impl WideResNet {
+    /// Builds the network described by `config`.
+    pub fn new(config: WideResNetConfig, rng: &mut TensorRng) -> Self {
+        let w = config.base_width;
+        let widths = [
+            w * config.widen,
+            2 * w * config.widen,
+            4 * w * config.widen,
+        ];
+        let stem = Conv2d::new(3, w, 3, 1, 1, false, rng);
+        let mut blocks = Vec::new();
+        let mut in_ch = w;
+        for (si, &width) in widths.iter().enumerate() {
+            let stride0 = if si == 0 { 1 } else { 2 };
+            for bi in 0..config.n {
+                let stride = if bi == 0 { stride0 } else { 1 };
+                blocks.push(PreactBlock::new(in_ch, width, stride, rng));
+                in_ch = width;
+            }
+        }
+        WideResNet {
+            stem,
+            blocks,
+            final_bn: BatchNorm2d::new(in_ch),
+            head: Linear::new(in_ch, config.num_classes, rng),
+            embed_dim: in_ch,
+            num_classes: config.num_classes,
+        }
+    }
+}
+
+impl WideResNet {
+    fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        let mut bns = Vec::new();
+        for b in &self.blocks {
+            bns.push(&b.bn1);
+            bns.push(&b.bn2);
+        }
+        bns.push(&self.final_bn);
+        bns
+    }
+}
+
+impl Module for WideResNet {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        self.forward_embedding(x, ctx).1
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        p.extend(self.stem.parameters());
+        for b in &self.blocks {
+            p.extend(b.parameters());
+        }
+        p.extend(self.final_bn.parameters());
+        p.extend(self.head.parameters());
+        p
+    }
+
+    fn buffers(&self) -> Vec<cae_tensor::Tensor> {
+        self.bn_layers().iter().flat_map(|bn| bn.buffers()).collect()
+    }
+
+    fn set_buffers(&self, bufs: &[cae_tensor::Tensor]) {
+        let bns = self.bn_layers();
+        assert_eq!(bufs.len(), bns.len() * 2, "buffer count mismatch");
+        for (i, bn) in bns.iter().enumerate() {
+            bn.set_buffers(&bufs[i * 2..i * 2 + 2]);
+        }
+    }
+}
+
+impl Classifier for WideResNet {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn forward_embedding(&self, x: &Var, ctx: &mut ForwardCtx) -> (Var, Var) {
+        let emb = self.forward_spatial(x, ctx).global_avg_pool();
+        let logits = self.head.forward(&emb, ctx);
+        (emb, logits)
+    }
+
+    fn forward_spatial(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let mut h = self.stem.forward(x, ctx);
+        for b in &self.blocks {
+            h = b.forward(&h, ctx);
+        }
+        self.final_bn.forward(&h, ctx).relu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_tensor::Tensor;
+
+    #[test]
+    fn wrn_shapes_follow_widen_factor() {
+        let mut rng = TensorRng::seed_from(0);
+        let x = Var::constant(Tensor::zeros(&[1, 3, 8, 8]));
+        let w1 = WideResNet::new(WideResNetConfig::new(1, 1, 4, 5), &mut rng);
+        let w2 = WideResNet::new(WideResNetConfig::new(1, 2, 4, 5), &mut rng);
+        let (e1, _) = w1.forward_embedding(&x, &mut ForwardCtx::eval());
+        let (e2, _) = w2.forward_embedding(&x, &mut ForwardCtx::eval());
+        assert_eq!(e1.dims(), vec![1, 16]);
+        assert_eq!(e2.dims(), vec![1, 32]);
+    }
+
+    #[test]
+    fn deeper_wrn_has_more_blocks_and_params() {
+        let mut rng = TensorRng::seed_from(1);
+        let shallow = WideResNet::new(WideResNetConfig::new(1, 1, 4, 5), &mut rng);
+        let deep = WideResNet::new(WideResNetConfig::new(3, 1, 4, 5), &mut rng);
+        assert!(deep.num_parameters() > shallow.num_parameters());
+    }
+}

@@ -1,0 +1,249 @@
+//! Optimizers and learning-rate schedules.
+
+use cae_tensor::{Tensor, Var};
+use std::collections::HashMap;
+
+/// Common interface for first-order optimizers.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// the managed parameters, then leaves the gradients untouched (call
+    /// [`Optimizer::zero_grad`] explicitly).
+    fn step(&mut self);
+
+    /// Clears all managed parameters' gradients.
+    fn zero_grad(&self);
+
+    /// Sets the learning rate (used by schedulers).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay,
+/// matching the student optimizer in the paper (SGD, initial lr 0.1).
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<Var>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                let w = p.to_tensor();
+                g.add_assign_scaled(&w, self.weight_decay);
+            }
+            let v = self
+                .velocity
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(&p.dims()));
+            // v = momentum*v + g ; w -= lr*v
+            let mut new_v = v.scale(self.momentum);
+            new_v.add_assign_scaled(&g, 1.0);
+            *v = new_v.clone();
+            p.update_value(|w| w.add_assign_scaled(&new_v, -self.lr));
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam, matching the generator optimizer in the paper (Adam, lr 1e-3).
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: HashMap<u64, Tensor>,
+    v: HashMap<u64, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional betas `(0.9, 0.999)`.
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            let m = self
+                .m
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(&p.dims()));
+            let v = self
+                .v
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(&p.dims()));
+            let mut new_m = m.scale(self.beta1);
+            new_m.add_assign_scaled(&g, 1.0 - self.beta1);
+            let g2 = g.mul(&g);
+            let mut new_v = v.scale(self.beta2);
+            new_v.add_assign_scaled(&g2, 1.0 - self.beta2);
+            *m = new_m.clone();
+            *v = new_v.clone();
+            let lr = self.lr;
+            let eps = self.eps;
+            p.update_value(|w| {
+                for ((wi, &mi), &vi) in w
+                    .data_mut()
+                    .iter_mut()
+                    .zip(new_m.data())
+                    .zip(new_v.data())
+                {
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    *wi -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Cosine-annealing schedule from `base_lr` down to `min_lr` over
+/// `total_steps`, as used for the student in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineSchedule {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Final learning rate.
+    pub min_lr: f32,
+    /// Horizon in steps.
+    pub total_steps: usize,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule decaying to zero.
+    pub fn new(base_lr: f32, total_steps: usize) -> Self {
+        CosineSchedule {
+            base_lr,
+            min_lr: 0.0,
+            total_steps: total_steps.max(1),
+        }
+    }
+
+    /// Learning rate at `step` (clamped to the horizon).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        let t = step.min(self.total_steps) as f32 / self.total_steps as f32;
+        self.min_lr
+            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, w: &Var) -> f32 {
+        opt.zero_grad();
+        let loss = w.square().sum_all();
+        loss.backward();
+        opt.step();
+        loss.item()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let w = Var::parameter(Tensor::from_vec(vec![2.0, -3.0], &[2]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1, 0.9, 0.0);
+        let first = quadratic_step(&mut opt, &w);
+        let mut last = first;
+        for _ in 0..50 {
+            last = quadratic_step(&mut opt, &w);
+        }
+        assert!(last < first * 1e-2, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let w = Var::parameter(Tensor::from_vec(vec![5.0, -1.0], &[2]).unwrap());
+        let mut opt = Adam::new(vec![w.clone()], 0.1);
+        let first = quadratic_step(&mut opt, &w);
+        let mut last = first;
+        for _ in 0..200 {
+            last = quadratic_step(&mut opt, &w);
+        }
+        assert!(last < first * 1e-3, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let w = Var::parameter(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], 0.1, 0.0, 0.5);
+        // Provide a zero gradient so only decay acts.
+        let loss = w.scale(0.0).sum_all();
+        loss.backward();
+        opt.step();
+        assert!(w.value().data()[0] < 1.0);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineSchedule::new(0.1, 100);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!(s.lr_at(100) < 1e-7);
+        assert!((s.lr_at(50) - 0.05).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Model checkpointing: capture and restore the complete state (parameters
+//! + buffers) of any [`Module`] as a serde-serializable snapshot.
+//!
+//! Snapshots are structural: they record shapes alongside values, so loading
+//! into a mismatched architecture fails loudly instead of silently
+//! scrambling weights.
+
+use crate::module::Module;
+use cae_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// A serializable snapshot of a module's trainable parameters and
+/// persistent buffers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    /// Parameter tensors, in the module's stable parameter order.
+    pub parameters: Vec<Tensor>,
+    /// Buffer tensors (batch-norm running statistics), in buffer order.
+    pub buffers: Vec<Tensor>,
+}
+
+/// Error returned when a checkpoint does not match the target module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadCheckpointError {
+    /// The checkpoint holds a different number of parameters.
+    ParameterCount {
+        /// Parameters expected by the module.
+        expected: usize,
+        /// Parameters present in the checkpoint.
+        found: usize,
+    },
+    /// A parameter's shape differs.
+    ParameterShape {
+        /// Index of the offending parameter.
+        index: usize,
+        /// Shape expected by the module.
+        expected: Vec<usize>,
+        /// Shape found in the checkpoint.
+        found: Vec<usize>,
+    },
+    /// The checkpoint holds a different number of buffers.
+    BufferCount {
+        /// Buffers expected by the module.
+        expected: usize,
+        /// Buffers present in the checkpoint.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadCheckpointError::ParameterCount { expected, found } => {
+                write!(f, "checkpoint has {found} parameters, module expects {expected}")
+            }
+            LoadCheckpointError::ParameterShape { index, expected, found } => write!(
+                f,
+                "parameter {index} has shape {found:?}, module expects {expected:?}"
+            ),
+            LoadCheckpointError::BufferCount { expected, found } => {
+                write!(f, "checkpoint has {found} buffers, module expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for LoadCheckpointError {}
+
+/// Captures a snapshot of `module`.
+pub fn snapshot(module: &dyn Module) -> Checkpoint {
+    Checkpoint {
+        parameters: module.parameters().iter().map(|p| p.to_tensor()).collect(),
+        buffers: module.buffers(),
+    }
+}
+
+/// Restores a snapshot into `module`.
+///
+/// # Errors
+/// Returns a [`LoadCheckpointError`] if the checkpoint's structure does not
+/// match the module; the module is left unchanged in that case.
+pub fn restore(module: &dyn Module, checkpoint: &Checkpoint) -> Result<(), LoadCheckpointError> {
+    let params = module.parameters();
+    if params.len() != checkpoint.parameters.len() {
+        return Err(LoadCheckpointError::ParameterCount {
+            expected: params.len(),
+            found: checkpoint.parameters.len(),
+        });
+    }
+    for (i, (p, t)) in params.iter().zip(&checkpoint.parameters).enumerate() {
+        if p.dims() != t.shape().dims() {
+            return Err(LoadCheckpointError::ParameterShape {
+                index: i,
+                expected: p.dims(),
+                found: t.shape().dims().to_vec(),
+            });
+        }
+    }
+    let expected_buffers = module.buffers().len();
+    if expected_buffers != checkpoint.buffers.len() {
+        return Err(LoadCheckpointError::BufferCount {
+            expected: expected_buffers,
+            found: checkpoint.buffers.len(),
+        });
+    }
+    for (p, t) in params.iter().zip(&checkpoint.parameters) {
+        p.set_value(t.clone());
+    }
+    module.set_buffers(&checkpoint.buffers);
+    Ok(())
+}
+
+/// Serializes a snapshot of `module` to JSON.
+pub fn to_json(module: &dyn Module) -> String {
+    serde_json::to_string(&snapshot(module)).expect("checkpoint serialization cannot fail")
+}
+
+/// Restores `module` from a JSON checkpoint.
+///
+/// # Errors
+/// Returns a boxed error for malformed JSON or structural mismatch.
+pub fn from_json(module: &dyn Module, json: &str) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let checkpoint: Checkpoint = serde_json::from_str(json)?;
+    restore(module, &checkpoint)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Arch;
+    use crate::module::{Classifier, ForwardCtx};
+    use cae_tensor::rng::TensorRng;
+    use cae_tensor::Var;
+
+    fn logits_of(model: &dyn Classifier, x: &Tensor) -> Vec<f32> {
+        model
+            .forward(&Var::constant(x.clone()), &mut ForwardCtx::eval())
+            .to_tensor()
+            .data()
+            .to_vec()
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_outputs() {
+        let mut rng = TensorRng::seed_from(0);
+        let a = Arch::Wrn16x1.build(4, 4, &mut rng);
+        let b = Arch::Wrn16x1.build(4, 4, &mut rng); // different init
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+        assert_ne!(logits_of(a.as_ref(), &x), logits_of(b.as_ref(), &x));
+        restore(b.as_ref(), &snapshot(a.as_ref())).expect("structures match");
+        assert_eq!(logits_of(a.as_ref(), &x), logits_of(b.as_ref(), &x));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut rng = TensorRng::seed_from(1);
+        let a = Arch::ResNet18.build(3, 4, &mut rng);
+        let json = to_json(a.as_ref());
+        let b = Arch::ResNet18.build(3, 4, &mut rng);
+        from_json(b.as_ref(), &json).expect("load succeeds");
+        let x = rng.normal_tensor(&[1, 3, 8, 8], 0.0, 1.0);
+        assert_eq!(logits_of(a.as_ref(), &x), logits_of(b.as_ref(), &x));
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected_without_mutation() {
+        let mut rng = TensorRng::seed_from(2);
+        let a = Arch::ResNet18.build(3, 4, &mut rng);
+        let b = Arch::Vgg11.build(3, 4, &mut rng);
+        let x = rng.normal_tensor(&[1, 3, 8, 8], 0.0, 1.0);
+        let before = logits_of(b.as_ref(), &x);
+        let err = restore(b.as_ref(), &snapshot(a.as_ref()));
+        assert!(err.is_err());
+        assert_eq!(before, logits_of(b.as_ref(), &x), "failed load must not mutate");
+    }
+}

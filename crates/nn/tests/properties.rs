@@ -1,0 +1,152 @@
+//! Property-based tests of the neural-network layer zoo, optimizers and
+//! checkpointing.
+
+use cae_nn::layers::{BatchNorm2d, Conv2d, Linear};
+use cae_nn::loss::cross_entropy;
+use cae_nn::models::Arch;
+use cae_nn::module::{ForwardCtx, Module};
+use cae_nn::optim::{Adam, CosineSchedule, Optimizer, Sgd};
+use cae_nn::serialize::{restore, snapshot};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::{Tensor, Var};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Linear layers map [N, in] → [N, out] for arbitrary sizes.
+    #[test]
+    fn linear_shapes(n in 1usize..6, fan_in in 1usize..8, fan_out in 1usize..8, seed in 0u64..100) {
+        let mut rng = TensorRng::seed_from(seed);
+        let layer = Linear::new(fan_in, fan_out, &mut rng);
+        let x = Var::constant(rng.normal_tensor(&[n, fan_in], 0.0, 1.0));
+        let y = layer.forward(&x, &mut ForwardCtx::eval());
+        prop_assert_eq!(y.dims(), vec![n, fan_out]);
+        prop_assert_eq!(layer.num_parameters(), fan_in * fan_out + fan_out);
+    }
+
+    /// Conv layers honour the output-size formula for random geometry.
+    #[test]
+    fn conv_shapes(
+        n in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let size = 8usize;
+        let layer = Conv2d::new(cin, cout, 3, stride, pad, false, &mut rng);
+        let x = Var::constant(rng.normal_tensor(&[n, cin, size, size], 0.0, 1.0));
+        let y = layer.forward(&x, &mut ForwardCtx::eval());
+        let expect = (size + 2 * pad - 3) / stride + 1;
+        prop_assert_eq!(y.dims(), vec![n, cout, expect, expect]);
+    }
+
+    /// Training-mode batch norm always produces ~zero-mean unit-variance
+    /// channels regardless of the input statistics.
+    #[test]
+    fn batchnorm_normalizes_any_input(mean in -5.0f32..5.0, std in 0.5f32..4.0, seed in 0u64..100) {
+        let mut rng = TensorRng::seed_from(seed);
+        let bn = BatchNorm2d::new(3);
+        let x = Var::constant(rng.normal_tensor(&[8, 3, 4, 4], mean, std));
+        let y = bn.forward(&x, &mut ForwardCtx::train());
+        let m = y.mean_channels();
+        for &v in m.value().data() {
+            prop_assert!(v.abs() < 1e-2, "channel mean {v}");
+        }
+    }
+
+    /// SGD strictly decreases a convex quadratic from any start when the
+    /// learning rate is stable.
+    #[test]
+    fn sgd_decreases_quadratic(start in -4.0f32..4.0, lr in 0.01f32..0.4) {
+        let w = Var::parameter(Tensor::from_vec(vec![start], &[1]).unwrap());
+        let mut opt = Sgd::new(vec![w.clone()], lr, 0.0, 0.0);
+        let before = w.square().sum_all().item();
+        for _ in 0..5 {
+            opt.zero_grad();
+            w.square().sum_all().backward();
+            opt.step();
+        }
+        let after = w.square().sum_all().item();
+        prop_assert!(after <= before + 1e-6, "loss rose: {before} -> {after}");
+    }
+
+    /// Adam converges on shifted quadratics from any start.
+    #[test]
+    fn adam_converges_anywhere(start in -5.0f32..5.0, target in -3.0f32..3.0) {
+        let w = Var::parameter(Tensor::from_vec(vec![start], &[1]).unwrap());
+        let mut opt = Adam::new(vec![w.clone()], 0.2);
+        for _ in 0..150 {
+            opt.zero_grad();
+            w.add_scalar(-target).square().sum_all().backward();
+            opt.step();
+        }
+        let v = w.value().data()[0];
+        prop_assert!((v - target).abs() < 0.1, "{v} != {target}");
+    }
+
+    /// Cosine schedules are monotonically non-increasing.
+    #[test]
+    fn cosine_schedule_is_monotone(base in 0.001f32..1.0, steps in 2usize..200) {
+        let s = CosineSchedule::new(base, steps);
+        let mut prev = f32::INFINITY;
+        for t in 0..=steps {
+            let lr = s.lr_at(t);
+            prop_assert!(lr <= prev + 1e-7);
+            prop_assert!(lr >= 0.0 && lr <= base + 1e-7);
+            prev = lr;
+        }
+    }
+
+    /// Checkpoint snapshot/restore is an exact round-trip for every
+    /// architecture.
+    #[test]
+    fn checkpoint_roundtrip_all_archs(arch_idx in 0usize..8, seed in 0u64..50) {
+        let archs = [
+            Arch::ResNet18, Arch::ResNet34, Arch::ResNet50, Arch::Wrn40x2,
+            Arch::Wrn40x1, Arch::Wrn16x2, Arch::Wrn16x1, Arch::Vgg11,
+        ];
+        let arch = archs[arch_idx];
+        let mut rng = TensorRng::seed_from(seed);
+        let a = arch.build(3, 4, &mut rng);
+        let b = arch.build(3, 4, &mut rng);
+        restore(b.as_ref(), &snapshot(a.as_ref())).expect("same structure");
+        let x = Var::constant(rng.normal_tensor(&[1, 3, 8, 8], 0.0, 1.0));
+        let ya = a.forward(&x, &mut ForwardCtx::eval());
+        let yb = b.forward(&x, &mut ForwardCtx::eval());
+        let (ta, tb) = (ya.to_tensor(), yb.to_tensor());
+        prop_assert_eq!(ta.data(), tb.data());
+    }
+
+    /// One supervised step reduces loss on the training batch itself for
+    /// every architecture (overfit-one-batch sanity).
+    #[test]
+    fn one_step_overfits_one_batch(arch_idx in 0usize..8, seed in 0u64..20) {
+        let archs = [
+            Arch::ResNet18, Arch::ResNet34, Arch::ResNet50, Arch::Wrn40x2,
+            Arch::Wrn40x1, Arch::Wrn16x2, Arch::Wrn16x1, Arch::Vgg11,
+        ];
+        let arch = archs[arch_idx];
+        let mut rng = TensorRng::seed_from(seed);
+        let model = arch.build(3, 4, &mut rng);
+        let x = Var::constant(rng.normal_tensor(&[6, 3, 8, 8], 0.0, 1.0));
+        let y = vec![0usize, 1, 2, 0, 1, 2];
+        let mut opt = Sgd::new(model.parameters(), 0.05, 0.9, 0.0);
+        let loss0 = cross_entropy(&model.forward(&x, &mut ForwardCtx::train()), &y);
+        opt.zero_grad();
+        loss0.backward();
+        opt.step();
+        let mut last = loss0.item();
+        for _ in 0..6 {
+            opt.zero_grad();
+            let loss = cross_entropy(&model.forward(&x, &mut ForwardCtx::train()), &y);
+            loss.backward();
+            opt.step();
+            last = loss.item();
+        }
+        prop_assert!(last < loss0.item(), "{} -> {last}", loss0.item());
+    }
+}

@@ -1,0 +1,294 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! [`Var`] wraps a [`Tensor`] in a reference-counted graph node. Operations
+//! on `Var`s compute their value eagerly and record a backward closure;
+//! [`Var::backward`] replays the closures in reverse creation order,
+//! accumulating gradients into leaves created with [`Var::parameter`].
+//!
+//! Nodes whose inputs do not require gradients skip closure construction
+//! entirely, so running a frozen teacher network under autograd costs the
+//! same as a plain forward pass.
+
+mod conv;
+mod elementwise;
+mod linalg;
+mod reduce;
+mod structure;
+
+use crate::tensor::Tensor;
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Backward closure: receives the output gradient and the parent nodes and
+/// accumulates into each parent that requires a gradient.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Var])>;
+
+pub(crate) struct VarNode {
+    id: u64,
+    value: RefCell<Tensor>,
+    grad: RefCell<Option<Tensor>>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autograd graph: a tensor value plus optional gradient
+/// bookkeeping. Cloning a `Var` is cheap (reference-counted).
+///
+/// ```
+/// use cae_tensor::{Tensor, Var};
+/// let x = Var::parameter(Tensor::scalar(3.0));
+/// let y = x.square().scale(2.0); // y = 2x²
+/// y.backward();
+/// assert_eq!(x.grad().unwrap().item(), 12.0);
+/// ```
+#[derive(Clone)]
+pub struct Var(pub(crate) Rc<VarNode>);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.0.id)
+            .field("shape", &self.0.value.borrow().shape().dims())
+            .field("requires_grad", &self.0.requires_grad)
+            .finish()
+    }
+}
+
+impl Var {
+    /// Wraps a tensor as a non-differentiable constant.
+    pub fn constant(value: Tensor) -> Var {
+        Var(Rc::new(VarNode {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: false,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// Wraps a tensor as a trainable leaf that accumulates gradients.
+    pub fn parameter(value: Tensor) -> Var {
+        Var(Rc::new(VarNode {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: true,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// Builds an interior node. If no parent requires a gradient the backward
+    /// closure is dropped and the node degenerates to a constant.
+    pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        let requires = parents.iter().any(|p| p.0.requires_grad);
+        Var(Rc::new(VarNode {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: requires,
+            parents: if requires { parents } else { Vec::new() },
+            backward: if requires { Some(backward) } else { None },
+        }))
+    }
+
+    /// Unique node id (creation order). Useful as an optimizer state key.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Whether this node participates in gradient computation.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// Borrows the tensor value.
+    ///
+    /// # Panics
+    /// Panics if the value is concurrently mutably borrowed (not possible
+    /// through the public API).
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        self.0.value.borrow()
+    }
+
+    /// Clones the tensor value out of the node.
+    pub fn to_tensor(&self) -> Tensor {
+        self.0.value.borrow().clone()
+    }
+
+    /// Shape dimensions of the value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.0.value.borrow().shape().dims().to_vec()
+    }
+
+    /// Extracts a scalar value.
+    ///
+    /// # Panics
+    /// Panics if the value holds more than one element.
+    pub fn item(&self) -> f32 {
+        self.0.value.borrow().item()
+    }
+
+    /// Replaces the stored value (used by optimizers; the graph is not
+    /// replayed, so only call this on leaves between steps).
+    pub fn set_value(&self, value: Tensor) {
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// Mutates the stored value in place (used by optimizers).
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.0.value.borrow_mut());
+    }
+
+    /// Returns the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Removes and returns the accumulated gradient.
+    pub fn take_grad(&self) -> Option<Tensor> {
+        self.0.grad.borrow_mut().take()
+    }
+
+    /// Returns a constant `Var` sharing this node's current value (cuts the
+    /// graph).
+    pub fn detach(&self) -> Var {
+        Var::constant(self.to_tensor())
+    }
+
+    /// Accumulates `g` into this node's gradient buffer.
+    pub(crate) fn accum(&self, g: &Tensor) {
+        if !self.0.requires_grad {
+            return;
+        }
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => existing.add_assign_scaled(g, 1.0),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this node, seeding with a
+    /// gradient of ones (for the common scalar-loss case this is `1.0`).
+    ///
+    /// Gradients accumulate into every reachable [`Var::parameter`] leaf;
+    /// call [`Var::zero_grad`] (or an optimizer's `zero_grad`) between steps.
+    pub fn backward(&self) {
+        if !self.0.requires_grad {
+            return;
+        }
+        let seed = {
+            let v = self.0.value.borrow();
+            Tensor::full(v.shape().dims(), 1.0)
+        };
+        self.backward_with(seed);
+    }
+
+    /// Runs reverse-mode differentiation with an explicit seed gradient.
+    ///
+    /// # Panics
+    /// Panics if `seed`'s shape differs from this node's value shape.
+    pub fn backward_with(&self, seed: Tensor) {
+        assert_eq!(
+            seed.shape(),
+            self.0.value.borrow().shape(),
+            "backward seed shape must match the output shape"
+        );
+        self.accum(&seed);
+
+        // Collect the reachable subgraph that requires gradients.
+        let mut nodes: Vec<Var> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<Var> = vec![self.clone()];
+        while let Some(v) = stack.pop() {
+            if !v.0.requires_grad || !seen.insert(v.0.id) {
+                continue;
+            }
+            for p in &v.0.parents {
+                stack.push(p.clone());
+            }
+            nodes.push(v);
+        }
+        // Edges always point to earlier ids, so descending-id order is a
+        // valid reverse topological order.
+        nodes.sort_by(|a, b| b.0.id.cmp(&a.0.id));
+
+        for node in &nodes {
+            let Some(backward) = node.0.backward.as_ref() else {
+                continue;
+            };
+            // Interior nodes consume their gradient; leaves keep theirs.
+            let grad = node.0.grad.borrow_mut().take();
+            if let Some(g) = grad {
+                backward(&g, &node.0.parents);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_graph_skips_backward_machinery() {
+        let a = Var::constant(Tensor::scalar(2.0));
+        let b = Var::constant(Tensor::scalar(3.0));
+        let c = a.mul(&b);
+        assert!(!c.requires_grad());
+        c.backward(); // no-op, must not panic
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn chain_rule_through_shared_subexpression() {
+        // y = (x * x) + (x * x); dy/dx = 4x.
+        let x = Var::parameter(Tensor::scalar(3.0));
+        let sq = x.mul(&x);
+        let y = sq.add(&sq);
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 12.0);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let x = Var::parameter(Tensor::scalar(1.0));
+        let y = x.scale(2.0);
+        y.backward();
+        let y2 = x.scale(2.0);
+        y2.backward();
+        assert_eq!(x.grad().unwrap().item(), 4.0);
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn detach_cuts_the_graph() {
+        let x = Var::parameter(Tensor::scalar(5.0));
+        let y = x.square().detach().scale(3.0);
+        y.backward();
+        assert!(x.grad().is_none());
+        assert_eq!(y.item(), 75.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Differentiable reductions, softmax and per-channel statistics on [`Var`].
+
+use super::Var;
+use crate::tensor::Tensor;
+
+impl Var {
+    /// Sum of all elements, as a scalar variable.
+    pub fn sum_all(&self) -> Var {
+        let value = Tensor::scalar(self.value().sum());
+        let dims = self.dims();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accum(&Tensor::full(&dims, g.item()));
+            }),
+        )
+    }
+
+    /// Mean of all elements, as a scalar variable.
+    pub fn mean_all(&self) -> Var {
+        let n = self.value().numel().max(1);
+        self.sum_all().scale(1.0 / n as f32)
+    }
+
+    /// Row-wise log-softmax of a `[N, K]` matrix.
+    ///
+    /// # Panics
+    /// Panics if `self` is not 2-d.
+    pub fn log_softmax_rows(&self) -> Var {
+        let (n, k) = self.value().shape().matrix();
+        let x = self.to_tensor();
+        let mut out = vec![0.0f32; n * k];
+        for i in 0..n {
+            let row = &x.data()[i * k..(i + 1) * k];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+            for (j, &v) in row.iter().enumerate() {
+                out[i * k + j] = v - lse;
+            }
+        }
+        let value = Tensor::from_vec(out, &[n, k]).expect("shape consistent");
+        let logp = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                // dx = g - softmax * row_sum(g)
+                let mut dx = Tensor::zeros(&[n, k]);
+                for i in 0..n {
+                    let grow = &g.data()[i * k..(i + 1) * k];
+                    let gsum: f32 = grow.iter().sum();
+                    let lrow = &logp.data()[i * k..(i + 1) * k];
+                    let drow = &mut dx.data_mut()[i * k..(i + 1) * k];
+                    for j in 0..k {
+                        drow[j] = grow[j] - lrow[j].exp() * gsum;
+                    }
+                }
+                parents[0].accum(&dx);
+            }),
+        )
+    }
+
+    /// Gathers one element per row of a `[N, K]` matrix: `out[i] = x[i, idx[i]]`.
+    ///
+    /// # Panics
+    /// Panics if `self` is not 2-d, `idx.len() != N`, or any index is out of
+    /// range.
+    pub fn gather_rows(&self, idx: &[usize]) -> Var {
+        let (n, k) = self.value().shape().matrix();
+        assert_eq!(idx.len(), n, "gather_rows needs one index per row");
+        let x = self.to_tensor();
+        let data: Vec<f32> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| {
+                assert!(j < k, "gather index {j} out of range for {k} columns");
+                x.data()[i * k + j]
+            })
+            .collect();
+        let value = Tensor::from_vec(data, &[n]).expect("shape consistent");
+        let saved_idx = idx.to_vec();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[n, k]);
+                for (i, &j) in saved_idx.iter().enumerate() {
+                    dx.data_mut()[i * k + j] += g.data()[i];
+                }
+                parents[0].accum(&dx);
+            }),
+        )
+    }
+
+    /// Per-channel mean of an NCHW tensor: `[N,C,H,W] → [C]`.
+    ///
+    /// The result is differentiable with respect to the input, which is what
+    /// lets the DFKD batch-norm loss push gradients into the generator.
+    ///
+    /// # Panics
+    /// Panics if `self` is not 4-d.
+    pub fn mean_channels(&self) -> Var {
+        let (n, c, h, w) = self.value().shape().nchw();
+        let count = (n * h * w) as f32;
+        let x = self.to_tensor();
+        let mut means = vec![0.0f32; c];
+        let hw = h * w;
+        for ni in 0..n {
+            for ci in 0..c {
+                let off = (ni * c + ci) * hw;
+                means[ci] += x.data()[off..off + hw].iter().sum::<f32>();
+            }
+        }
+        for m in &mut means {
+            *m /= count;
+        }
+        let value = Tensor::from_vec(means, &[c]).expect("shape consistent");
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[n, c, h, w]);
+                let inv = 1.0 / count;
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let gv = g.data()[ci] * inv;
+                        let off = (ni * c + ci) * hw;
+                        for v in &mut dx.data_mut()[off..off + hw] {
+                            *v += gv;
+                        }
+                    }
+                }
+                parents[0].accum(&dx);
+            }),
+        )
+    }
+
+    /// Multiplies each channel of an NCHW tensor by the corresponding entry
+    /// of a `[C]` variable.
+    ///
+    /// # Panics
+    /// Panics if `self` is not 4-d or `scale` is not `[C]`.
+    pub fn mul_channels(&self, scale: &Var) -> Var {
+        let (n, c, h, w) = self.value().shape().nchw();
+        {
+            let s = scale.value();
+            assert_eq!(
+                s.shape().dims(),
+                &[c],
+                "scale must be [{c}], got {}",
+                s.shape()
+            );
+        }
+        let hw = h * w;
+        let mut value = self.to_tensor();
+        {
+            let s = scale.value();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let sv = s.data()[ci];
+                    let off = (ni * c + ci) * hw;
+                    for v in &mut value.data_mut()[off..off + hw] {
+                        *v *= sv;
+                    }
+                }
+            }
+        }
+        Var::from_op(
+            value,
+            vec![self.clone(), scale.clone()],
+            Box::new(move |g, parents| {
+                let x = parents[0].to_tensor();
+                let s = parents[1].to_tensor();
+                if parents[0].requires_grad() {
+                    let mut dx = Tensor::zeros(&[n, c, h, w]);
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let sv = s.data()[ci];
+                            let off = (ni * c + ci) * hw;
+                            for (d, &gv) in dx.data_mut()[off..off + hw]
+                                .iter_mut()
+                                .zip(&g.data()[off..off + hw])
+                            {
+                                *d = gv * sv;
+                            }
+                        }
+                    }
+                    parents[0].accum(&dx);
+                }
+                if parents[1].requires_grad() {
+                    let mut ds = Tensor::zeros(&[c]);
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let off = (ni * c + ci) * hw;
+                            let mut acc = 0.0f32;
+                            for (xv, gv) in x.data()[off..off + hw].iter().zip(&g.data()[off..off + hw]) {
+                                acc += xv * gv;
+                            }
+                            ds.data_mut()[ci] += acc;
+                        }
+                    }
+                    parents[1].accum(&ds);
+                }
+            }),
+        )
+    }
+
+    /// Adds a `[C]` variable to each channel of an NCHW tensor.
+    ///
+    /// # Panics
+    /// Panics if `self` is not 4-d or `shift` is not `[C]`.
+    pub fn add_channels(&self, shift: &Var) -> Var {
+        let (n, c, h, w) = self.value().shape().nchw();
+        {
+            let s = shift.value();
+            assert_eq!(
+                s.shape().dims(),
+                &[c],
+                "shift must be [{c}], got {}",
+                s.shape()
+            );
+        }
+        let hw = h * w;
+        let mut value = self.to_tensor();
+        {
+            let s = shift.value();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let sv = s.data()[ci];
+                    let off = (ni * c + ci) * hw;
+                    for v in &mut value.data_mut()[off..off + hw] {
+                        *v += sv;
+                    }
+                }
+            }
+        }
+        Var::from_op(
+            value,
+            vec![self.clone(), shift.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accum(g);
+                if parents[1].requires_grad() {
+                    let mut ds = Tensor::zeros(&[c]);
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let off = (ni * c + ci) * hw;
+                            ds.data_mut()[ci] += g.data()[off..off + hw].iter().sum::<f32>();
+                        }
+                    }
+                    parents[1].accum(&ds);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        assert_eq!(x.sum_all().item(), 10.0);
+        assert_eq!(x.mean_all().item(), 2.5);
+        x.mean_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn log_softmax_rows_normalizes() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap());
+        let lp = x.log_softmax_rows();
+        let total: f32 = lp.value().data().iter().map(|v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gather_rows_routes_gradient() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let y = x.gather_rows(&[1, 0]);
+        assert_eq!(y.value().data(), &[2.0, 3.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_channels_value_and_grad() {
+        // x: [1, 2, 1, 2]; channel means = [1.5, 3.5].
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]).unwrap());
+        let m = x.mean_channels();
+        assert_eq!(m.value().data(), &[1.5, 3.5]);
+        m.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn channel_affine_ops() {
+        let x = Var::parameter(Tensor::ones(&[1, 2, 1, 2]));
+        let s = Var::parameter(Tensor::from_vec(vec![2.0, 3.0], &[2]).unwrap());
+        let b = Var::parameter(Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap());
+        let y = x.mul_channels(&s).add_channels(&b);
+        assert_eq!(y.value().data(), &[2.5, 2.5, 2.5, 2.5]);
+        y.sum_all().backward();
+        assert_eq!(s.grad().unwrap().data(), &[2.0, 2.0]); // sum of x per channel
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0]); // count per channel
+    }
+}

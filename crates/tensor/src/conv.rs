@@ -1,0 +1,461 @@
+//! Convolution, pooling and upsampling kernels (im2col-based).
+
+use crate::linalg;
+use crate::tensor::Tensor;
+
+/// Static description of a 2-d convolution (square kernel, symmetric padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Kernel height/width.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of size `h`.
+    pub fn out_size(&self, h: usize) -> usize {
+        (h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+}
+
+/// Unfolds one image `[C, H, W]` into a column matrix
+/// `[C*k*k, OH*OW]` (row-major, flat).
+fn im2col_single(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    col: &mut [f32],
+) {
+    let k = spec.kernel;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    debug_assert_eq!(col.len(), c * k * k * ncols);
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let dst = &mut col[row * ncols..(row + 1) * ncols];
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        dst[oi * ow + oj] = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w
+                        {
+                            x[(ci * h + ii as usize) * w + jj as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a column matrix back into an image, accumulating overlaps
+/// (the adjoint of [`im2col_single`]).
+fn col2im_single(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    x: &mut [f32],
+) {
+    let k = spec.kernel;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let src = &col[row * ncols..(row + 1) * ncols];
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        x[(ci * h + ii as usize) * w + jj as usize] += src[oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-d convolution: `x[N,C,H,W] * w[O,C,k,k] (+ b[O]) → [N,O,OH,OW]`.
+///
+/// # Panics
+/// Panics if shapes are inconsistent with `spec`.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let wd = weight.shape().dims();
+    assert_eq!(wd.len(), 4, "conv2d weight must be 4-d, got {:?}", wd);
+    let (o, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert_eq!(wc, c, "conv2d channel mismatch: input {c}, weight {wc}");
+    assert!(
+        kh == spec.kernel && kw == spec.kernel,
+        "conv2d kernel mismatch: weight {kh}x{kw}, spec {}",
+        spec.kernel
+    );
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    let krows = c * spec.kernel * spec.kernel;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut col = vec![0.0f32; krows * ncols];
+    for ni in 0..n {
+        im2col_single(
+            &x.data()[ni * c * h * w..(ni + 1) * c * h * w],
+            c,
+            h,
+            w,
+            spec,
+            &mut col,
+        );
+        let dst = &mut out.data_mut()[ni * o * ncols..(ni + 1) * o * ncols];
+        linalg::matmul_into(weight.data(), &col, dst, o, krows, ncols);
+        if let Some(b) = bias {
+            for oi in 0..o {
+                let bv = b.data()[oi];
+                for v in &mut dst[oi * ncols..(oi + 1) * ncols] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`conv2d`], returning `(dx, dw, db)`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = x.shape().nchw();
+    let wd = weight.shape().dims();
+    let o = wd[0];
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    let krows = c * spec.kernel * spec.kernel;
+
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let mut dw_flat = vec![0.0f32; o * krows];
+    let mut db = Tensor::zeros(&[o]);
+    let mut col = vec![0.0f32; krows * ncols];
+    let mut dcol = vec![0.0f32; krows * ncols];
+
+    // weight viewed as [o, krows]; grad_out per-sample viewed as [o, ncols].
+    for ni in 0..n {
+        let go = &grad_out.data()[ni * o * ncols..(ni + 1) * o * ncols];
+        // db
+        for oi in 0..o {
+            let s: f32 = go[oi * ncols..(oi + 1) * ncols].iter().sum();
+            db.data_mut()[oi] += s;
+        }
+        // dw += go[o,ncols] x col[krows,ncols]^T
+        im2col_single(
+            &x.data()[ni * c * h * w..(ni + 1) * c * h * w],
+            c,
+            h,
+            w,
+            spec,
+            &mut col,
+        );
+        for oi in 0..o {
+            let gorow = &go[oi * ncols..(oi + 1) * ncols];
+            let dwrow = &mut dw_flat[oi * krows..(oi + 1) * krows];
+            for p in 0..krows {
+                let crow = &col[p * ncols..(p + 1) * ncols];
+                let mut acc = 0.0f32;
+                for (&g, &cv) in gorow.iter().zip(crow.iter()) {
+                    acc += g * cv;
+                }
+                dwrow[p] += acc;
+            }
+        }
+        // dcol = w^T[krows,o] x go[o,ncols]
+        dcol.iter_mut().for_each(|v| *v = 0.0);
+        for oi in 0..o {
+            let wrow = &weight.data()[oi * krows..(oi + 1) * krows];
+            let gorow = &go[oi * ncols..(oi + 1) * ncols];
+            for (p, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let drow = &mut dcol[p * ncols..(p + 1) * ncols];
+                for (d, &g) in drow.iter_mut().zip(gorow.iter()) {
+                    *d += wv * g;
+                }
+            }
+        }
+        col2im_single(
+            &dcol,
+            c,
+            h,
+            w,
+            spec,
+            &mut dx.data_mut()[ni * c * h * w..(ni + 1) * c * h * w],
+        );
+    }
+    let dw = Tensor::from_vec(dw_flat, wd).expect("dw shape is consistent by construction");
+    (dx, dw, db)
+}
+
+/// Forward 2-d average pooling with a square window and equal stride.
+pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let inv = 1.0 / (kernel * kernel) as f32;
+    let (xd, od) = (x.data(), out.data_mut());
+    for nc in 0..n * c {
+        let src = &xd[nc * h * w..(nc + 1) * h * w];
+        let dst = &mut od[nc * oh * ow..(nc + 1) * oh * ow];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut s = 0.0f32;
+                for ki in 0..kernel {
+                    for kj in 0..kernel {
+                        s += src[(oi * stride + ki) * w + oj * stride + kj];
+                    }
+                }
+                dst[oi * ow + oj] = s * inv;
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool2d`].
+pub fn avg_pool2d_backward(
+    x_shape: (usize, usize, usize, usize),
+    grad_out: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Tensor {
+    let (n, c, h, w) = x_shape;
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let inv = 1.0 / (kernel * kernel) as f32;
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let (gd, dd) = (grad_out.data(), dx.data_mut());
+    for nc in 0..n * c {
+        let g = &gd[nc * oh * ow..(nc + 1) * oh * ow];
+        let d = &mut dd[nc * h * w..(nc + 1) * h * w];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let gv = g[oi * ow + oj] * inv;
+                for ki in 0..kernel {
+                    for kj in 0..kernel {
+                        d[(oi * stride + ki) * w + oj * stride + kj] += gv;
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Forward 2-d max pooling; also returns the flat argmax indices used by the
+/// backward pass.
+pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = x.shape().nchw();
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let (xd, od) = (x.data(), out.data_mut());
+    for nc in 0..n * c {
+        let src = &xd[nc * h * w..(nc + 1) * h * w];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ki in 0..kernel {
+                    for kj in 0..kernel {
+                        let idx = (oi * stride + ki) * w + oj * stride + kj;
+                        if src[idx] > best {
+                            best = src[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let off = nc * oh * ow + oi * ow + oj;
+                od[off] = best;
+                arg[off] = nc * h * w + best_idx;
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward pass of [`max_pool2d`] given the saved argmax indices.
+pub fn max_pool2d_backward(
+    x_shape: (usize, usize, usize, usize),
+    grad_out: &Tensor,
+    argmax: &[usize],
+) -> Tensor {
+    let (n, c, h, w) = x_shape;
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let dd = dx.data_mut();
+    for (g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
+        dd[idx] += g;
+    }
+    dx
+}
+
+/// Nearest-neighbour upsampling by an integer factor.
+pub fn upsample_nearest2d(x: &Tensor, scale: usize) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let (oh, ow) = (h * scale, w * scale);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let (xd, od) = (x.data(), out.data_mut());
+    for nc in 0..n * c {
+        let src = &xd[nc * h * w..(nc + 1) * h * w];
+        let dst = &mut od[nc * oh * ow..(nc + 1) * oh * ow];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                dst[oi * ow + oj] = src[(oi / scale) * w + oj / scale];
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`upsample_nearest2d`] (sums gradients over each
+/// upsampled block).
+pub fn upsample_nearest2d_backward(
+    x_shape: (usize, usize, usize, usize),
+    grad_out: &Tensor,
+    scale: usize,
+) -> Tensor {
+    let (n, c, h, w) = x_shape;
+    let (oh, ow) = (h * scale, w * scale);
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let (gd, dd) = (grad_out.data(), dx.data_mut());
+    for nc in 0..n * c {
+        let g = &gd[nc * oh * ow..(nc + 1) * oh * ow];
+        let d = &mut dd[nc * h * w..(nc + 1) * h * w];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                d[(oi / scale) * w + oj / scale] += g[oi * ow + oj];
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 kernel with weight 1 is the identity.
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, Conv2dSpec::new(1, 1, 0));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_3x3_known_value() {
+        // All-ones 3x3 input, all-ones 3x3 kernel, pad 1: center output = 9.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dSpec::new(3, 1, 1));
+        assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(y.data()[4], 9.0); // center
+        assert_eq!(y.data()[0], 4.0); // corner
+    }
+
+    #[test]
+    fn conv2d_stride_shrinks_output() {
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dSpec::new(3, 2, 1));
+        assert_eq!(y.shape().dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_and_backward_route_gradient_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let (y, arg) = max_pool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[4.0]);
+        let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap();
+        let dx = max_pool2d_backward((1, 1, 2, 2), &g, &arg);
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_gradient() {
+        let g = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap();
+        let dx = avg_pool2d_backward((1, 1, 2, 2), &g, 2, 2);
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn upsample_roundtrip_shapes() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = upsample_nearest2d(&x, 2);
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.data()[0], 1.0);
+        assert_eq!(y.data()[3], 2.0);
+        let dx = upsample_nearest2d_backward((1, 1, 2, 2), &y, 2);
+        // Each input cell collects 4 copies of itself.
+        assert_eq!(dx.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish tensors: validates
+        // the backward fold against the forward unfold.
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (c, h, w) = (2, 5, 5);
+        let oh = spec.out_size(h);
+        let ow = spec.out_size(w);
+        let krows = c * 9;
+        let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..krows * oh * ow)
+            .map(|i| (i as f32 * 0.11).cos())
+            .collect();
+        let mut col = vec![0.0f32; krows * oh * ow];
+        im2col_single(&x, c, h, w, spec, &mut col);
+        let lhs: f32 = col.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let mut xb = vec![0.0f32; c * h * w];
+        col2im_single(&y, c, h, w, spec, &mut xb);
+        let rhs: f32 = x.iter().zip(xb.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+}

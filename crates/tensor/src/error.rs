@@ -1,0 +1,42 @@
+//! Error types for tensor construction and shape manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor constructors and reshaping operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested dimensions.
+    LengthMismatch {
+        /// Number of elements provided.
+        len: usize,
+        /// Requested shape.
+        shape: Vec<usize>,
+    },
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A dimension argument was invalid (e.g. zero-sized kernel).
+    InvalidDimension(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, shape } => {
+                write!(f, "data length {len} does not match shape {shape:?}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch between {lhs:?} and {rhs:?}")
+            }
+            TensorError::InvalidDimension(msg) => write!(f, "invalid dimension: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}

@@ -1,0 +1,175 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of every crate in the workspace to validate
+//! backward implementations: a scalar function of a set of leaf parameters
+//! is differentiated both analytically (via [`crate::Var::backward`]) and
+//! numerically (central differences), and the relative error is compared
+//! against a tolerance.
+
+use crate::autograd::Var;
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the largest relative error observed over all
+/// checked coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error across parameters and coordinates.
+    pub max_rel_err: f32,
+    /// Number of coordinates checked.
+    pub coords_checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at tolerance `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Checks the analytic gradient of `f` with respect to `params` by central
+/// finite differences with step `eps`.
+///
+/// `f` must be a pure function of the parameter *values*: it is re-invoked
+/// many times with perturbed values and must rebuild its graph each time and
+/// return a scalar [`Var`].
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar variable.
+///
+/// ```
+/// use cae_tensor::{Tensor, Var};
+/// use cae_tensor::gradcheck::check_gradients;
+///
+/// let w = Var::parameter(Tensor::from_vec(vec![0.5, -0.3], &[2]).unwrap());
+/// let report = check_gradients(&[w.clone()], 1e-3, || w.square().sum_all());
+/// assert!(report.passes(1e-2));
+/// ```
+pub fn check_gradients(
+    params: &[Var],
+    eps: f32,
+    mut f: impl FnMut() -> Var,
+) -> GradCheckReport {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let out = f();
+    assert!(
+        out.value().numel() == 1,
+        "gradient check requires a scalar output"
+    );
+    out.backward();
+    let analytic: Vec<Tensor> = params
+        .iter()
+        .map(|p| p.grad().unwrap_or_else(|| Tensor::zeros(&p.dims())))
+        .collect();
+
+    // Numeric pass.
+    let mut max_rel = 0.0f32;
+    let mut coords = 0usize;
+    for (pi, p) in params.iter().enumerate() {
+        let n = p.value().numel();
+        for i in 0..n {
+            let orig = p.value().data()[i];
+            p.update_value(|t| t.data_mut()[i] = orig + eps);
+            let hi = f().item();
+            p.update_value(|t| t.data_mut()[i] = orig - eps);
+            let lo = f().item();
+            p.update_value(|t| t.data_mut()[i] = orig);
+            let numeric = (hi - lo) / (2.0 * eps);
+            let a = analytic[pi].data()[i];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            let rel = (a - numeric).abs() / denom;
+            if rel > max_rel {
+                max_rel = rel;
+            }
+            coords += 1;
+        }
+    }
+    for p in params {
+        p.zero_grad();
+    }
+    GradCheckReport {
+        max_rel_err: max_rel,
+        coords_checked: coords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2dSpec;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn quadratic_passes() {
+        let w = Var::parameter(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap());
+        let r = check_gradients(&[w.clone()], 1e-3, || w.square().sum_all());
+        assert!(r.passes(1e-3), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn matmul_chain_passes() {
+        let mut rng = TensorRng::seed_from(3);
+        let a = Var::parameter(rng.normal_tensor(&[3, 4], 0.0, 1.0));
+        let b = Var::parameter(rng.normal_tensor(&[4, 2], 0.0, 1.0));
+        let r = check_gradients(&[a.clone(), b.clone()], 1e-3, || {
+            a.matmul(&b).tanh().square().mean_all()
+        });
+        assert!(r.passes(5e-3), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn conv_pool_chain_passes() {
+        let mut rng = TensorRng::seed_from(7);
+        let x = Var::parameter(rng.normal_tensor(&[2, 2, 5, 5], 0.0, 1.0));
+        let w = Var::parameter(rng.normal_tensor(&[3, 2, 3, 3], 0.0, 0.5));
+        let b = Var::parameter(rng.normal_tensor(&[3], 0.0, 0.1));
+        let r = check_gradients(&[x.clone(), w.clone(), b.clone()], 1e-3, || {
+            x.conv2d(&w, Some(&b), Conv2dSpec::new(3, 2, 1))
+                .leaky_relu(0.2)
+                .global_avg_pool()
+                .square()
+                .mean_all()
+        });
+        assert!(r.passes(5e-3), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn log_softmax_gather_passes() {
+        let mut rng = TensorRng::seed_from(11);
+        let x = Var::parameter(rng.normal_tensor(&[4, 5], 0.0, 1.0));
+        let r = check_gradients(&[x.clone()], 1e-3, || {
+            x.log_softmax_rows().gather_rows(&[0, 2, 4, 1]).mean_all().neg()
+        });
+        assert!(r.passes(5e-3), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn channel_stats_pass() {
+        let mut rng = TensorRng::seed_from(13);
+        let x = Var::parameter(rng.normal_tensor(&[2, 3, 4, 4], 0.0, 1.0));
+        let g = Var::parameter(rng.normal_tensor(&[3], 1.0, 0.1));
+        let r = check_gradients(&[x.clone(), g.clone()], 1e-3, || {
+            let mu = x.mean_channels();
+            let centered = x.add_channels(&mu.neg());
+            let var = centered.square().mean_channels();
+            let inv_std = var.add_scalar(1e-5).powf(-0.5);
+            centered.mul_channels(&inv_std).mul_channels(&g).square().mean_all()
+        });
+        assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn normalize_rows_passes() {
+        let mut rng = TensorRng::seed_from(17);
+        let x = Var::parameter(rng.normal_tensor(&[3, 4], 0.0, 1.0));
+        let y = Var::parameter(rng.normal_tensor(&[3, 4], 0.0, 1.0));
+        let r = check_gradients(&[x.clone(), y.clone()], 1e-3, || {
+            x.l2_normalize_rows()
+                .matmul_nt(&y.l2_normalize_rows())
+                .mean_all()
+        });
+        assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
+    }
+}

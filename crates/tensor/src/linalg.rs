@@ -1,0 +1,199 @@
+//! Matrix-multiplication kernels.
+//!
+//! The kernels use an `i-k-j` loop order so the inner loop is a contiguous
+//! saxpy that the compiler auto-vectorizes, and split the row range across
+//! two threads (via `crossbeam::scope`) once the problem is large enough to
+//! amortize thread startup.
+
+use crate::tensor::Tensor;
+
+/// FLOP threshold above which the kernel splits rows across two threads.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Raw GEMM: `out[m,n] += a[m,k] * b[k,n]` over flat row-major slices.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: std::ops::Range<usize>, k: usize, n: usize) {
+    for i in rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Multiplies flat row-major matrices: `a[m,k] × b[k,n] → out[m,n]`.
+///
+/// `out` must be zero-initialized by the caller if accumulation from zero is
+/// desired; this routine accumulates into `out`.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m * k * n >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
+        let mid = m / 2;
+        let (out_lo, out_hi) = out.split_at_mut(mid * n);
+        crossbeam::scope(|s| {
+            s.spawn(|_| gemm_rows(a, b, out_lo, 0..mid, k, n));
+            // `gemm_rows` indexes `a` by absolute row, so shift the view.
+            let a_hi = &a[mid * k..];
+            gemm_rows(a_hi, b, out_hi, 0..(m - mid), k, n);
+        })
+        .expect("matmul worker thread panicked");
+    } else {
+        gemm_rows(a, b, out, 0..m, k, n);
+    }
+}
+
+/// `a[m,k] × b[k,n] → [m,n]` on [`Tensor`]s.
+///
+/// # Panics
+/// Panics if either operand is not 2-d or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = a.shape().matrix();
+    let (kb, n) = b.shape().matrix();
+    assert_eq!(
+        ka, kb,
+        "matmul inner dimensions disagree: {} vs {}",
+        ka, kb
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, ka, n);
+    out
+}
+
+/// `a[m,k] × b[n,k]ᵀ → [m,n]` — matmul with a transposed right operand,
+/// used for row-wise cosine-similarity matrices.
+///
+/// # Panics
+/// Panics if either operand is not 2-d or the shared dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = a.shape().matrix();
+    let (n, kb) = b.shape().matrix();
+    assert_eq!(
+        ka, kb,
+        "matmul_nt shared dimension disagrees: {} vs {}",
+        ka, kb
+    );
+    let k = ka;
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// `a[m,k]ᵀ × b[m,n] → [k,n]` — matmul with a transposed left operand,
+/// used by backward passes.
+///
+/// # Panics
+/// Panics if either operand is not 2-d or the shared dimension disagrees.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ma, k) = a.shape().matrix();
+    let (mb, n) = b.shape().matrix();
+    assert_eq!(
+        ma, mb,
+        "matmul_tn shared dimension disagrees: {} vs {}",
+        ma, mb
+    );
+    let m = ma;
+    let mut out = Tensor::zeros(&[k, n]);
+    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
+    // out[p, j] = sum_i a[i, p] * b[i, j]; iterate i outermost so both reads
+    // stream contiguously.
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let brow = &bd[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut od[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Transposes a 2-d tensor.
+///
+/// # Panics
+/// Panics if the tensor is not 2-d.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = a.shape().matrix();
+    let mut out = Tensor::zeros(&[n, m]);
+    let (ad, od) = (a.data(), out.data_mut());
+    for i in 0..m {
+        for j in 0..n {
+            od[j * m + i] = ad[i * n + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5], &[2, 3]);
+        let via_nt = matmul_nt(&a, &b);
+        let via_t = matmul(&a, &transpose(&b));
+        assert_eq!(via_nt.data(), via_t.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5], &[3, 2]);
+        let via_tn = matmul_tn(&a, &b);
+        let via_t = matmul(&transpose(&a), &b);
+        for (x, y) in via_tn.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_matmul_uses_threads_and_matches_small_kernel() {
+        // Large enough to cross PARALLEL_FLOP_THRESHOLD.
+        let m = 128;
+        let k = 128;
+        let n = 160;
+        let a = Tensor::full(&[m, k], 0.5);
+        let b = Tensor::full(&[k, n], 2.0);
+        let out = matmul(&a, &b);
+        // Every entry is sum over k of 0.5*2.0 = k.
+        for &v in out.data() {
+            assert!((v - k as f32).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Seeded random tensor constructors and the noise distributions used by the
+//! CEND layer.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator with tensor-producing helpers.
+///
+/// Every stochastic component in the workspace draws from a `TensorRng` so
+/// experiments are reproducible from a single seed.
+///
+/// ```
+/// use cae_tensor::rng::TensorRng;
+/// let mut a = TensorRng::seed_from(7);
+/// let mut b = TensorRng::seed_from(7);
+/// assert_eq!(a.normal_tensor(&[4], 0.0, 1.0).data(), b.normal_tensor(&[4], 0.0, 1.0).data());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    inner: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Forks an independent generator (seeded from this one's stream).
+    pub fn fork(&mut self) -> Self {
+        TensorRng::seed_from(self.inner.gen())
+    }
+
+    /// Draws a uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Draws a uniform value in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Draws a standard-normal value (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.inner.gen::<f32>().max(1e-12);
+        let u2: f32 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Draws a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index upper bound must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Tensor of i.i.d. normal draws.
+    pub fn normal_tensor(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| mean + std * self.normal()).collect();
+        Tensor::from_vec(data, dims).expect("length matches dims by construction")
+    }
+
+    /// Tensor of i.i.d. uniform draws in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.uniform_in(lo, hi)).collect();
+        Tensor::from_vec(data, dims).expect("length matches dims by construction")
+    }
+
+    /// Samples one value from `kind`.
+    pub fn sample(&mut self, kind: NoiseKind) -> f32 {
+        match kind {
+            NoiseKind::Gaussian => self.normal(),
+            NoiseKind::Uniform => self.uniform_in(-1.732, 1.732), // unit variance
+            NoiseKind::Laplace => {
+                // Inverse-CDF sampling; scale b = 1/sqrt(2) gives unit variance.
+                let u = self.uniform() - 0.5;
+                let b = std::f32::consts::FRAC_1_SQRT_2;
+                -b * u.signum() * (1.0 - 2.0 * u.abs()).max(1e-12).ln()
+            }
+            NoiseKind::Exponential => {
+                // Centered exponential with unit variance.
+                -(self.uniform().max(1e-12)).ln() - 1.0
+            }
+            NoiseKind::StudentT => {
+                // t(5)-like heavy tail: normal over sqrt(chi2/df), df = 5,
+                // rescaled to unit variance (var = df/(df-2)).
+                let df = 5.0f32;
+                let z = self.normal();
+                let chi2: f32 = (0..5).map(|_| self.normal().powi(2)).sum();
+                let t = z / (chi2 / df).sqrt().max(1e-6);
+                t / (df / (df - 2.0)).sqrt()
+            }
+            NoiseKind::MaskedGaussian => {
+                // Sparse spike noise: zero with prob. 3/4, else a scaled
+                // normal keeping unit variance overall.
+                if self.uniform() < 0.75 {
+                    0.0
+                } else {
+                    self.normal() * 2.0
+                }
+            }
+        }
+    }
+
+    /// Tensor of i.i.d. draws from `kind`.
+    pub fn noise_tensor(&mut self, dims: &[usize], kind: NoiseKind) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.sample(kind)).collect();
+        Tensor::from_vec(data, dims).expect("length matches dims by construction")
+    }
+}
+
+/// The family of pre-defined noise distributions available to CEND noise
+/// sources (paper §III-B: each source `NS_n` follows a *distinct* pre-set
+/// distribution). All are normalized to approximately unit variance so the
+/// per-source magnitude `M_n` alone controls perturbation strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NoiseKind {
+    /// Standard normal.
+    Gaussian,
+    /// Uniform on `[-√3, √3]`.
+    Uniform,
+    /// Laplace with unit variance (heavier tails than Gaussian).
+    Laplace,
+    /// Centered exponential (skewed).
+    Exponential,
+    /// Student-t(5) scaled to unit variance (heavy tails).
+    StudentT,
+    /// Sparse spike noise: mostly zero with occasional large components.
+    MaskedGaussian,
+}
+
+impl NoiseKind {
+    /// The canonical ordering used when a CEND layer asks for `N` distinct
+    /// sources (paper default `N = 4` uses the first four).
+    pub const ALL: [NoiseKind; 6] = [
+        NoiseKind::Gaussian,
+        NoiseKind::Uniform,
+        NoiseKind::Laplace,
+        NoiseKind::MaskedGaussian,
+        NoiseKind::Exponential,
+        NoiseKind::StudentT,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = TensorRng::seed_from(42);
+        let mut b = TensorRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.normal(), b.normal());
+        }
+    }
+
+    #[test]
+    fn noise_kinds_are_roughly_unit_variance() {
+        let mut rng = TensorRng::seed_from(1234);
+        for kind in NoiseKind::ALL {
+            let n = 20_000;
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            for _ in 0..n {
+                let v = rng.sample(kind) as f64;
+                sum += v;
+                sq += v * v;
+            }
+            let mean = sum / n as f64;
+            let var = sq / n as f64 - mean * mean;
+            assert!(
+                (var - 1.0).abs() < 0.35,
+                "{kind:?} variance {var} too far from 1"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_gaussian_is_sparse() {
+        let mut rng = TensorRng::seed_from(9);
+        let t = rng.noise_tensor(&[10_000], NoiseKind::MaskedGaussian);
+        let zeros = t.data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 6_000, "expected sparse noise, got {zeros} zeros");
+    }
+}

@@ -1,0 +1,108 @@
+//! Row-major shapes.
+
+use std::fmt;
+
+/// A row-major tensor shape.
+///
+/// `Shape` is a thin wrapper over a dimension list with helpers for element
+/// counts and NCHW access, used pervasively by [`crate::Tensor`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    ///
+    /// ```
+    /// use cae_tensor::Shape;
+    /// let s = Shape::new(&[2, 3, 4]);
+    /// assert_eq!(s.numel(), 24);
+    /// ```
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; `1` for a 0-d shape).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Interprets the shape as `[N, C, H, W]`.
+    ///
+    /// # Panics
+    /// Panics if the shape is not 4-dimensional.
+    pub fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert!(
+            self.ndim() == 4,
+            "expected a 4-d (NCHW) shape, got {:?}",
+            self.0
+        );
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`.
+    ///
+    /// # Panics
+    /// Panics if the shape is not 2-dimensional.
+    pub fn matrix(&self) -> (usize, usize) {
+        assert!(self.ndim() == 2, "expected a 2-d shape, got {:?}", self.0);
+        (self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_empty_shape_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.nchw(), (2, 3, 4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a 4-d")]
+    fn nchw_panics_on_wrong_rank() {
+        Shape::new(&[2, 3]).nchw();
+    }
+}

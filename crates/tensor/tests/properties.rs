@@ -1,0 +1,176 @@
+//! Property-based tests of the tensor substrate: algebraic identities of
+//! the kernels and autograd invariants.
+
+use cae_tensor::conv::{self, Conv2dSpec};
+use cae_tensor::gradcheck::check_gradients;
+use cae_tensor::linalg;
+use cae_tensor::rng::TensorRng;
+use cae_tensor::{Tensor, Var};
+use proptest::prelude::*;
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Matrix multiplication is associative: (A·B)·C == A·(B·C).
+    #[test]
+    fn matmul_is_associative(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6, p in 1usize..6) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let c = rng.normal_tensor(&[n, p], 0.0, 1.0);
+        let left = linalg::matmul(&linalg::matmul(&a, &b), &c);
+        let right = linalg::matmul(&a, &linalg::matmul(&b, &c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!(close(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    /// Transposition is an involution and flips matmul order:
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_flips_matmul(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.normal_tensor(&[m, k], 0.0, 1.0);
+        let b = rng.normal_tensor(&[k, n], 0.0, 1.0);
+        let lhs = linalg::transpose(&linalg::matmul(&a, &b));
+        let rhs = linalg::matmul(&linalg::transpose(&b), &linalg::transpose(&a));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+    }
+
+    /// Softmax is invariant to per-row constant shifts.
+    #[test]
+    fn softmax_shift_invariance(seed in 0u64..1000, shift in -10.0f32..10.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = rng.normal_tensor(&[3, 5], 0.0, 2.0);
+        let shifted = x.add_scalar(shift);
+        let a = x.softmax_rows();
+        let b = shifted.softmax_rows();
+        for (p, q) in a.data().iter().zip(b.data()) {
+            prop_assert!(close(*p, *q, 1e-4));
+        }
+    }
+
+    /// Convolution is linear in its input: conv(αx) == α·conv(x).
+    #[test]
+    fn conv_is_linear(seed in 0u64..1000, alpha in -3.0f32..3.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = rng.normal_tensor(&[1, 2, 5, 5], 0.0, 1.0);
+        let w = rng.normal_tensor(&[3, 2, 3, 3], 0.0, 0.5);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let lhs = conv::conv2d(&x.scale(alpha), &w, None, spec);
+        let rhs = conv::conv2d(&x, &w, None, spec).scale(alpha);
+        for (p, q) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(close(*p, *q, 1e-3));
+        }
+    }
+
+    /// Average pooling preserves the global mean when the window tiles the
+    /// input exactly.
+    #[test]
+    fn avg_pool_preserves_mean(seed in 0u64..1000) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = rng.normal_tensor(&[2, 3, 4, 4], 0.0, 1.0);
+        let pooled = conv::avg_pool2d(&x, 2, 2);
+        prop_assert!(close(x.mean(), pooled.mean(), 1e-4));
+    }
+
+    /// Max pooling dominates average pooling elementwise.
+    #[test]
+    fn max_pool_dominates_avg_pool(seed in 0u64..1000) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = rng.normal_tensor(&[1, 2, 6, 6], 0.0, 1.0);
+        let (mx, _) = conv::max_pool2d(&x, 2, 2);
+        let av = conv::avg_pool2d(&x, 2, 2);
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+    }
+
+    /// Upsample-then-downsample by the same factor is the identity for
+    /// nearest-neighbour + stride-matched average pooling.
+    #[test]
+    fn upsample_avgpool_roundtrip(seed in 0u64..1000, scale in 2usize..4) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = rng.normal_tensor(&[1, 2, 3, 3], 0.0, 1.0);
+        let up = conv::upsample_nearest2d(&x, scale);
+        let back = conv::avg_pool2d(&up, scale, scale);
+        for (a, b) in x.data().iter().zip(back.data()) {
+            prop_assert!(close(*a, *b, 1e-4));
+        }
+    }
+
+    /// Backward of a linear map is exact (gradient of sum(A·x) w.r.t. x is
+    /// the column sums of A).
+    #[test]
+    fn linear_backward_is_exact(seed in 0u64..1000, m in 1usize..5, n in 1usize..5) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.normal_tensor(&[m, n], 0.0, 1.0);
+        let x = Var::parameter(rng.normal_tensor(&[n, 1], 0.0, 1.0));
+        Var::constant(a.clone()).matmul(&x).sum_all().backward();
+        let g = x.grad().expect("gradient present");
+        for j in 0..n {
+            let col_sum: f32 = (0..m).map(|i| a.data()[i * n + j]).sum();
+            prop_assert!(close(g.data()[j], col_sum, 1e-4));
+        }
+    }
+
+    /// Autograd is linear: grad of (αf) is α·(grad of f).
+    #[test]
+    fn gradient_scaling(seed in 0u64..1000, alpha in 0.1f32..4.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = Var::parameter(rng.normal_tensor(&[4], 0.0, 1.0));
+        x.square().sum_all().backward();
+        let g1 = x.grad().expect("gradient present");
+        x.zero_grad();
+        x.square().sum_all().scale(alpha).backward();
+        let g2 = x.grad().expect("gradient present");
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            prop_assert!(close(a * alpha, *b, 1e-4));
+        }
+    }
+
+    /// Random deep chains pass the finite-difference check.
+    #[test]
+    fn random_chain_gradcheck(seed in 0u64..300) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = Var::parameter(rng.normal_tensor(&[2, 3, 4, 4], 0.0, 1.0));
+        let w = Var::parameter(rng.normal_tensor(&[4, 3, 3, 3], 0.0, 0.4));
+        let r = check_gradients(&[x.clone(), w.clone()], 1e-3, || {
+            x.conv2d(&w, None, Conv2dSpec::new(3, 1, 1))
+                .sigmoid()
+                .upsample_nearest2d(2)
+                .avg_pool2d(2, 2)
+                .global_avg_pool()
+                .l2_normalize_rows()
+                .square()
+                .mean_all()
+        });
+        prop_assert!(r.passes(2e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    /// Tensor JSON serialization round-trips.
+    #[test]
+    fn tensor_serde_roundtrip(seed in 0u64..1000, dims in prop::collection::vec(1usize..4, 1..4)) {
+        let mut rng = TensorRng::seed_from(seed);
+        let t = rng.normal_tensor(&dims, 0.0, 1.0);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: Tensor = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, t);
+    }
+
+    /// Clamp output respects the bounds and is idempotent.
+    #[test]
+    fn clamp_bounds(seed in 0u64..1000, lo in -2.0f32..0.0, hi in 0.0f32..2.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let t = rng.normal_tensor(&[32], 0.0, 3.0);
+        let c = t.clamp(lo, hi);
+        prop_assert!(c.min() >= lo && c.max() <= hi);
+        prop_assert_eq!(c.clamp(lo, hi), c);
+    }
+}

@@ -1,0 +1,35 @@
+//! Runs every implemented DFKD method on the same teacher→student pair and
+//! prints a side-by-side comparison (a miniature paper Table II column).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use cae_dfkd::core::config::ExperimentBudget;
+use cae_dfkd::core::method::MethodSpec;
+use cae_dfkd::core::pipeline::{run_data_accessible, run_dfkd};
+use cae_dfkd::data::presets::ClassificationPreset;
+use cae_dfkd::nn::models::Arch;
+
+fn main() {
+    let budget = ExperimentBudget::fast();
+    let preset = ClassificationPreset::C100Sim;
+
+    let (_, teacher_acc) = run_data_accessible(preset, Arch::ResNet34, &budget);
+    let (_, student_acc) = run_data_accessible(preset, Arch::ResNet18, &budget);
+    println!("{:<26} {:>8}", "method", "top-1 %");
+    println!("{:<26} {:>8.2}", "Teacher (data)", teacher_acc * 100.0);
+    println!("{:<26} {:>8.2}", "Student (data)", student_acc * 100.0);
+
+    for spec in [
+        MethodSpec::vanilla(),
+        MethodSpec::deepinv_like(),
+        MethodSpec::cmi_like(),
+        MethodSpec::nayer_like(),
+        MethodSpec::cae_dfkd(4),
+    ] {
+        let run = run_dfkd(preset, Arch::ResNet34, Arch::ResNet18, &spec, &budget, 42);
+        println!("{:<26} {:>8.2}", spec.name, run.student_top1 * 100.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Checkpointing: distill a student data-free, save its full state
+//! (weights + batch-norm statistics) to JSON, reload it into a freshly
+//! built network and verify the two agree.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example save_and_reload
+//! ```
+
+use cae_dfkd::core::config::ExperimentBudget;
+use cae_dfkd::core::method::MethodSpec;
+use cae_dfkd::core::metrics::classification::top1_accuracy;
+use cae_dfkd::core::pipeline::run_dfkd;
+use cae_dfkd::data::presets::ClassificationPreset;
+use cae_dfkd::nn::models::Arch;
+use cae_dfkd::nn::serialize;
+use cae_dfkd::tensor::rng::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let budget = ExperimentBudget::fast();
+    let preset = ClassificationPreset::C10Sim;
+    let run = run_dfkd(
+        preset,
+        Arch::ResNet34,
+        Arch::ResNet18,
+        &MethodSpec::cae_dfkd(4),
+        &budget,
+        42,
+    );
+    println!("distilled student top-1: {:.2}%", run.student_top1 * 100.0);
+
+    // Save to disk…
+    let json = serialize::to_json(run.student.as_ref());
+    let path = std::env::temp_dir().join("cae_dfkd_student.json");
+    std::fs::write(&path, &json)?;
+    println!("checkpoint: {} ({} KiB)", path.display(), json.len() / 1024);
+
+    // …and reload into a brand-new network.
+    let mut rng = TensorRng::seed_from(0);
+    let reloaded = Arch::ResNet18.build(preset.num_classes(), budget.base_width, &mut rng);
+    serialize::from_json(reloaded.as_ref(), &std::fs::read_to_string(&path)?)?;
+
+    let split = preset.generate(budget.seed);
+    let acc = top1_accuracy(reloaded.as_ref(), &split.test, 32);
+    println!("reloaded student top-1: {:.2}%", acc * 100.0);
+    assert!((acc - run.student_top1).abs() < 1e-6, "reload must be exact");
+    println!("reload exact: OK");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,254 @@
+//! Command-line argument parsing for the `cae-dfkd` binary.
+//!
+//! Hand-rolled (no external parser dependency): `--key value` flags after a
+//! subcommand, with typed accessors and helpful errors.
+
+use cae_core::config::ExperimentBudget;
+use cae_core::method::MethodSpec;
+use cae_data::presets::ClassificationPreset;
+use cae_nn::models::Arch;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// The subcommand (`distill`, `evaluate`, `transfer`, `table`, `help`).
+    pub name: String,
+    /// Flag map.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Error produced while parsing or interpreting arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+fn err(msg: impl Into<String>) -> ParseArgsError {
+    ParseArgsError(msg.into())
+}
+
+impl Command {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    /// Returns an error when no subcommand is given, a flag is missing its
+    /// value, or a positional argument appears after flags.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseArgsError> {
+        let mut iter = args.into_iter();
+        let name = iter.next().ok_or_else(|| err("missing subcommand; try `help`"))?;
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected a --flag, got '{arg}'")))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| err(format!("flag --{key} is missing its value")))?;
+            options.insert(key.to_owned(), value);
+        }
+        Ok(Command { name, options })
+    }
+
+    /// String option with a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string option.
+    ///
+    /// # Errors
+    /// Returns an error naming the missing flag.
+    pub fn required(&self, key: &str) -> Result<&str, ParseArgsError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("missing required flag --{key}")))
+    }
+
+    /// Integer option with a default.
+    ///
+    /// # Errors
+    /// Returns an error when the value is not an integer.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ParseArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// u64 option with a default.
+    ///
+    /// # Errors
+    /// Returns an error when the value is not an integer.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ParseArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Dataset preset option (default `c10`).
+    ///
+    /// # Errors
+    /// Returns an error for unknown dataset names.
+    pub fn dataset(&self) -> Result<ClassificationPreset, ParseArgsError> {
+        parse_dataset(self.str_or("dataset", "c10"))
+    }
+
+    /// Architecture option under `key`.
+    ///
+    /// # Errors
+    /// Returns an error for unknown architecture names.
+    pub fn arch(&self, key: &str, default: &str) -> Result<Arch, ParseArgsError> {
+        parse_arch(self.str_or(key, default))
+    }
+
+    /// Budget option (default `fast`).
+    ///
+    /// # Errors
+    /// Returns an error for unknown budget names.
+    pub fn budget(&self) -> Result<ExperimentBudget, ParseArgsError> {
+        match self.str_or("budget", "fast") {
+            "smoke" => Ok(ExperimentBudget::smoke()),
+            "fast" => Ok(ExperimentBudget::fast()),
+            "full" => Ok(ExperimentBudget::full()),
+            other => Err(err(format!("unknown budget '{other}' (smoke|fast|full)"))),
+        }
+    }
+
+    /// Method option (default `cae`).
+    ///
+    /// # Errors
+    /// Returns an error for unknown method names or bad `--n`.
+    pub fn method(&self) -> Result<MethodSpec, ParseArgsError> {
+        let n = self.usize_or("n", 4)?;
+        match self.str_or("method", "cae") {
+            "cae" => Ok(MethodSpec::cae_dfkd(n)),
+            "cend" => Ok(MethodSpec::cend_only(n)),
+            "vanilla" => Ok(MethodSpec::vanilla()),
+            "nayer" => Ok(MethodSpec::nayer_like()),
+            "cmi" => Ok(MethodSpec::cmi_like()),
+            "deepinv" => Ok(MethodSpec::deepinv_like()),
+            other => Err(err(format!(
+                "unknown method '{other}' (cae|cend|vanilla|nayer|cmi|deepinv)"
+            ))),
+        }
+    }
+}
+
+/// Parses a dataset name.
+///
+/// # Errors
+/// Returns an error for unknown names.
+pub fn parse_dataset(name: &str) -> Result<ClassificationPreset, ParseArgsError> {
+    match name {
+        "c10" | "cifar10" => Ok(ClassificationPreset::C10Sim),
+        "c100" | "cifar100" => Ok(ClassificationPreset::C100Sim),
+        "tiny" | "tiny-imagenet" => Ok(ClassificationPreset::TinyImageNetSim),
+        "imagenet" => Ok(ClassificationPreset::ImageNetSim),
+        other => Err(err(format!(
+            "unknown dataset '{other}' (c10|c100|tiny|imagenet)"
+        ))),
+    }
+}
+
+/// Parses an architecture name.
+///
+/// # Errors
+/// Returns an error for unknown names.
+pub fn parse_arch(name: &str) -> Result<Arch, ParseArgsError> {
+    match name {
+        "resnet18" => Ok(Arch::ResNet18),
+        "resnet34" => Ok(Arch::ResNet34),
+        "resnet50" => Ok(Arch::ResNet50),
+        "wrn40-2" => Ok(Arch::Wrn40x2),
+        "wrn40-1" => Ok(Arch::Wrn40x1),
+        "wrn16-2" => Ok(Arch::Wrn16x2),
+        "wrn16-1" => Ok(Arch::Wrn16x1),
+        "vgg11" => Ok(Arch::Vgg11),
+        other => Err(err(format!(
+            "unknown architecture '{other}' (resnet18|resnet34|resnet50|wrn40-2|wrn40-1|wrn16-2|wrn16-1|vgg11)"
+        ))),
+    }
+}
+
+/// The help text shown by `cae-dfkd help`.
+pub const HELP: &str = "\
+cae-dfkd — data-free knowledge distillation (CAE-DFKD reproduction)
+
+USAGE:
+  cae-dfkd distill  [--dataset c10|c100|tiny|imagenet] [--teacher ARCH] [--student ARCH]
+                    [--method cae|cend|vanilla|nayer|cmi|deepinv] [--n 4]
+                    [--budget smoke|fast|full] [--seed 42] [--save FILE.json]
+  cae-dfkd evaluate --weights FILE.json [--dataset c10] [--arch resnet18] [--budget fast]
+  cae-dfkd transfer --weights FILE.json [--task nyu|ade|coco] [--arch resnet18]
+                    [--dataset c10] [--budget fast]
+  cae-dfkd help
+
+Architectures: resnet18 resnet34 resnet50 wrn40-2 wrn40-1 wrn16-2 wrn16-1 vgg11
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let c = Command::parse(args("distill --dataset c100 --n 5")).expect("parses");
+        assert_eq!(c.name, "distill");
+        assert_eq!(c.str_or("dataset", "c10"), "c100");
+        assert_eq!(c.usize_or("n", 4).expect("int"), 5);
+        assert_eq!(c.usize_or("missing", 7).expect("default"), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Command::parse(args("")).is_err());
+        assert!(Command::parse(args("distill stray")).is_err());
+        assert!(Command::parse(args("distill --n")).is_err());
+        let c = Command::parse(args("distill --n x")).expect("parses");
+        assert!(c.usize_or("n", 4).is_err());
+    }
+
+    #[test]
+    fn typed_accessors_resolve_domain_values() {
+        let c = Command::parse(args(
+            "distill --dataset tiny --teacher wrn40-2 --method nayer --budget smoke",
+        ))
+        .expect("parses");
+        assert_eq!(c.dataset().expect("dataset"), ClassificationPreset::TinyImageNetSim);
+        assert_eq!(c.arch("teacher", "resnet34").expect("arch"), Arch::Wrn40x2);
+        assert_eq!(c.method().expect("method").name, "NAYER-like");
+        assert_eq!(c.budget().expect("budget"), ExperimentBudget::smoke());
+    }
+
+    #[test]
+    fn unknown_values_error_with_choices() {
+        let c = Command::parse(args("distill --dataset mars")).expect("parses");
+        let e = c.dataset().expect_err("must fail");
+        assert!(e.to_string().contains("c10|c100|tiny|imagenet"));
+    }
+
+    #[test]
+    fn required_flags_are_enforced() {
+        let c = Command::parse(args("evaluate")).expect("parses");
+        assert!(c.required("weights").is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # cae-dfkd
+//!
+//! Umbrella crate for the CAE-DFKD reproduction (DAC 2025): re-exports the
+//! whole workspace under one name so examples and integration tests can use
+//! `cae_dfkd::...` paths.
+//!
+//! * [`tensor`] — from-scratch f32 tensors + reverse-mode autograd.
+//! * [`nn`] — layers, models (ResNet / WideResNet / VGG / generator),
+//!   optimizers, losses.
+//! * [`lm`] — simulated pre-trained language models providing the
+//!   category-structured embeddings consumed by CEND.
+//! * [`data`] — procedural classification and dense-prediction datasets.
+//! * [`core`] — the paper's contribution: CEND, CNCL, the DFKD trainer,
+//!   baselines, metrics, transfer harness and experiment runners.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: pre-train a teacher
+//! on a procedural dataset, distill a student data-free with CAE-DFKD and
+//! evaluate top-1 accuracy.
+
+pub mod cli;
+
+pub use cae_core as core;
+pub use cae_data as data;
+pub use cae_lm as lm;
+pub use cae_nn as nn;
+pub use cae_tensor as tensor;

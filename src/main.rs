@@ -1,0 +1,120 @@
+//! The `cae-dfkd` command-line tool: distill, evaluate and transfer —
+//! data-free — from the terminal.
+//!
+//! ```text
+//! cae-dfkd distill --dataset c100 --teacher resnet34 --student resnet18 \
+//!                  --method cae --n 4 --budget fast --save student.json
+//! cae-dfkd evaluate --weights student.json --dataset c100 --arch resnet18
+//! cae-dfkd transfer --weights student.json --task nyu --arch resnet18
+//! ```
+
+use cae_dfkd::cli::{Command, HELP};
+use cae_dfkd::core::metrics::classification::top1_accuracy;
+use cae_dfkd::core::pipeline::run_dfkd;
+use cae_dfkd::core::transfer::{transfer_evaluate, TaskSet};
+use cae_dfkd::data::dense::DensePreset;
+use cae_dfkd::nn::serialize;
+use cae_dfkd::tensor::rng::TensorRng;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let cmd = Command::parse(args)?;
+    match cmd.name.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "distill" => distill(&cmd),
+        "evaluate" => evaluate(&cmd),
+        "transfer" => transfer(&cmd),
+        other => Err(format!("unknown subcommand '{other}'").into()),
+    }
+}
+
+fn distill(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let dataset = cmd.dataset()?;
+    let teacher = cmd.arch("teacher", "resnet34")?;
+    let student = cmd.arch("student", "resnet18")?;
+    let method = cmd.method()?;
+    let budget = cmd.budget()?;
+    let seed = cmd.u64_or("seed", 42)?;
+
+    println!(
+        "distilling {} -> {} on {} with {} ...",
+        teacher.name(),
+        student.name(),
+        dataset.name(),
+        method.name
+    );
+    let run = run_dfkd(dataset, teacher, student, &method, &budget, seed);
+    println!("teacher top-1: {:.2}%", run.teacher_top1 * 100.0);
+    println!("student top-1: {:.2}% (data-free)", run.student_top1 * 100.0);
+
+    if let Some(path) = cmd.options.get("save") {
+        std::fs::write(path, serialize::to_json(run.student.as_ref()))?;
+        println!("saved: {path}");
+    }
+    Ok(())
+}
+
+fn evaluate(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let dataset = cmd.dataset()?;
+    let arch = cmd.arch("arch", "resnet18")?;
+    let budget = cmd.budget()?;
+    let weights = cmd.required("weights")?;
+
+    let mut rng = TensorRng::seed_from(0);
+    let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
+    serialize::from_json(model.as_ref(), &std::fs::read_to_string(weights)?)?;
+    let split = dataset.generate(budget.seed);
+    let acc = top1_accuracy(model.as_ref(), &split.test, 32);
+    println!("{} on {}: top-1 {:.2}%", arch.name(), dataset.name(), acc * 100.0);
+    Ok(())
+}
+
+fn transfer(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let dataset = cmd.dataset()?;
+    let arch = cmd.arch("arch", "resnet18")?;
+    let budget = cmd.budget()?;
+    let weights = cmd.required("weights")?;
+    let (preset, tasks) = match cmd.str_or("task", "nyu") {
+        "nyu" => (DensePreset::NyuSim, TaskSet::nyu()),
+        "ade" => (DensePreset::AdeSim, TaskSet::seg_only()),
+        "coco" => (DensePreset::CocoSim, TaskSet::detection_only()),
+        other => return Err(format!("unknown task '{other}' (nyu|ade|coco)").into()),
+    };
+
+    let mut rng = TensorRng::seed_from(0);
+    let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
+    serialize::from_json(model.as_ref(), &std::fs::read_to_string(weights)?)?;
+
+    let (train, test) = preset.generate(96, 24, budget.seed);
+    println!("fine-tuning on {} ({} steps)...", preset.name(), budget.finetune_steps);
+    let m = transfer_evaluate(model, tasks, &train, &test, budget.finetune_steps, budget.seed);
+    if let (Some(miou), Some(pacc)) = (m.miou, m.pacc) {
+        println!("seg: mIoU {:.2}%  pAcc {:.2}%", miou * 100.0, pacc * 100.0);
+    }
+    if let (Some(a), Some(r)) = (m.abs_err, m.rel_err) {
+        println!("depth: AErr {a:.4}  RErr {r:.4}");
+    }
+    if let (Some(mean), Some(w30)) = (m.normal_mean, m.within_30) {
+        println!("normals: mean {mean:.1}°  within-30° {:.1}%", w30 * 100.0);
+    }
+    if let (Some(map), Some(map50)) = (m.map, m.map50) {
+        println!("detection: mAP {:.2}%  mAP50 {:.2}%", map * 100.0, map50 * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: the full DFKD pipeline from procedural data to
+//! a distilled student.
+
+use cae_dfkd::core::config::{DfkdConfig, ExperimentBudget};
+use cae_dfkd::core::method::MethodSpec;
+use cae_dfkd::core::metrics::classification::top1_accuracy;
+use cae_dfkd::core::pipeline::run_dfkd;
+use cae_dfkd::core::teacher::train_supervised;
+use cae_dfkd::core::trainer::DfkdTrainer;
+use cae_dfkd::data::presets::ClassificationPreset;
+use cae_dfkd::data::world::VisionWorld;
+use cae_dfkd::data::SplitDataset;
+use cae_dfkd::nn::models::Arch;
+use cae_dfkd::tensor::rng::TensorRng;
+
+#[test]
+fn distillation_transfers_knowledge_above_chance() {
+    // A longer-than-smoke budget so the distilled student demonstrably
+    // learns from the teacher without seeing data.
+    let budget = ExperimentBudget {
+        pretrain_steps: 120,
+        dfkd_epochs: 8,
+        generator_steps_per_epoch: 4,
+        student_steps_per_epoch: 10,
+        finetune_steps: 0,
+        base_width: 4,
+        seed: 3,
+    };
+    let run = run_dfkd(
+        ClassificationPreset::C10Sim,
+        Arch::ResNet34,
+        Arch::ResNet18,
+        &MethodSpec::cae_dfkd(4),
+        &budget,
+        3,
+    );
+    let chance = 1.0 / ClassificationPreset::C10Sim.num_classes() as f32;
+    assert!(
+        run.teacher_top1 > 2.0 * chance,
+        "teacher too weak: {:.3}",
+        run.teacher_top1
+    );
+    assert!(
+        run.student_top1 > 1.5 * chance,
+        "data-free student should beat chance: {:.3} (chance {:.3})",
+        run.student_top1,
+        chance
+    );
+}
+
+#[test]
+fn every_method_produces_a_working_student() {
+    let budget = ExperimentBudget::smoke();
+    for spec in [
+        MethodSpec::vanilla(),
+        MethodSpec::deepinv_like(),
+        MethodSpec::cmi_like(),
+        MethodSpec::nayer_like(),
+        MethodSpec::cae_dfkd(4),
+        MethodSpec::nayer_like().with_mixup(0.6),
+        MethodSpec::nayer_like().with_image_contrastive(0.5),
+    ] {
+        let run = run_dfkd(
+            ClassificationPreset::C10Sim,
+            Arch::Wrn40x2,
+            Arch::Wrn16x1,
+            &spec,
+            &budget,
+            9,
+        );
+        assert!(
+            (0.0..=1.0).contains(&run.student_top1),
+            "{} produced invalid accuracy",
+            spec.name
+        );
+        assert!(
+            run.stats.student_losses.iter().all(|l| l.is_finite()),
+            "{} diverged",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn student_improves_over_the_course_of_distillation() {
+    // Train teacher, then track student accuracy mid-training vs end.
+    let world = VisionWorld::new(4, 8, 77);
+    let split = SplitDataset::sample(&world, 40, 12, 5);
+    let mut rng = TensorRng::seed_from(1);
+    let teacher = Arch::ResNet34.build(4, 4, &mut rng);
+    train_supervised(teacher.as_ref(), &split.train, 120, 16, 0.1, &mut rng);
+
+    let student = Arch::ResNet18.build(4, 4, &mut rng);
+    let budget = ExperimentBudget {
+        pretrain_steps: 0,
+        dfkd_epochs: 10,
+        generator_steps_per_epoch: 3,
+        student_steps_per_epoch: 8,
+        finetune_steps: 0,
+        base_width: 4,
+        seed: 5,
+    };
+    let mut trainer = DfkdTrainer::new(
+        teacher.as_ref(),
+        student,
+        &["a", "b", "c", "d"],
+        8,
+        &MethodSpec::cae_dfkd(4),
+        DfkdConfig { batch_size: 8, ..Default::default() },
+        &budget,
+        5,
+    );
+    let before = top1_accuracy(trainer.student(), &split.test, 16);
+    trainer.run(&budget);
+    let after = top1_accuracy(trainer.student(), &split.test, 16);
+    assert!(
+        after > before,
+        "student accuracy should improve: {before:.3} -> {after:.3}"
+    );
+}

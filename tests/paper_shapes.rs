@@ -1,0 +1,68 @@
+//! Shape-reproduction checks: assert the *qualitative* claims of the paper
+//! at the fast budget. These are expensive (minutes each) and statistically
+//! noisy at CPU scale, so they are `#[ignore]`d by default; run explicitly
+//! with `cargo test --release --test paper_shapes -- --ignored`.
+
+use cae_dfkd::core::config::ExperimentBudget;
+use cae_dfkd::core::experiments::{table01, table09};
+use cae_dfkd::core::method::MethodSpec;
+use cae_dfkd::core::pipeline::run_dfkd;
+use cae_dfkd::data::presets::ClassificationPreset;
+use cae_dfkd::nn::models::Arch;
+
+#[test]
+#[ignore = "minutes of compute; exercised by the bench harness"]
+fn table1_shape_image_level_augmentation_hurts() {
+    let report = table01::run(&ExperimentBudget::fast());
+    let base = report.cell("Vanilla", "Top-1 Acc (%)").expect("base row");
+    let mixup = report
+        .cell("Vanilla + Mixup", "Top-1 Acc (%)")
+        .expect("mixup row");
+    let cl = report
+        .cell("Vanilla + Contrastive Learning", "Top-1 Acc (%)")
+        .expect("cl row");
+    assert!(mixup <= base, "Mixup should not help: {mixup} vs {base}");
+    assert!(cl <= base, "image-level CL should not help: {cl} vs {base}");
+}
+
+#[test]
+#[ignore = "minutes of compute; exercised by the bench harness"]
+fn table9_shape_cend_speeds_up_convergence() {
+    let report = table09::run(&ExperimentBudget::fast());
+    for row in &report.rows {
+        let speedup = row.values[4].expect("speedup cell");
+        assert!(
+            speedup > 1.0,
+            "CEND speedup must exceed 1 on {} (got {speedup})",
+            row.label
+        );
+    }
+}
+
+#[test]
+#[ignore = "minutes of compute; exercised by the bench harness"]
+fn cae_beats_vanilla_on_recognition() {
+    let budget = ExperimentBudget::fast();
+    let cae = run_dfkd(
+        ClassificationPreset::C10Sim,
+        Arch::ResNet34,
+        Arch::ResNet18,
+        &MethodSpec::cae_dfkd(4),
+        &budget,
+        42,
+    );
+    let vanilla = run_dfkd(
+        ClassificationPreset::C10Sim,
+        Arch::ResNet34,
+        Arch::ResNet18,
+        &MethodSpec::vanilla(),
+        &budget,
+        42,
+    );
+    assert!(
+        cae.student_top1 >= vanilla.student_top1,
+        "CAE-DFKD ({:.3}) should not lose to vanilla ({:.3})",
+        cae.student_top1,
+        vanilla.student_top1
+    );
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the cross-crate invariants: autograd
+//! correctness on random compositions, CEND diffusion locality, memory-bank
+//! invariants and report round-trips.
+
+use cae_dfkd::core::cend::CendLayer;
+use cae_dfkd::core::memory::MemoryBank;
+use cae_dfkd::core::report::Report;
+use cae_dfkd::tensor::gradcheck::check_gradients;
+use cae_dfkd::tensor::rng::TensorRng;
+use cae_dfkd::tensor::{Tensor, Var};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random elementwise/matmul/softmax compositions must pass a numeric
+    /// gradient check.
+    #[test]
+    fn autograd_matches_finite_differences(seed in 0u64..1000, rows in 2usize..5, cols in 2usize..5) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = Var::parameter(rng.normal_tensor(&[rows, cols], 0.0, 1.0));
+        let b = Var::parameter(rng.normal_tensor(&[cols, rows], 0.0, 1.0));
+        let r = check_gradients(&[a.clone(), b.clone()], 1e-3, || {
+            a.matmul(&b)
+                .tanh()
+                .log_softmax_rows()
+                .square()
+                .mean_all()
+        });
+        prop_assert!(r.passes(2e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    /// Conv/pool/norm chains must pass a numeric gradient check.
+    #[test]
+    fn conv_chain_gradients(seed in 0u64..500) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = Var::parameter(rng.normal_tensor(&[1, 2, 6, 6], 0.0, 1.0));
+        let w = Var::parameter(rng.normal_tensor(&[3, 2, 3, 3], 0.0, 0.4));
+        let r = check_gradients(&[x.clone(), w.clone()], 1e-3, || {
+            x.conv2d(&w, None, cae_dfkd::tensor::conv::Conv2dSpec::new(3, 1, 1))
+                .leaky_relu(0.1)
+                .avg_pool2d(2, 2)
+                .global_avg_pool()
+                .square()
+                .mean_all()
+        });
+        prop_assert!(r.passes(2e-2), "max rel err {}", r.max_rel_err);
+    }
+
+    /// CEND diffusion stays within a norm ball of the category embedding
+    /// scaled by the magnitude (locality: diffusion must not destroy the
+    /// category structure).
+    #[test]
+    fn cend_diffusion_is_local(seed in 0u64..1000, n in 1usize..7, magnitude in 0.05f32..0.5) {
+        let mut rng = TensorRng::seed_from(seed);
+        let k = 5usize;
+        let d = 16usize;
+        let e_off = rng.normal_tensor(&[k, d], 0.0, 1.0);
+        let layer = CendLayer::with_default_sources(n, magnitude);
+        let classes: Vec<usize> = (0..k).collect();
+        let batch = layer.diffuse_batch(&e_off, &classes, &mut rng);
+        for (row, &class) in classes.iter().enumerate() {
+            let mut dist2 = 0.0f32;
+            for j in 0..d {
+                let diff = batch.data()[row * d + j] - e_off.data()[class * d + j];
+                dist2 += diff * diff;
+            }
+            // Expected norm = magnitude; heavy-tailed sources can exceed it,
+            // but not by an order of magnitude.
+            prop_assert!(
+                dist2.sqrt() < magnitude * 12.0,
+                "perturbation {} too large for magnitude {}",
+                dist2.sqrt(),
+                magnitude
+            );
+        }
+    }
+
+    /// The memory bank never exceeds capacity and always returns batches of
+    /// the requested size with valid labels.
+    #[test]
+    fn memory_bank_invariants(
+        capacity in 1usize..64,
+        pushes in prop::collection::vec(1usize..9, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut bank = MemoryBank::new(capacity, &[3, 4, 4]);
+        let mut total = 0usize;
+        for (i, &n) in pushes.iter().enumerate() {
+            let images = rng.normal_tensor(&[n, 3, 4, 4], 0.0, 1.0);
+            let labels = vec![i % 7; n];
+            bank.push_batch(&images, &labels);
+            total += n;
+            prop_assert!(bank.len() <= capacity);
+            prop_assert_eq!(bank.len(), total.min(capacity));
+        }
+        let (batch, labels) = bank.sample_batch(5, &mut rng);
+        prop_assert_eq!(batch.shape().dims(), &[5, 3, 4, 4]);
+        prop_assert_eq!(labels.len(), 5);
+        prop_assert!(labels.iter().all(|&l| l < 12));
+    }
+
+    /// Reports survive a JSON round-trip with arbitrary contents.
+    #[test]
+    fn report_json_roundtrip(
+        values in prop::collection::vec(prop::option::of(-1e3f32..1e3), 1..6),
+        label in "[a-zA-Z0-9 →-]{1,24}",
+    ) {
+        let columns: Vec<String> = (0..values.len()).map(|i| format!("c{i}")).collect();
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut report = Report::new("Table P", "prop", &col_refs);
+        report.push_row(&label, values.clone());
+        let json = report.to_json();
+        let back: Report = Report::from_json(&json).expect("roundtrip");
+        prop_assert_eq!(back, report);
+    }
+
+    /// Tensor concat/slice round-trips for arbitrary splits.
+    #[test]
+    fn concat_slice_roundtrip(sizes in prop::collection::vec(1usize..5, 1..5), seed in 0u64..100) {
+        let mut rng = TensorRng::seed_from(seed);
+        let parts: Vec<Tensor> = sizes.iter().map(|&n| rng.normal_tensor(&[n, 3], 0.0, 1.0)).collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let whole = Tensor::concat0(&refs);
+        let mut start = 0;
+        for p in &parts {
+            let n = p.shape().dim(0);
+            let piece = whole.slice0(start, n);
+            prop_assert_eq!(piece.data(), p.data());
+            start += n;
+        }
+    }
+}

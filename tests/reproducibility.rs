@@ -1,0 +1,53 @@
+//! Determinism: identical seeds produce identical experiments end to end.
+
+use cae_dfkd::core::config::ExperimentBudget;
+use cae_dfkd::core::method::MethodSpec;
+use cae_dfkd::core::pipeline::run_dfkd;
+use cae_dfkd::core::teacher::clear_cache;
+use cae_dfkd::data::presets::ClassificationPreset;
+use cae_dfkd::nn::models::Arch;
+
+#[test]
+fn same_seed_same_result() {
+    let budget = ExperimentBudget::smoke();
+    let go = || {
+        clear_cache(); // force identical teacher training, not a cache hit
+        run_dfkd(
+            ClassificationPreset::C10Sim,
+            Arch::ResNet34,
+            Arch::ResNet18,
+            &MethodSpec::cae_dfkd(4),
+            &budget,
+            123,
+        )
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.teacher_top1, b.teacher_top1, "teacher not deterministic");
+    assert_eq!(a.student_top1, b.student_top1, "student not deterministic");
+    assert_eq!(
+        a.stats.generator_losses, b.stats.generator_losses,
+        "generator trajectory not deterministic"
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let budget = ExperimentBudget::smoke();
+    let run = |seed| {
+        run_dfkd(
+            ClassificationPreset::C10Sim,
+            Arch::ResNet34,
+            Arch::ResNet18,
+            &MethodSpec::vanilla(),
+            &budget,
+            seed,
+        )
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        a.stats.generator_losses, b.stats.generator_losses,
+        "different seeds should explore different trajectories"
+    );
+}

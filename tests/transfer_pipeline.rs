@@ -1,0 +1,79 @@
+//! Cross-crate integration: distilled backbones transfer to dense tasks.
+
+use cae_dfkd::core::config::ExperimentBudget;
+use cae_dfkd::core::method::MethodSpec;
+use cae_dfkd::core::pipeline::run_dfkd;
+use cae_dfkd::core::teacher::clone_classifier;
+use cae_dfkd::core::transfer::{transfer_evaluate, TaskSet};
+use cae_dfkd::data::dense::DensePreset;
+use cae_dfkd::data::presets::ClassificationPreset;
+use cae_dfkd::nn::models::Arch;
+
+#[test]
+fn distilled_student_finetunes_on_all_dense_tasks() {
+    let budget = ExperimentBudget::smoke();
+    let preset = ClassificationPreset::C100Sim;
+    let run = run_dfkd(
+        preset,
+        Arch::ResNet34,
+        Arch::ResNet18,
+        &MethodSpec::cae_dfkd(4),
+        &budget,
+        17,
+    );
+
+    // Same distilled weights, three different downstream jobs: requires the
+    // clone path (parameters + batch-norm buffers) to be exact.
+    let (nyu_train, nyu_test) = DensePreset::NyuSim.generate(12, 4, 1);
+    let (ade_train, ade_test) = DensePreset::AdeSim.generate(12, 4, 2);
+    let (coco_train, coco_test) = DensePreset::CocoSim.generate(12, 4, 3);
+
+    let clone = || {
+        clone_classifier(
+            run.student.as_ref(),
+            Arch::ResNet18,
+            preset.num_classes(),
+            budget.base_width,
+        )
+    };
+
+    let nyu = transfer_evaluate(clone(), TaskSet::nyu(), &nyu_train, &nyu_test, 10, 4);
+    assert!(nyu.miou.is_some() && nyu.abs_err.is_some() && nyu.within_30.is_some());
+
+    let ade = transfer_evaluate(clone(), TaskSet::seg_only(), &ade_train, &ade_test, 10, 5);
+    assert!(ade.miou.is_some() && ade.map.is_none());
+
+    let coco = transfer_evaluate(
+        clone(),
+        TaskSet::detection_only(),
+        &coco_train,
+        &coco_test,
+        10,
+        6,
+    );
+    assert!(coco.map50.is_some() && coco.miou.is_none());
+}
+
+#[test]
+fn vgg_backbone_also_transfers() {
+    // VGG has a different downsampling factor than the residual nets; the
+    // transfer heads must cope with its feature-grid geometry.
+    let budget = ExperimentBudget::smoke();
+    let run = run_dfkd(
+        ClassificationPreset::C100Sim,
+        Arch::Vgg11,
+        Arch::ResNet18,
+        &MethodSpec::cae_dfkd(3),
+        &budget,
+        19,
+    );
+    let (train, test) = DensePreset::AdeSim.generate(8, 4, 9);
+    let backbone = clone_classifier(
+        run.student.as_ref(),
+        Arch::ResNet18,
+        ClassificationPreset::C100Sim.num_classes(),
+        budget.base_width,
+    );
+    let m = transfer_evaluate(backbone, TaskSet::seg_only(), &train, &test, 8, 7);
+    assert!((0.0..=1.0).contains(&m.pacc.expect("pAcc")));
+}
