@@ -48,6 +48,48 @@ fn bench_conv2d(c: &mut Criterion) {
     });
 }
 
+/// Layer shapes that actually occur in the DFKD training loop: the
+/// generator's latent-to-feature projection, the CNCL similarity matrix,
+/// the linear-head weight gradient, and a strided student trunk conv.
+fn bench_dfkd_layer_shapes(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(9);
+    let z = rng.normal_tensor(&[16, 64], 0.0, 1.0);
+    let wfc = rng.normal_tensor(&[64, 216], 0.0, 0.1);
+    c.bench_function("matmul_generator_fc_16x64x216", |bench| {
+        bench.iter(|| black_box(linalg::matmul(black_box(&z), &wfc)))
+    });
+
+    let anchors = rng.normal_tensor(&[16, 64], 0.0, 1.0);
+    let candidates = rng.normal_tensor(&[64, 64], 0.0, 1.0);
+    c.bench_function("matmul_nt_cncl_sim_16x64x64", |bench| {
+        bench.iter(|| black_box(linalg::matmul_nt(black_box(&anchors), &candidates)))
+    });
+
+    let emb = rng.normal_tensor(&[16, 64], 0.0, 1.0);
+    let dlogits = rng.normal_tensor(&[16, 64], 0.0, 1.0);
+    c.bench_function("matmul_tn_head_grad_64x16x64", |bench| {
+        bench.iter(|| black_box(linalg::matmul_tn(black_box(&emb), &dlogits)))
+    });
+
+    let xs = rng.normal_tensor(&[16, 12, 12, 12], 0.0, 1.0);
+    let ws = rng.normal_tensor(&[24, 12, 3, 3], 0.0, 0.3);
+    let spec = Conv2dSpec::new(3, 2, 1);
+    c.bench_function("conv2d_stride2_16x12x12x12_to_24", |bench| {
+        bench.iter(|| black_box(cae_tensor::conv::conv2d(black_box(&xs), &ws, None, spec)))
+    });
+    c.bench_function("conv2d_stride2_backward_same", |bench| {
+        let y = cae_tensor::conv::conv2d(&xs, &ws, None, spec);
+        bench.iter(|| {
+            black_box(cae_tensor::conv::conv2d_backward(
+                black_box(&xs),
+                &ws,
+                &y,
+                spec,
+            ))
+        })
+    });
+}
+
 fn bench_cend(c: &mut Criterion) {
     let mut rng = TensorRng::seed_from(2);
     let e_off = rng.normal_tensor(&[20, 64], 0.0, 1.0);
@@ -169,6 +211,7 @@ criterion_group!(
     kernels,
     bench_matmul,
     bench_conv2d,
+    bench_dfkd_layer_shapes,
     bench_cend,
     bench_memory_bank,
     bench_dfkd_steps,

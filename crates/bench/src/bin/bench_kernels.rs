@@ -1,0 +1,308 @@
+//! Kernel speedup report: times the blocked GEMM/conv kernels against the
+//! naive baselines they replaced and writes `BENCH_kernels.json` at the
+//! repository root.
+//!
+//! Each record carries `op`, `shape`, `ns_per_iter` and `gflops` for the
+//! current (blocked) kernel; ops with a naive counterpart also record
+//! `naive_ns_per_iter` and `speedup`. The naive baselines reproduce the
+//! seed implementation faithfully — i-k-j saxpy / dot-product loop nests
+//! plus the per-call scratch allocations the old conv passes performed —
+//! minus the NaN-swallowing `== 0.0` skip branches, which almost never fire
+//! on random data.
+//!
+//! Run with `cargo run --release -p cae-bench --bin bench_kernels`.
+
+use cae_tensor::conv::{self, Conv2dSpec};
+use cae_tensor::gemm::{gemm, gemm_reference};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Tensor;
+use criterion::{black_box, measure};
+use serde::Value;
+use std::time::Duration;
+
+/// Measurement window per benchmark; long enough for stable means on the
+/// sub-millisecond kernels measured here.
+const WINDOW: Duration = Duration::from_millis(300);
+
+struct Record {
+    op: &'static str,
+    shape: String,
+    ns_per_iter: f64,
+    gflops: f64,
+    naive_ns_per_iter: Option<f64>,
+    speedup: Option<f64>,
+}
+
+impl Record {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("op".to_string(), Value::String(self.op.to_string())),
+            ("shape".to_string(), Value::String(self.shape.clone())),
+            ("ns_per_iter".to_string(), Value::Number(self.ns_per_iter)),
+            ("gflops".to_string(), Value::Number(self.gflops)),
+        ];
+        if let (Some(naive), Some(speedup)) = (self.naive_ns_per_iter, self.speedup) {
+            fields.push(("naive_ns_per_iter".to_string(), Value::Number(naive)));
+            fields.push(("speedup".to_string(), Value::Number(speedup)));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Times `fast` (and optionally `naive`) and builds the JSON record.
+fn bench_pair<O1, O2>(
+    op: &'static str,
+    shape: String,
+    flops: usize,
+    mut fast: impl FnMut() -> O1,
+    naive: Option<&mut dyn FnMut() -> O2>,
+) -> Record {
+    let m = measure(&mut fast, WINDOW);
+    let gflops = flops as f64 / m.ns_per_iter;
+    let (naive_ns, speedup) = match naive {
+        Some(naive_fn) => {
+            let nm = measure(naive_fn, WINDOW);
+            (Some(nm.ns_per_iter), Some(nm.ns_per_iter / m.ns_per_iter))
+        }
+        None => (None, None),
+    };
+    let rec = Record {
+        op,
+        shape,
+        ns_per_iter: m.ns_per_iter,
+        gflops,
+        naive_ns_per_iter: naive_ns,
+        speedup,
+    };
+    match rec.speedup {
+        Some(s) => println!(
+            "{op:<28} {shape:<24} {ns:>12.0} ns/iter  {gflops:>7.2} GFLOP/s  speedup {s:>5.2}x",
+            op = rec.op,
+            shape = rec.shape,
+            ns = rec.ns_per_iter,
+            gflops = rec.gflops,
+        ),
+        None => println!(
+            "{op:<28} {shape:<24} {ns:>12.0} ns/iter  {gflops:>7.2} GFLOP/s",
+            op = rec.op,
+            shape = rec.shape,
+            ns = rec.ns_per_iter,
+            gflops = rec.gflops,
+        ),
+    }
+    rec
+}
+
+/// Seed-faithful im2col (identical algorithm to the kernel's internal one).
+fn im2col_naive(x: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec, col: &mut [f32]) {
+    let k = spec.kernel;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let dst = &mut col[row * ncols..(row + 1) * ncols];
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        dst[oi * ow + oj] =
+                            if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                                x[(ci * h + ii as usize) * w + jj as usize]
+                            } else {
+                                0.0
+                            };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Seed-faithful col2im adjoint.
+fn col2im_naive(col: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec, x: &mut [f32]) {
+    let k = spec.kernel;
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let src = &col[row * ncols..(row + 1) * ncols];
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        x[(ci * h + ii as usize) * w + jj as usize] += src[oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The seed's conv2d forward: fresh col buffer per call, naive GEMM.
+fn conv2d_naive(x: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let o = weight.shape().dims()[0];
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    let krows = c * spec.kernel * spec.kernel;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut col = vec![0.0f32; krows * ncols];
+    for ni in 0..n {
+        im2col_naive(&x.data()[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, spec, &mut col);
+        let dst = &mut out.data_mut()[ni * o * ncols..(ni + 1) * o * ncols];
+        gemm_reference(o, ncols, krows, weight.data(), (krows, 1), &col, (ncols, 1), dst, true);
+    }
+    out
+}
+
+/// The seed's conv2d backward: per-call buffers, dot-product `dw`, saxpy
+/// `dcol`.
+fn conv2d_backward_naive(
+    x: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (n, c, h, w) = x.shape().nchw();
+    let o = weight.shape().dims()[0];
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let ncols = oh * ow;
+    let krows = c * spec.kernel * spec.kernel;
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let mut dw = vec![0.0f32; o * krows];
+    let mut db = vec![0.0f32; o];
+    let mut col = vec![0.0f32; krows * ncols];
+    let mut dcol = vec![0.0f32; krows * ncols];
+    for ni in 0..n {
+        let go = &grad_out.data()[ni * o * ncols..(ni + 1) * o * ncols];
+        for oi in 0..o {
+            db[oi] += go[oi * ncols..(oi + 1) * ncols].iter().sum::<f32>();
+        }
+        im2col_naive(&x.data()[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, spec, &mut col);
+        for oi in 0..o {
+            let gorow = &go[oi * ncols..(oi + 1) * ncols];
+            let dwrow = &mut dw[oi * krows..(oi + 1) * krows];
+            for p in 0..krows {
+                let crow = &col[p * ncols..(p + 1) * ncols];
+                dwrow[p] += gorow.iter().zip(crow).map(|(&g, &cv)| g * cv).sum::<f32>();
+            }
+        }
+        dcol.iter_mut().for_each(|v| *v = 0.0);
+        for oi in 0..o {
+            let wrow = &weight.data()[oi * krows..(oi + 1) * krows];
+            let gorow = &go[oi * ncols..(oi + 1) * ncols];
+            for (p, &wv) in wrow.iter().enumerate() {
+                let drow = &mut dcol[p * ncols..(p + 1) * ncols];
+                for (d, &g) in drow.iter_mut().zip(gorow) {
+                    *d += wv * g;
+                }
+            }
+        }
+        col2im_naive(&dcol, c, h, w, spec, &mut dx.data_mut()[ni * c * h * w..(ni + 1) * c * h * w]);
+    }
+    (dx, dw, db)
+}
+
+fn gemm_record(
+    op: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_strides: (usize, usize),
+    b_strides: (usize, usize),
+    rng: &mut TensorRng,
+) -> Record {
+    let alen = (m - 1) * a_strides.0 + (k - 1) * a_strides.1 + 1;
+    let blen = (k - 1) * b_strides.0 + (n - 1) * b_strides.1 + 1;
+    let a: Vec<f32> = (0..alen).map(|_| rng.normal()).collect();
+    let b: Vec<f32> = (0..blen).map(|_| rng.normal()).collect();
+    let mut c_fast = vec![0.0f32; m * n];
+    let mut c_naive = vec![0.0f32; m * n];
+    bench_pair(
+        op,
+        format!("{m}x{k}x{n}"),
+        2 * m * n * k,
+        || {
+            gemm(m, n, k, &a, a_strides, &b, b_strides, &mut c_fast, false);
+            black_box(c_fast[0])
+        },
+        Some(&mut || {
+            gemm_reference(m, n, k, &a, a_strides, &b, b_strides, &mut c_naive, false);
+            black_box(c_naive[0])
+        }),
+    )
+}
+
+fn main() {
+    let mut rng = TensorRng::seed_from(42);
+
+    // -- GEMM, all three layouts, at DFKD-realistic shapes. ---------------
+    let mut records = vec![
+        // The acceptance shape from the criterion suite.
+        gemm_record("matmul", 64, 96, 128, (128, 1), (96, 1), &mut rng),
+        // Generator fc: z[16, 64] -> [16, base*3*3] at base_width 24.
+        gemm_record("matmul", 16, 216, 64, (64, 1), (216, 1), &mut rng),
+        // CNCL similarity: anchors x candidates^T.
+        gemm_record("matmul_nt", 16, 64, 64, (64, 1), (1, 64), &mut rng),
+        // Linear-layer weight gradient: emb^T x grad_logits.
+        gemm_record("matmul_tn", 64, 64, 16, (1, 64), (64, 1), &mut rng),
+    ];
+
+    // -- Convolution, forward and backward. -------------------------------
+    let spec = Conv2dSpec::new(3, 1, 1);
+    let x = rng.normal_tensor(&[8, 8, 12, 12], 0.0, 1.0);
+    let w = rng.normal_tensor(&[16, 8, 3, 3], 0.0, 0.3);
+    let (n, c, hh, ww, o) = (8usize, 8usize, 12usize, 12usize, 16usize);
+    let conv_flops = 2 * n * o * (c * 9) * (hh * ww);
+    records.push(bench_pair(
+        "conv2d",
+        format!("{n}x{c}x{hh}x{ww}->{o}"),
+        conv_flops,
+        || black_box(conv::conv2d(&x, &w, None, spec)),
+        Some(&mut || black_box(conv2d_naive(&x, &w, spec))),
+    ));
+    let y = conv::conv2d(&x, &w, None, spec);
+    records.push(bench_pair(
+        "conv2d_backward",
+        format!("{n}x{c}x{hh}x{ww}->{o}"),
+        2 * conv_flops,
+        || black_box(conv::conv2d_backward(&x, &w, &y, spec)),
+        Some(&mut || black_box(conv2d_backward_naive(&x, &w, &y, spec))),
+    ));
+
+    // Student trunk layer at the DFKD training batch size.
+    let spec2 = Conv2dSpec::new(3, 2, 1);
+    let xs = rng.normal_tensor(&[16, 12, 12, 12], 0.0, 1.0);
+    let ws = rng.normal_tensor(&[24, 12, 3, 3], 0.0, 0.3);
+    let sflops = 2 * 16 * 24 * (12 * 9) * (6 * 6);
+    records.push(bench_pair(
+        "conv2d",
+        "16x12x12x12->24 s2".to_string(),
+        sflops,
+        || black_box(conv::conv2d(&xs, &ws, None, spec2)),
+        Some(&mut || black_box(conv2d_naive(&xs, &ws, spec2))),
+    ));
+
+    // -- Report. -----------------------------------------------------------
+    let json = serde_json::to_string_pretty(&Value::Array(
+        records.iter().map(Record::to_value).collect(),
+    ))
+    .expect("benchmark records always serialize");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, json + "\n").expect("failed to write BENCH_kernels.json");
+    println!("\nwrote {path}");
+}

@@ -45,12 +45,12 @@ fn augment_view(images: &Tensor, rng: &mut TensorRng) -> Tensor {
         let flip = rng.uniform() < 0.5;
         let jitter: Vec<f32> = (0..c).map(|_| rng.uniform_in(-0.2, 0.2)).collect();
         let noise_std = rng.uniform_in(0.02, 0.12);
-        for ci in 0..c {
+        for (ci, &jit) in jitter.iter().enumerate() {
             for y in 0..h {
                 for x in 0..w {
                     let sx = if flip { w - 1 - x } else { x };
                     let src = images.data()[((i * c + ci) * h + y) * w + sx];
-                    let v = src + jitter[ci] + noise_std * rng.normal();
+                    let v = src + jit + noise_std * rng.normal();
                     out.data_mut()[((i * c + ci) * h + y) * w + x] = v.clamp(-1.0, 1.0);
                 }
             }

@@ -19,7 +19,7 @@ use cae_tensor::Tensor;
 
 /// One noise source `NS_n`: a distribution plus its perturbation magnitude
 /// `M_n`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseSource {
     /// The source's distribution.
     pub kind: NoiseKind,
@@ -27,6 +27,8 @@ pub struct NoiseSource {
     /// magnitude, uniform across dimensions here).
     pub magnitude: f32,
 }
+
+serde::impl_json_struct!(NoiseSource { kind, magnitude });
 
 /// The CEND layer: `N` noise sources over a `[K, D]` category embedding
 /// table.

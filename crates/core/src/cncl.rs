@@ -20,13 +20,15 @@ use cae_tensor::rng::TensorRng;
 use cae_tensor::{Tensor, Var};
 
 /// CNCL hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CnclConfig {
     /// Temperature `τ` of Eq. 4.
     pub tau: f32,
     /// Number of categories contrasted per step (anchors per batch).
     pub classes_per_step: usize,
 }
+
+serde::impl_json_struct!(CnclConfig { tau, classes_per_step });
 
 impl Default for CnclConfig {
     fn default() -> Self {

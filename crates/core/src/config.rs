@@ -1,7 +1,5 @@
 //! Configuration types: DFKD hyper-parameters and experiment budgets.
 
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters of the DFKD optimization (Eqs. 5 and 6).
 ///
 /// Defaults follow the paper's setup (Adam for the generator, SGD lr 0.1 +
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// reproduction's small scale (tiny generator, tens of steps instead of
 /// thousands) 1e-3 does not converge within budget; 5e-3 restores the
 /// paper's qualitative behaviour (validated in the workspace tests).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DfkdConfig {
     /// Generator learning rate (Adam).
     pub generator_lr: f32,
@@ -37,6 +35,20 @@ pub struct DfkdConfig {
     pub memory_capacity: usize,
 }
 
+serde::impl_json_struct!(DfkdConfig {
+    generator_lr,
+    student_lr,
+    student_momentum,
+    student_weight_decay,
+    lambda_bn,
+    lambda_adv,
+    alpha_cncl,
+    temperature,
+    tau_cncl,
+    batch_size,
+    memory_capacity,
+});
+
 impl Default for DfkdConfig {
     fn default() -> Self {
         DfkdConfig {
@@ -61,7 +73,7 @@ impl Default for DfkdConfig {
 /// `cargo bench`/`cargo test` run; finishes a full table in minutes on two
 /// CPU cores) and [`ExperimentBudget::full`] (the `--bin` runners; several
 /// times larger). Both are recorded in EXPERIMENTS.md next to every number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentBudget {
     /// Supervised pre-training steps for teachers and data-accessible
     /// student references.
@@ -79,6 +91,16 @@ pub struct ExperimentBudget {
     /// Network and data seed.
     pub seed: u64,
 }
+
+serde::impl_json_struct!(ExperimentBudget {
+    pretrain_steps,
+    dfkd_epochs,
+    generator_steps_per_epoch,
+    student_steps_per_epoch,
+    finetune_steps,
+    base_width,
+    seed,
+});
 
 impl ExperimentBudget {
     /// The budget used by `cargo test` / `cargo bench`: small but large

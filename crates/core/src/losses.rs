@@ -127,7 +127,7 @@ mod tests {
     fn tv_gradcheck() {
         let mut rng = TensorRng::seed_from(3);
         let x = Var::parameter(rng.normal_tensor(&[1, 2, 4, 4], 0.0, 1.0));
-        let r = check_gradients(&[x.clone()], 1e-3, || total_variation(&x));
+        let r = check_gradients(std::slice::from_ref(&x), 1e-3, || total_variation(&x));
         assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
     }
 }

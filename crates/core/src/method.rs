@@ -3,10 +3,10 @@
 
 use crate::cncl::CnclConfig;
 use cae_lm::{LmKind, PromptTemplate};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How generator latents are produced.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EmbeddingKind {
     /// Unstructured Gaussian noise (native DFKD).
     Gaussian,
@@ -32,7 +32,7 @@ pub enum EmbeddingKind {
 
 /// Image-level student-side augmentation (the techniques Table I shows to
 /// *hurt* DFKD).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StudentAug {
     /// No image-level augmentation.
     None,
@@ -51,7 +51,7 @@ pub enum StudentAug {
 
 /// A full method specification; constructors cover every row of the paper's
 /// tables that we re-implement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodSpec {
     /// Display name used in reports.
     pub name: String,
@@ -70,6 +70,112 @@ pub struct MethodSpec {
     /// generator network.
     pub optimization_based: bool,
 }
+
+// Hand-written externally-tagged JSON impls (serde's default enum
+// representation): unit variants serialize as their name string, payload
+// variants as `{"Variant": {..fields..}}`. The vendored serde crate has no
+// derive macro, so payload enums spell this out.
+
+fn tagged(tag: &str, fields: Vec<(String, Value)>) -> Value {
+    Value::Object(vec![(tag.to_owned(), Value::Object(fields))])
+}
+
+fn kv<T: Serialize>(key: &str, v: &T) -> (String, Value) {
+    (key.to_owned(), v.to_value())
+}
+
+impl Serialize for EmbeddingKind {
+    fn to_value(&self) -> Value {
+        match self {
+            EmbeddingKind::Gaussian => Value::String("Gaussian".to_owned()),
+            EmbeddingKind::Label { lm, template } => {
+                tagged("Label", vec![kv("lm", lm), kv("template", template)])
+            }
+            EmbeddingKind::Cend {
+                lm,
+                template,
+                n_sources,
+                magnitude,
+            } => tagged(
+                "Cend",
+                vec![
+                    kv("lm", lm),
+                    kv("template", template),
+                    kv("n_sources", n_sources),
+                    kv("magnitude", magnitude),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for EmbeddingKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s == "Gaussian" => Ok(EmbeddingKind::Gaussian),
+            Value::Object(fields) if fields.len() == 1 => {
+                let (tag, inner) = &fields[0];
+                match tag.as_str() {
+                    "Label" => Ok(EmbeddingKind::Label {
+                        lm: serde::field(inner, "lm")?,
+                        template: serde::field(inner, "template")?,
+                    }),
+                    "Cend" => Ok(EmbeddingKind::Cend {
+                        lm: serde::field(inner, "lm")?,
+                        template: serde::field(inner, "template")?,
+                        n_sources: serde::field(inner, "n_sources")?,
+                        magnitude: serde::field(inner, "magnitude")?,
+                    }),
+                    other => Err(DeError(format!("unknown EmbeddingKind variant '{other}'"))),
+                }
+            }
+            other => Err(DeError(format!("bad EmbeddingKind value: {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for StudentAug {
+    fn to_value(&self) -> Value {
+        match self {
+            StudentAug::None => Value::String("None".to_owned()),
+            StudentAug::Mixup { alpha } => tagged("Mixup", vec![kv("alpha", alpha)]),
+            StudentAug::ImageContrastive { weight } => {
+                tagged("ImageContrastive", vec![kv("weight", weight)])
+            }
+        }
+    }
+}
+
+impl Deserialize for StudentAug {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s == "None" => Ok(StudentAug::None),
+            Value::Object(fields) if fields.len() == 1 => {
+                let (tag, inner) = &fields[0];
+                match tag.as_str() {
+                    "Mixup" => Ok(StudentAug::Mixup {
+                        alpha: serde::field(inner, "alpha")?,
+                    }),
+                    "ImageContrastive" => Ok(StudentAug::ImageContrastive {
+                        weight: serde::field(inner, "weight")?,
+                    }),
+                    other => Err(DeError(format!("unknown StudentAug variant '{other}'"))),
+                }
+            }
+            other => Err(DeError(format!("bad StudentAug value: {other:?}"))),
+        }
+    }
+}
+
+serde::impl_json_struct!(MethodSpec {
+    name,
+    embedding,
+    student_aug,
+    use_cncl,
+    cncl,
+    generator_reinit_every,
+    optimization_based,
+});
 
 impl MethodSpec {
     /// Native generator-based DFKD: Gaussian latents, CE+BN+adv generator,

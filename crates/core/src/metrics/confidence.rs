@@ -61,10 +61,9 @@ pub fn confidence_profile(
     let mut low = vec![0usize; num_classes];
     let mut count = vec![0usize; num_classes];
     let mut sum_max = vec![0.0f32; num_classes];
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate().take(n) {
         let row = &probs.data()[i * k..(i + 1) * k];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let label = labels[i];
         assert!(label < num_classes, "label {label} out of range");
         count[label] += 1;
         sum_max[label] += max;

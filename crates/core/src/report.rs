@@ -1,12 +1,11 @@
 //! Tabular experiment reports: rendered as text for the console and
 //! serialized as JSON artifacts under `results/`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 
 /// One row of a report: a label plus one value per column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportRow {
     /// Row label (method name, category, …).
     pub label: String,
@@ -14,8 +13,10 @@ pub struct ReportRow {
     pub values: Vec<Option<f32>>,
 }
 
+serde::impl_json_struct!(ReportRow { label, values });
+
 /// A table or figure reproduction: identifier, caption, columns and rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Identifier matching the paper ("Table II", "Figure 2a", …).
     pub id: String,
@@ -28,6 +29,8 @@ pub struct Report {
     /// Free-form notes (budget, substitutions, expected shape).
     pub notes: Vec<String>,
 }
+
+serde::impl_json_struct!(Report { id, title, columns, rows, notes });
 
 impl Report {
     /// Creates an empty report.

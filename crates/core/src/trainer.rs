@@ -75,6 +75,7 @@ impl<'a> DfkdTrainer<'a> {
     /// # Panics
     /// Panics if `resolution` is not a multiple of 4 or the spec requests
     /// more CEND sources than exist.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         teacher: &'a dyn Classifier,
         student: Box<dyn Classifier>,

@@ -266,7 +266,7 @@ impl DenseDataset {
 }
 
 /// The three downstream benchmarks of the paper, in scaled procedural form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DensePreset {
     /// NYUv2 stand-in (seg + depth + normals): 8 object classes at 16×16.
     NyuSim,
@@ -275,6 +275,12 @@ pub enum DensePreset {
     /// COCO-2017 stand-in (detection): 8 object classes at 20×20.
     CocoSim,
 }
+
+serde::impl_json_unit_enum!(DensePreset {
+    NyuSim,
+    AdeSim,
+    CocoSim,
+});
 
 impl DensePreset {
     /// Display name referencing the simulated benchmark.

@@ -37,7 +37,7 @@ pub const IMAGENET_NAMES: [&str; 12] = [
 ];
 
 /// The four recognition benchmarks of the paper, in scaled procedural form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassificationPreset {
     /// CIFAR-10 stand-in: 10 classes at 12×12.
     C10Sim,
@@ -48,6 +48,13 @@ pub enum ClassificationPreset {
     /// ImageNet-1K stand-in: 12 classes at 24×24.
     ImageNetSim,
 }
+
+serde::impl_json_unit_enum!(ClassificationPreset {
+    C10Sim,
+    C100Sim,
+    TinyImageNetSim,
+    ImageNetSim,
+});
 
 impl ClassificationPreset {
     /// Display name referencing the simulated benchmark.

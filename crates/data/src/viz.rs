@@ -103,9 +103,8 @@ mod tests {
         let grid = tile_batch(&batch, 2);
         assert_eq!(grid.shape().dims(), &[3, 4, 4]);
         // Fourth cell (bottom-right) is padding (-1).
-        let gh = 4;
         let gw = 4;
-        assert_eq!(grid.data()[0 * gh * gw + 2 * gw + 2], -1.0);
+        assert_eq!(grid.data()[2 * gw + 2], -1.0); // channel 0
         assert_eq!(grid.data()[0], 1.0);
     }
 

@@ -21,7 +21,7 @@ pub trait LanguageModel {
 }
 
 /// Selector for the three simulated encoders (paper Table X).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LmKind {
     /// CLIP text-encoder simulation (the paper's default; cleanest
     /// separation).
@@ -31,6 +31,12 @@ pub enum LmKind {
     /// doc2vec simulation (lowest-dimensional, noisiest).
     Doc2Vec,
 }
+
+serde::impl_json_unit_enum!(LmKind {
+    Clip,
+    Sbert,
+    Doc2Vec,
+});
 
 impl LmKind {
     /// Builds the simulated model.

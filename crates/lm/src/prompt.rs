@@ -4,7 +4,7 @@ use std::fmt;
 
 /// How the per-category prompt is rendered before being fed to the language
 /// model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PromptTemplate {
     /// `"a photo of {class name}"` — the paper's default.
     ClassName,
@@ -12,6 +12,11 @@ pub enum PromptTemplate {
     /// settings where class names are restricted (paper §V-5).
     ClassIndex,
 }
+
+serde::impl_json_unit_enum!(PromptTemplate {
+    ClassName,
+    ClassIndex,
+});
 
 impl PromptTemplate {
     /// Renders the prompt for category `index` named `name`.

@@ -99,7 +99,7 @@ mod tests {
         let s = Var::parameter(rng.normal_tensor(&[3, 4], 0.0, 1.0));
         let loss = kd_kl_divergence(&s, &t, 2.0);
         assert!(loss.item() > 0.0);
-        let r = check_gradients(&[s.clone()], 1e-3, || kd_kl_divergence(&s, &t, 2.0));
+        let r = check_gradients(std::slice::from_ref(&s), 1e-3, || kd_kl_divergence(&s, &t, 2.0));
         assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
     }
 
@@ -107,7 +107,7 @@ mod tests {
     fn cross_entropy_gradcheck() {
         let mut rng = TensorRng::seed_from(6);
         let x = Var::parameter(rng.normal_tensor(&[4, 3], 0.0, 1.0));
-        let r = check_gradients(&[x.clone()], 1e-3, || cross_entropy(&x, &[0, 1, 2, 1]));
+        let r = check_gradients(std::slice::from_ref(&x), 1e-3, || cross_entropy(&x, &[0, 1, 2, 1]));
         assert!(r.passes(1e-2), "max rel err {}", r.max_rel_err);
     }
 

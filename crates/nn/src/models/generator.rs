@@ -33,7 +33,7 @@ impl GeneratorConfig {
     /// Panics if `out_size` is not divisible by 4.
     pub fn new(latent_dim: usize, base_channels: usize, out_size: usize) -> Self {
         assert!(
-            out_size % 4 == 0 && out_size >= 4,
+            out_size.is_multiple_of(4) && out_size >= 4,
             "generator output size must be a positive multiple of 4, got {out_size}"
         );
         GeneratorConfig {

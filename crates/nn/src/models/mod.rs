@@ -20,7 +20,7 @@ use crate::module::Classifier;
 use cae_tensor::rng::TensorRng;
 
 /// The classifier architectures appearing in the paper's tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// ResNet-18 (scaled): basic blocks `[2, 2, 2]`.
     ResNet18,
@@ -39,6 +39,17 @@ pub enum Arch {
     /// VGG-11 (scaled).
     Vgg11,
 }
+
+serde::impl_json_unit_enum!(Arch {
+    ResNet18,
+    ResNet34,
+    ResNet50,
+    Wrn40x2,
+    Wrn40x1,
+    Wrn16x2,
+    Wrn16x1,
+    Vgg11,
+});
 
 impl Arch {
     /// Human-readable name matching the paper's tables.

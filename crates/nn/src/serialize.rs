@@ -12,13 +12,15 @@ use std::fmt;
 
 /// A serializable snapshot of a module's trainable parameters and
 /// persistent buffers.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Parameter tensors, in the module's stable parameter order.
     pub parameters: Vec<Tensor>,
     /// Buffer tensors (batch-norm running statistics), in buffer order.
     pub buffers: Vec<Tensor>,
 }
+
+serde::impl_json_struct!(Checkpoint { parameters, buffers });
 
 /// Error returned when a checkpoint does not match the target module.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -95,14 +95,15 @@ impl Var {
     pub fn l2_normalize_rows(&self) -> Var {
         let (n, d) = self.value().shape().matrix();
         let x = self.to_tensor();
-        let mut norms = vec![0.0f32; n];
-        for i in 0..n {
-            let s: f32 = x.data()[i * d..(i + 1) * d].iter().map(|v| v * v).sum();
-            norms[i] = s.sqrt().max(1e-8);
-        }
+        let norms: Vec<f32> = (0..n)
+            .map(|i| {
+                let s: f32 = x.data()[i * d..(i + 1) * d].iter().map(|v| v * v).sum();
+                s.sqrt().max(1e-8)
+            })
+            .collect();
         let mut value = x.clone();
-        for i in 0..n {
-            let inv = 1.0 / norms[i];
+        for (i, &nm) in norms.iter().enumerate() {
+            let inv = 1.0 / nm;
             for v in &mut value.data_mut()[i * d..(i + 1) * d] {
                 *v *= inv;
             }
@@ -112,19 +113,18 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                // dx_i = (g_i - y_i <y_i, g_i>) / ||x_i||
-                let mut dx = crate::Tensor::zeros(&[n, d]);
-                for i in 0..n {
+                // dx_i = (g_i - y_i <y_i, g_i>) / ||x_i||, built directly.
+                let mut dx = Vec::with_capacity(n * d);
+                for (i, &nm) in norms.iter().enumerate() {
                     let yrow = &y.data()[i * d..(i + 1) * d];
                     let grow = &g.data()[i * d..(i + 1) * d];
                     let dot: f32 = yrow.iter().zip(grow).map(|(a, b)| a * b).sum();
-                    let inv = 1.0 / norms[i];
-                    let drow = &mut dx.data_mut()[i * d..(i + 1) * d];
-                    for j in 0..d {
-                        drow[j] = (grow[j] - yrow[j] * dot) * inv;
-                    }
+                    let inv = 1.0 / nm;
+                    dx.extend((0..d).map(|j| (grow[j] - yrow[j] * dot) * inv));
                 }
-                parents[0].accum(&dx);
+                parents[0].accum(
+                    &crate::Tensor::from_vec(dx, &[n, d]).expect("shape consistent"),
+                );
             }),
         )
     }

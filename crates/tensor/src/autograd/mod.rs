@@ -232,7 +232,7 @@ impl Var {
         }
         // Edges always point to earlier ids, so descending-id order is a
         // valid reverse topological order.
-        nodes.sort_by(|a, b| b.0.id.cmp(&a.0.id));
+        nodes.sort_by_key(|n| std::cmp::Reverse(n.0.id));
 
         for node in &nodes {
             let Some(backward) = node.0.backward.as_ref() else {

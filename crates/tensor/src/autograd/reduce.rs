@@ -45,18 +45,16 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                // dx = g - softmax * row_sum(g)
-                let mut dx = Tensor::zeros(&[n, k]);
+                // dx = g - softmax * row_sum(g); built directly, no
+                // zero-init pass.
+                let mut dx = Vec::with_capacity(n * k);
                 for i in 0..n {
                     let grow = &g.data()[i * k..(i + 1) * k];
                     let gsum: f32 = grow.iter().sum();
                     let lrow = &logp.data()[i * k..(i + 1) * k];
-                    let drow = &mut dx.data_mut()[i * k..(i + 1) * k];
-                    for j in 0..k {
-                        drow[j] = grow[j] - lrow[j].exp() * gsum;
-                    }
+                    dx.extend((0..k).map(|j| grow[j] - lrow[j].exp() * gsum));
                 }
-                parents[0].accum(&dx);
+                parents[0].accum(&Tensor::from_vec(dx, &[n, k]).expect("shape consistent"));
             }),
         )
     }
@@ -107,9 +105,9 @@ impl Var {
         let mut means = vec![0.0f32; c];
         let hw = h * w;
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, m) in means.iter_mut().enumerate() {
                 let off = (ni * c + ci) * hw;
-                means[ci] += x.data()[off..off + hw].iter().sum::<f32>();
+                *m += x.data()[off..off + hw].iter().sum::<f32>();
             }
         }
         for m in &mut means {
@@ -120,18 +118,17 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let mut dx = Tensor::zeros(&[n, c, h, w]);
                 let inv = 1.0 / count;
-                for ni in 0..n {
+                let mut dx = Vec::with_capacity(n * c * hw);
+                for _ni in 0..n {
                     for ci in 0..c {
                         let gv = g.data()[ci] * inv;
-                        let off = (ni * c + ci) * hw;
-                        for v in &mut dx.data_mut()[off..off + hw] {
-                            *v += gv;
-                        }
+                        dx.extend(std::iter::repeat_n(gv, hw));
                     }
                 }
-                parents[0].accum(&dx);
+                parents[0].accum(
+                    &Tensor::from_vec(dx, &[n, c, h, w]).expect("shape consistent"),
+                );
             }),
         )
     }
@@ -173,20 +170,17 @@ impl Var {
                 let x = parents[0].to_tensor();
                 let s = parents[1].to_tensor();
                 if parents[0].requires_grad() {
-                    let mut dx = Tensor::zeros(&[n, c, h, w]);
+                    let mut dx = Vec::with_capacity(n * c * hw);
                     for ni in 0..n {
                         for ci in 0..c {
                             let sv = s.data()[ci];
                             let off = (ni * c + ci) * hw;
-                            for (d, &gv) in dx.data_mut()[off..off + hw]
-                                .iter_mut()
-                                .zip(&g.data()[off..off + hw])
-                            {
-                                *d = gv * sv;
-                            }
+                            dx.extend(g.data()[off..off + hw].iter().map(|&gv| gv * sv));
                         }
                     }
-                    parents[0].accum(&dx);
+                    parents[0].accum(
+                        &Tensor::from_vec(dx, &[n, c, h, w]).expect("shape consistent"),
+                    );
                 }
                 if parents[1].requires_grad() {
                     let mut ds = Tensor::zeros(&[c]);

@@ -87,17 +87,18 @@ impl Var {
             out,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let mut dx = Tensor::zeros(&[n, c, h, w]);
-                let (gd, dd) = (g.data(), dx.data_mut());
+                // The gradient is a pure permutation written in NCHW order,
+                // so build it sequentially without a zero-init pass.
+                let gd = g.data();
+                let mut dx = Vec::with_capacity(n * c * hw);
                 for ni in 0..n {
                     for ci in 0..c {
-                        let dst = &mut dd[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
-                        for (p, v) in dst.iter_mut().enumerate() {
-                            *v = gd[(ni * hw + p) * c + ci];
-                        }
+                        dx.extend((0..hw).map(|p| gd[(ni * hw + p) * c + ci]));
                     }
                 }
-                parents[0].accum(&dx);
+                parents[0].accum(
+                    &Tensor::from_vec(dx, &[n, c, h, w]).expect("shape consistent"),
+                );
             }),
         )
     }

@@ -41,7 +41,7 @@ impl GradCheckReport {
 /// use cae_tensor::gradcheck::check_gradients;
 ///
 /// let w = Var::parameter(Tensor::from_vec(vec![0.5, -0.3], &[2]).unwrap());
-/// let report = check_gradients(&[w.clone()], 1e-3, || w.square().sum_all());
+/// let report = check_gradients(std::slice::from_ref(&w), 1e-3, || w.square().sum_all());
 /// assert!(report.passes(1e-2));
 /// ```
 pub fn check_gradients(
@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn quadratic_passes() {
         let w = Var::parameter(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap());
-        let r = check_gradients(&[w.clone()], 1e-3, || w.square().sum_all());
+        let r = check_gradients(std::slice::from_ref(&w), 1e-3, || w.square().sum_all());
         assert!(r.passes(1e-3), "max rel err {}", r.max_rel_err);
     }
 
@@ -139,7 +139,7 @@ mod tests {
     fn log_softmax_gather_passes() {
         let mut rng = TensorRng::seed_from(11);
         let x = Var::parameter(rng.normal_tensor(&[4, 5], 0.0, 1.0));
-        let r = check_gradients(&[x.clone()], 1e-3, || {
+        let r = check_gradients(std::slice::from_ref(&x), 1e-3, || {
             x.log_softmax_rows().gather_rows(&[0, 2, 4, 1]).mean_all().neg()
         });
         assert!(r.passes(5e-3), "max rel err {}", r.max_rel_err);

@@ -37,11 +37,14 @@
 pub mod autograd;
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod gradcheck;
 pub mod linalg;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use autograd::Var;
 pub use error::TensorError;

@@ -1,53 +1,22 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication front-ends.
 //!
-//! The kernels use an `i-k-j` loop order so the inner loop is a contiguous
-//! saxpy that the compiler auto-vectorizes, and split the row range across
-//! two threads (via `crossbeam::scope`) once the problem is large enough to
-//! amortize thread startup.
+//! All three layout variants (`NN`, `NT`, `TN`) are thin wrappers over the
+//! single blocked kernel in [`crate::gemm`]; transposition is expressed as a
+//! stride swap, so no operand is ever materialized transposed. The blocked
+//! kernel handles cache tiling, register blocking, and pool-based
+//! parallelism — see that module for the details.
 
+use crate::gemm::gemm;
 use crate::tensor::Tensor;
 
-/// FLOP threshold above which the kernel splits rows across two threads.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
-
-/// Raw GEMM: `out[m,n] += a[m,k] * b[k,n]` over flat row-major slices.
-fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: std::ops::Range<usize>, k: usize, n: usize) {
-    for i in rows {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-/// Multiplies flat row-major matrices: `a[m,k] × b[k,n] → out[m,n]`.
-///
-/// `out` must be zero-initialized by the caller if accumulation from zero is
-/// desired; this routine accumulates into `out`.
+/// Multiplies flat row-major matrices: `a[m,k] × b[k,n] → out[m,n]`,
+/// accumulating into `out` (callers that want `C = A·B` pass a zeroed
+/// buffer, matching the historical contract of this function).
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    if m * k * n >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
-        let mid = m / 2;
-        let (out_lo, out_hi) = out.split_at_mut(mid * n);
-        crossbeam::scope(|s| {
-            s.spawn(|_| gemm_rows(a, b, out_lo, 0..mid, k, n));
-            // `gemm_rows` indexes `a` by absolute row, so shift the view.
-            let a_hi = &a[mid * k..];
-            gemm_rows(a_hi, b, out_hi, 0..(m - mid), k, n);
-        })
-        .expect("matmul worker thread panicked");
-    } else {
-        gemm_rows(a, b, out, 0..m, k, n);
-    }
+    gemm(m, n, k, a, (k, 1), b, (n, 1), out, true);
 }
 
 /// `a[m,k] × b[k,n] → [m,n]` on [`Tensor`]s.
@@ -63,7 +32,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         ka, kb
     );
     let mut out = Tensor::zeros(&[m, n]);
-    matmul_into(a.data(), b.data(), out.data_mut(), m, ka, n);
+    gemm(m, n, ka, a.data(), (ka, 1), b.data(), (n, 1), out.data_mut(), false);
     out
 }
 
@@ -82,18 +51,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let k = ka;
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            od[i * n + j] = acc;
-        }
-    }
+    // B stored [n, k] row-major; viewed as [k, n] via strides (1, k).
+    gemm(m, n, k, a.data(), (k, 1), b.data(), (1, k), out.data_mut(), false);
     out
 }
 
@@ -112,22 +71,8 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let m = ma;
     let mut out = Tensor::zeros(&[k, n]);
-    let (ad, bd, od) = (a.data(), b.data(), out.data_mut());
-    // out[p, j] = sum_i a[i, p] * b[i, j]; iterate i outermost so both reads
-    // stream contiguously.
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let brow = &bd[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut od[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    // A stored [m, k] row-major; its transpose [k, m] is strides (1, k).
+    gemm(k, n, m, a.data(), (1, k), b.data(), (n, 1), out.data_mut(), false);
     out
 }
 
@@ -137,14 +82,12 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics if the tensor is not 2-d.
 pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = a.shape().matrix();
-    let mut out = Tensor::zeros(&[n, m]);
-    let (ad, od) = (a.data(), out.data_mut());
-    for i in 0..m {
-        for j in 0..n {
-            od[j * m + i] = ad[i * n + j];
-        }
+    let ad = a.data();
+    let mut out = Vec::with_capacity(m * n);
+    for j in 0..n {
+        out.extend((0..m).map(|i| ad[i * n + j]));
     }
-    out
+    Tensor::from_vec(out, &[n, m]).expect("transpose preserves element count")
 }
 
 #[cfg(test)]
@@ -184,7 +127,7 @@ mod tests {
 
     #[test]
     fn large_matmul_uses_threads_and_matches_small_kernel() {
-        // Large enough to cross PARALLEL_FLOP_THRESHOLD.
+        // Large enough to cross the kernel's parallel threshold.
         let m = 128;
         let k = 128;
         let n = 160;
@@ -195,5 +138,27 @@ mod tests {
         for &v in out.data() {
             assert!((v - k as f32).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn nan_propagates_through_matmul_even_with_zero_on_the_left() {
+        // Regression: the seed's zero-skip branch dropped the entire k-slice
+        // whenever the left operand was 0.0, so a NaN (or inf) in B was
+        // silently swallowed. IEEE semantics require 0.0 * NaN = NaN.
+        let a = t(vec![0.0, 1.0], &[1, 2]);
+        let b = t(vec![f32::NAN, 2.0, 3.0, 4.0], &[2, 2]);
+        let out = matmul(&a, &b);
+        assert!(out.data()[0].is_nan(), "matmul hid a NaN behind a zero");
+        assert_eq!(out.data()[1], 4.0);
+
+        // Same through the transposed variants.
+        let a_t = t(vec![0.0, 1.0], &[2, 1]);
+        assert!(matmul_tn(&a_t, &b).data()[0].is_nan());
+        let b_nt = transpose(&b);
+        assert!(matmul_nt(&a, &b_nt).data()[0].is_nan());
+
+        // And inf: 0 * inf = NaN, not 0.
+        let binf = t(vec![f32::INFINITY, 2.0, 3.0, 4.0], &[2, 2]);
+        assert!(matmul(&a, &binf).data()[0].is_nan());
     }
 }

@@ -1,0 +1,268 @@
+//! Persistent worker pool for data-parallel kernels.
+//!
+//! The seed implementation spawned fresh `crossbeam::scope` threads inside
+//! every large matmul — pure overhead on a single-core host and a fixed
+//! 2-way split on a many-core one. This module replaces that with one
+//! process-wide pool:
+//!
+//! * sized once from [`std::thread::available_parallelism`] (overridable via
+//!   the `CAE_NUM_THREADS` env var, `CAE_NUM_THREADS=1` forcing fully
+//!   inline execution);
+//! * workers park on a condvar between jobs, so an idle pool costs nothing;
+//! * [`parallel_for`] executes **inline on the calling thread** when the
+//!   pool has no workers (single-core hosts), when there is only one task,
+//!   or when called from inside a worker (no nested parallelism);
+//! * the calling thread participates in the work instead of blocking, so a
+//!   pool of `N` threads applies `N` cores, not `N - 1`.
+//!
+//! Tasks are claimed from a shared atomic counter, giving dynamic load
+//! balancing across unevenly sized tasks (e.g. edge blocks of a GEMM).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A published job: an erased borrowed closure plus claim/completion state.
+///
+/// The raw pointer borrows the closure on the submitting thread's stack;
+/// [`parallel_for`] does not return until every task has finished, which
+/// bounds every dereference to the borrow's lifetime.
+struct Job {
+    body: *const (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `body` points at a `Sync` closure and is only dereferenced while
+// the submitting thread is blocked inside `parallel_for`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs tasks until the counter is exhausted. Returns the
+    /// number of tasks this thread executed.
+    fn drain(&self) -> usize {
+        let mut ran = 0;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return ran;
+            }
+            // SAFETY: see the struct-level invariant.
+            let body = unsafe { &*self.body };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(i)));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            ran += 1;
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks {
+                *self.done.lock().expect("pool done mutex poisoned") = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut done = self.done.lock().expect("pool done mutex poisoned");
+        while !*done {
+            done = self
+                .done_cv
+                .wait(done)
+                .expect("pool done mutex poisoned");
+        }
+    }
+}
+
+/// Job mailbox shared between the submitter and the workers.
+struct Mailbox {
+    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    work_cv: Condvar,
+}
+
+struct Pool {
+    mailbox: Arc<Mailbox>,
+    /// Serializes submitters (only one job may be in flight).
+    submit_lock: Mutex<()>,
+    workers: usize,
+}
+
+thread_local! {
+    /// Set inside pool workers and while a task body runs inline, so nested
+    /// [`parallel_for`] calls degrade to sequential execution instead of
+    /// deadlocking or oversubscribing.
+    static IN_PARALLEL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_loop(mailbox: Arc<Mailbox>) {
+    IN_PARALLEL_TASK.with(|f| f.set(true));
+    let mut last_seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = mailbox.slot.lock().expect("pool mailbox poisoned");
+            loop {
+                match &slot.1 {
+                    Some(job) if slot.0 != last_seen => {
+                        last_seen = slot.0;
+                        break job.clone();
+                    }
+                    _ => {
+                        slot = mailbox
+                            .work_cv
+                            .wait(slot)
+                            .expect("pool mailbox poisoned");
+                    }
+                }
+            }
+        };
+        job.drain();
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = std::env::var("CAE_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(hw);
+        let mailbox = Arc::new(Mailbox {
+            slot: Mutex::new((0, None)),
+            work_cv: Condvar::new(),
+        });
+        // The submitting thread participates, so spawn one fewer worker
+        // than the target parallelism. On a single-core host this spawns
+        // nothing and every kernel runs inline.
+        let workers = threads.saturating_sub(1);
+        for i in 0..workers {
+            let mb = mailbox.clone();
+            std::thread::Builder::new()
+                .name(format!("cae-pool-{i}"))
+                .spawn(move || worker_loop(mb))
+                .expect("failed to spawn pool worker");
+        }
+        Pool {
+            mailbox,
+            submit_lock: Mutex::new(()),
+            workers,
+        }
+    })
+}
+
+/// The number of threads kernels may use (workers + the calling thread).
+pub fn max_parallelism() -> usize {
+    pool().workers + 1
+}
+
+/// Runs `body(0..n_tasks)` across the pool, returning when every task has
+/// finished. Executes inline when the pool is empty, `n_tasks <= 1`, or the
+/// caller is itself a pool task.
+///
+/// # Panics
+/// Propagates (as a fresh panic) if any task body panicked.
+pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
+    if n_tasks == 0 {
+        return;
+    }
+    let pool = pool();
+    let inline = pool.workers == 0
+        || n_tasks == 1
+        || IN_PARALLEL_TASK.with(|f| f.get());
+    if inline {
+        let was = IN_PARALLEL_TASK.with(|f| f.replace(true));
+        for i in 0..n_tasks {
+            body(i);
+        }
+        IN_PARALLEL_TASK.with(|f| f.set(was));
+        return;
+    }
+
+    let _submit = pool.submit_lock.lock().expect("pool submit lock poisoned");
+    // SAFETY: erases the borrow's lifetime; `parallel_for` does not return
+    // until no task can dereference `body` again (see `Job`).
+    let body_erased: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+            &body,
+        )
+    };
+    let job = Arc::new(Job {
+        body: body_erased,
+        n_tasks,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut slot = pool.mailbox.slot.lock().expect("pool mailbox poisoned");
+        slot.0 += 1;
+        slot.1 = Some(job.clone());
+        pool.mailbox.work_cv.notify_all();
+    }
+    // Participate instead of blocking.
+    let was = IN_PARALLEL_TASK.with(|f| f.replace(true));
+    job.drain();
+    IN_PARALLEL_TASK.with(|f| f.set(was));
+    job.wait_done();
+    {
+        let mut slot = pool.mailbox.slot.lock().expect("pool mailbox poisoned");
+        slot.1 = None;
+    }
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("a parallel_for task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let count = AtomicU64::new(0);
+        parallel_for(4, |_| {
+            parallel_for(4, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn zero_and_single_task() {
+        parallel_for(0, |_| panic!("must not run"));
+        let count = AtomicU64::new(0);
+        parallel_for(1, |i| {
+            assert_eq!(i, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn back_to_back_jobs() {
+        for round in 0..32u64 {
+            let sum = AtomicU64::new(0);
+            parallel_for(16, |i| {
+                sum.fetch_add(i as u64 + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 120 + 16 * round);
+        }
+    }
+}

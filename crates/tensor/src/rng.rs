@@ -122,7 +122,7 @@ impl TensorRng {
 /// sources (paper §III-B: each source `NS_n` follows a *distinct* pre-set
 /// distribution). All are normalized to approximately unit variance so the
 /// per-source magnitude `M_n` alone controls perturbation strength.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NoiseKind {
     /// Standard normal.
     Gaussian,
@@ -137,6 +137,15 @@ pub enum NoiseKind {
     /// Sparse spike noise: mostly zero with occasional large components.
     MaskedGaussian,
 }
+
+serde::impl_json_unit_enum!(NoiseKind {
+    Gaussian,
+    Uniform,
+    Laplace,
+    Exponential,
+    StudentT,
+    MaskedGaussian,
+});
 
 impl NoiseKind {
     /// The canonical ordering used when a CEND layer asks for `N` distinct

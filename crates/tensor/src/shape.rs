@@ -6,8 +6,21 @@ use std::fmt;
 ///
 /// `Shape` is a thin wrapper over a dimension list with helpers for element
 /// counts and NCHW access, used pervasively by [`crate::Tensor`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<usize>);
+
+// Newtype structs serialize as their inner value (serde's default).
+impl serde::Serialize for Shape {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl serde::Deserialize for Shape {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Shape(serde::Deserialize::from_value(v)?))
+    }
+}
 
 impl Shape {
     /// Creates a shape from a dimension slice.

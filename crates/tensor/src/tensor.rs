@@ -18,11 +18,13 @@ use crate::shape::Shape;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
 }
+
+serde::impl_json_struct!(Tensor { shape, data });
 
 impl Tensor {
     /// Creates a tensor from a flat row-major buffer.

@@ -1,0 +1,121 @@
+//! Thread-local scratch buffers for hot kernels.
+//!
+//! The seed allocated a fresh `vec![0.0; krows * ncols]` im2col buffer on
+//! every conv2d call (and packing would need two more per GEMM). For the
+//! small tensors this codebase trains on, those allocations dominate the
+//! kernel runtime. This arena keeps one buffer per ([`Slot`], thread) alive
+//! across calls, growing it monotonically to the high-water mark.
+//!
+//! Usage is a take/give pair:
+//!
+//! ```
+//! use cae_tensor::workspace::{self, Slot};
+//!
+//! let mut buf = workspace::take(Slot::Col, 128); // zeroed, len == 128
+//! buf[0] = 1.0;
+//! workspace::give(Slot::Col, buf); // returned for the next caller
+//! ```
+//!
+//! `take` moves the buffer *out* of the thread-local slot (no `RefCell`
+//! borrow is held while the caller works), so a kernel may hold one slot
+//! while calling another kernel that takes a different slot — conv2d holds
+//! [`Slot::Col`] while the GEMM underneath takes [`Slot::PackA`] and
+//! [`Slot::PackB`]. If a slot is taken twice without an intervening `give`
+//! (re-entrancy), the second `take` simply falls back to a fresh
+//! allocation — correctness never depends on reuse.
+//!
+//! Because slots are thread-local, every pool worker (see
+//! [`crate::pool`]) automatically owns a private workspace; parallel conv
+//! batch loops need no locking.
+
+use std::cell::RefCell;
+
+/// Named scratch slots. Each slot holds one `Vec<f32>` per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Packed A panels of the blocked GEMM.
+    PackA,
+    /// Packed B panels of the blocked GEMM.
+    PackB,
+    /// im2col output (conv2d forward).
+    Col,
+    /// Gradient w.r.t. the im2col matrix (conv2d backward).
+    DCol,
+    /// Per-chunk partial accumulators for parallel reductions.
+    Partial,
+}
+
+const SLOT_COUNT: usize = 5;
+
+thread_local! {
+    static SLOTS: RefCell<[Vec<f32>; SLOT_COUNT]> = const {
+        RefCell::new([Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()])
+    };
+}
+
+/// Takes the thread's buffer for `slot`, zeroed and resized to `len`.
+///
+/// Always returns a buffer with `buf.len() == len` and all elements `0.0`.
+/// Pair with [`give`] to recycle the allocation.
+pub fn take(slot: Slot, len: usize) -> Vec<f32> {
+    let mut buf = SLOTS.with(|s| std::mem::take(&mut s.borrow_mut()[slot as usize]));
+    // Zero the prefix we keep, then extend; for a warm buffer of sufficient
+    // capacity this is one memset and no allocation.
+    buf.truncate(len);
+    buf.iter_mut().for_each(|v| *v = 0.0);
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// Returns a buffer taken with [`take`] so later calls on this thread can
+/// reuse its allocation. Keeps the larger of the incoming and resident
+/// buffers (re-entrant callers may give back in any order).
+pub fn give(slot: Slot, buf: Vec<f32>) {
+    SLOTS.with(|s| {
+        let resident = &mut s.borrow_mut()[slot as usize];
+        if resident.capacity() < buf.capacity() {
+            *resident = buf;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffer_of_requested_len() {
+        let mut buf = take(Slot::Col, 16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        give(Slot::Col, buf);
+        // The recycled buffer must be re-zeroed, including when shrinking
+        // and growing across calls.
+        let again = take(Slot::Col, 8);
+        assert_eq!(again.len(), 8);
+        assert!(again.iter().all(|&v| v == 0.0));
+        give(Slot::Col, again);
+        let grown = take(Slot::Col, 32);
+        assert_eq!(grown.len(), 32);
+        assert!(grown.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reuse_preserves_capacity() {
+        let buf = take(Slot::PackA, 1024);
+        let ptr = buf.as_ptr();
+        give(Slot::PackA, buf);
+        let again = take(Slot::PackA, 512);
+        assert_eq!(again.as_ptr(), ptr, "warm take must not reallocate");
+    }
+
+    #[test]
+    fn double_take_falls_back_to_fresh_allocation() {
+        let first = take(Slot::DCol, 4);
+        let second = take(Slot::DCol, 4);
+        assert_eq!(second.len(), 4);
+        give(Slot::DCol, first);
+        give(Slot::DCol, second);
+    }
+}

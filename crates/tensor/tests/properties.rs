@@ -2,6 +2,7 @@
 //! the kernels and autograd invariants.
 
 use cae_tensor::conv::{self, Conv2dSpec};
+use cae_tensor::gemm::{gemm, gemm_reference};
 use cae_tensor::gradcheck::check_gradients;
 use cae_tensor::linalg;
 use cae_tensor::rng::TensorRng;
@@ -172,5 +173,90 @@ proptest! {
         let c = t.clamp(lo, hi);
         prop_assert!(c.min() >= lo && c.max() <= hi);
         prop_assert_eq!(c.clamp(lo, hi), c);
+    }
+}
+
+/// Runs the blocked kernel and the naive reference over the same strided
+/// operands and asserts elementwise closeness (accumulation order differs,
+/// so exact equality is not expected).
+fn assert_gemm_matches_reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a_strides: (usize, usize),
+    b_strides: (usize, usize),
+    seed: u64,
+    accumulate: bool,
+) -> Result<(), TestCaseError> {
+    let mut rng = TensorRng::seed_from(seed);
+    let alen = if m * k == 0 {
+        0
+    } else {
+        (m - 1) * a_strides.0 + (k - 1) * a_strides.1 + 1
+    };
+    let blen = if k * n == 0 {
+        0
+    } else {
+        (k - 1) * b_strides.0 + (n - 1) * b_strides.1 + 1
+    };
+    let a: Vec<f32> = (0..alen).map(|_| rng.normal()).collect();
+    let b: Vec<f32> = (0..blen).map(|_| rng.normal()).collect();
+    let init: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();
+    let mut got = init.clone();
+    let mut want = init;
+    gemm(m, n, k, &a, a_strides, &b, b_strides, &mut got, accumulate);
+    gemm_reference(m, n, k, &a, a_strides, &b, b_strides, &mut want, accumulate);
+    for (idx, (g, w)) in got.iter().zip(&want).enumerate() {
+        prop_assert!(
+            (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+            "({m},{n},{k}) strides a{a_strides:?} b{b_strides:?} acc={accumulate} \
+             idx={idx}: blocked {g} vs reference {w}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked GEMM matches the naive reference on random shapes that
+    /// straddle every tiling edge case: single rows (`m = 1`), empty inner
+    /// dimension (`k = 0`), and extents that are not multiples of the
+    /// micro-tile (4x8) or the cache blocks.
+    #[test]
+    fn blocked_gemm_matches_reference_nn(
+        seed in 0u64..1000,
+        m in 1usize..80,
+        n in 1usize..80,
+        k in 0usize..40,
+        acc_sel in 0u8..2,
+    ) {
+        assert_gemm_matches_reference(m, n, k, (k.max(1), 1), (n, 1), seed, acc_sel == 1)?;
+    }
+
+    /// Same property through the transposed-left (TN) stride mapping used
+    /// by `matmul_tn` and the conv `dcol` pass.
+    #[test]
+    fn blocked_gemm_matches_reference_tn(
+        seed in 0u64..1000,
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+    ) {
+        // A stored [k, m] row-major, viewed as [m, k] via strides (1, m).
+        assert_gemm_matches_reference(m, n, k, (1, m), (n, 1), seed, false)?;
+    }
+
+    /// Same property through the transposed-right (NT) stride mapping used
+    /// by `matmul_nt` and the conv `dw` pass.
+    #[test]
+    fn blocked_gemm_matches_reference_nt(
+        seed in 0u64..1000,
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+    ) {
+        // B stored [n, k] row-major, viewed as [k, n] via strides (1, k).
+        assert_gemm_matches_reference(m, n, k, (k, 1), (1, k), seed, true)?;
     }
 }

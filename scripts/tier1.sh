@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Run from anywhere; operates on the repository that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test --offline --workspace -q
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,0 +1,200 @@
+//! Offline vendored mini replacement for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] and [`Bencher::iter`] — backed by a simple
+//! calibrated timing loop instead of criterion's statistical machinery.
+//! Each benchmark is calibrated to a target measurement window, run, and
+//! reported as mean ns/iteration on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measurement: Duration,
+    /// Multiplier applied to sample counts (reduced by `sample_size`).
+    scale: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(200),
+            scale: 1.0,
+        }
+    }
+}
+
+/// Measurement result for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Runs `f` long enough for a stable mean and returns ns/iter.
+///
+/// Exposed so non-criterion binaries (the `bench_kernels` JSON writer) can
+/// share the exact timing methodology of `cargo bench`.
+pub fn measure<O, F: FnMut() -> O>(mut f: F, window: Duration) -> Measurement {
+    // Warm up and calibrate: double the batch until it costs >= ~5% of the
+    // window, then size the measured run to fill the window.
+    let mut batch: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std_black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= window / 20 || batch >= 1 << 30 {
+            break elapsed.as_secs_f64() / batch as f64;
+        }
+        batch *= 2;
+    };
+    let iters = ((window.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std_black_box(f());
+    }
+    let elapsed = start.elapsed();
+    Measurement {
+        ns_per_iter: elapsed.as_secs_f64() * 1e9 / iters as f64,
+        iters,
+    }
+}
+
+fn report(name: &str, m: Measurement) {
+    let (value, unit) = if m.ns_per_iter >= 1e9 {
+        (m.ns_per_iter / 1e9, "s")
+    } else if m.ns_per_iter >= 1e6 {
+        (m.ns_per_iter / 1e6, "ms")
+    } else if m.ns_per_iter >= 1e3 {
+        (m.ns_per_iter / 1e3, "µs")
+    } else {
+        (m.ns_per_iter, "ns")
+    };
+    println!("{name:<40} time: {value:>10.3} {unit}/iter  ({} iters)", m.iters);
+}
+
+impl Criterion {
+    /// Benchmarks a function of a [`Bencher`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            window: self.measurement.mul_f64(self.scale),
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(m) => report(name, m),
+            None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Opens a named group; the mini harness treats it as a name prefix.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_owned(),
+            scale: 1.0,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible sample-size knob; smaller sample sizes shorten
+    /// the measurement window proportionally (floor 10%).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.scale = (n as f64 / 100.0).clamp(0.1, 1.0);
+        self
+    }
+
+    /// Benchmarks a function under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        let prior = self.criterion.scale;
+        self.criterion.scale = self.scale;
+        self.criterion.bench_function(&full, f);
+        self.criterion.scale = prior;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    window: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.result = Some(measure(f, self.window));
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_time() {
+        let m = measure(|| (0..100).sum::<u64>(), Duration::from_millis(5));
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut ran = false;
+        Criterion {
+            measurement: Duration::from_millis(2),
+            scale: 1.0,
+        }
+        .bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,88 @@
+//! Scalar ChaCha12 block function (the core of rand 0.8's `StdRng`).
+
+/// ChaCha state: 4 constant words, 8 key words, 2 counter words, 2 nonce
+/// words (the original DJB layout with a 64-bit block counter).
+pub(crate) struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill".
+    cursor: usize,
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12 {
+    pub(crate) fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words 14/15 stay zero (stream 0).
+        let initial = state;
+        for _ in 0..6 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, &i) in state.iter_mut().zip(initial.iter()) {
+            *s = s.wrapping_add(i);
+        }
+        self.buf = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    pub(crate) fn next_word(&mut self) -> u32 {
+        if self.cursor == 16 {
+            self.refill();
+        }
+        let w = self.buf[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    /// Snapshot for `Clone` (the buffer is cheap to recompute, so clone
+    /// copies everything).
+    pub(crate) fn clone_state(&self) -> Self {
+        ChaCha12 {
+            key: self.key,
+            counter: self.counter,
+            buf: self.buf,
+            cursor: self.cursor,
+        }
+    }
+}

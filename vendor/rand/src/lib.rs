@@ -1,0 +1,187 @@
+//! Offline vendored subset of the `rand 0.8` API.
+//!
+//! The container this workspace builds in has no network access and no
+//! crates.io mirror, so the external `rand` crate is replaced by this local
+//! implementation of exactly the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — ChaCha12 (the same core algorithm rand 0.8 uses for
+//!   `StdRng`), seeded through the identical PCG32-based
+//!   [`SeedableRng::seed_from_u64`] expansion, so seeded streams match the
+//!   upstream crate bit for bit.
+//! * [`Rng::gen`] for `f32` / `u32` / `u64` with upstream `Standard`
+//!   distribution semantics (24-bit mantissa floats in `[0, 1)`).
+//! * [`Rng::gen_range`] over `Range<usize>` using the upstream widening
+//!   multiply-with-rejection sampler.
+
+pub mod rngs;
+
+mod chacha;
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 32-byte seed.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Creates a generator from a `u64` seed using the rand-core PCG32
+    /// expansion (bit-compatible with rand 0.8).
+    fn seed_from_u64(mut state: u64) -> Self {
+        // PCG32 constants used by rand_core 0.6's default seed_from_u64.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Core entropy source: little-endian word stream.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits (two `u32` draws, low word first — matching
+    /// rand_core's `impls::next_u64_via_u32`).
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// Types drawable from the `Standard` distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 Standard for f32: 24 significant bits scaled to [0, 1).
+        let precision = 23 + 1;
+        let scale = 1.0 / ((1u32 << precision) as f32);
+        scale * (rng.next_u32() >> (32 - precision)) as f32
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let precision = 52 + 1;
+        let scale = 1.0 / ((1u64 << precision) as f64);
+        scale * (rng.next_u64() >> (64 - precision)) as f64
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // rand 0.8 UniformInt::sample_single: widening multiply with
+                // rejection on the low word.
+                let range = (self.end - self.start) as u64;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return self.start + hi as $t;
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_uint_range!(usize, u64, u32);
+
+/// The user-facing generator trait.
+pub trait Rng: RngCore {
+    /// Draws one value from the `Standard` distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f32 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..200 {
+            let v = r.gen_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chacha_quarter_round_mixes() {
+        // Distinct seeds give distinct streams.
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_ne!(
+            (0..8).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u32()).collect::<Vec<_>>()
+        );
+    }
+}

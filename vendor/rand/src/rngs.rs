@@ -1,0 +1,38 @@
+//! Named generator types.
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+use std::fmt;
+
+/// The standard generator: ChaCha12, matching rand 0.8's `StdRng`.
+pub struct StdRng {
+    core: ChaCha12,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_word()
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        StdRng {
+            core: ChaCha12::from_seed(seed),
+        }
+    }
+}
+
+impl Clone for StdRng {
+    fn clone(&self) -> Self {
+        StdRng {
+            core: self.core.clone_state(),
+        }
+    }
+}
+
+impl fmt::Debug for StdRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StdRng").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline vendored replacement for the `serde` facade.
+//!
+//! The build container has no network access, so the real serde stack is
+//! unavailable. This crate keeps the workspace's `serde::Serialize` /
+//! `serde::Deserialize` trait paths compiling by defining them over a small
+//! JSON [`Value`] model instead of serde's visitor architecture. The
+//! companion vendored `serde_json` crate prints and parses [`Value`]s.
+//!
+//! Because there is no proc-macro derive, types opt in with the declarative
+//! macros:
+//!
+//! * [`impl_json_struct!`] — named-field structs (`Foo { a, b, c }`),
+//!   serialized as a JSON object keyed by field name (serde's default
+//!   representation);
+//! * [`impl_json_unit_enum!`] — fieldless enums, serialized as the variant
+//!   name string (serde's externally-tagged default for unit variants).
+//!
+//! Enums with payload variants write the externally-tagged representation
+//! (`{"Variant": {..fields..}}`) by hand; see `cae-core`'s `method.rs`.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Numbers are stored as `f64`; every integer the workspace serializes is
+/// far below 2^53, so the widening is lossless. Object keys preserve
+/// insertion order (serde_json's default with an ordered map).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a JSON value.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+fn type_err<T>(expected: &str, v: &Value) -> Result<T, DeError> {
+    Err(DeError(format!("expected {expected}, found {v:?}")))
+}
+
+macro_rules! impl_json_number {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => type_err("number", other),
+                }
+            }
+        }
+    )+};
+}
+
+impl_json_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Reads one struct field out of an object value.
+///
+/// # Errors
+/// Returns [`DeError`] if the key is missing or its value mismatches.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner)
+            .map_err(|e| DeError(format!("field '{name}': {}", e.0))),
+        None => Err(DeError(format!("missing field '{name}'"))),
+    }
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a named-field struct as
+/// a JSON object keyed by field name. Invoke in the module defining the
+/// type (private fields are fine).
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((
+                        stringify!($field).to_owned(),
+                        $crate::Serialize::to_value(&self.$field),
+                    )),+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                Ok(Self {
+                    $($field: $crate::field(v, stringify!($field))?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a fieldless enum as the
+/// variant-name string (serde's externally-tagged default for unit
+/// variants).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant)),+
+                };
+                $crate::Value::String(name.to_owned())
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                match v {
+                    // One arm per variant; the guard distinguishes them.
+                    $(
+                        $crate::Value::String(s) if s == stringify!($variant) => {
+                            Ok($ty::$variant)
+                        }
+                    )+
+                    other => Err($crate::DeError(format!(
+                        concat!("unknown ", stringify!($ty), " variant: {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(
+            Option::<f32>::from_value(&None::<f32>.to_value()).unwrap(),
+            None
+        );
+        let v = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(Vec::<f32>::from_value(&v.to_value()).unwrap(), v);
+    }
+}
