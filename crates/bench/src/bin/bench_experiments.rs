@@ -1,0 +1,103 @@
+//! Cell-parallel scheduler benchmark: times a serial vs a cell-parallel
+//! `table02` run and writes `BENCH_experiments.json` at the repository
+//! root.
+//!
+//! The tensor pool is sized once per process (`CAE_NUM_THREADS`), so each
+//! configuration runs in a fresh child process of this same binary:
+//!
+//! * `serial`   — `CAE_NUM_THREADS=1`, `CAE_CELL_PARALLEL=0`: every cell on
+//!   one thread, the seed-equivalent baseline;
+//! * `parallel` — `CAE_NUM_THREADS=<cores, capped at 4>`,
+//!   `CAE_CELL_PARALLEL=1`: whole cells fan out over the pool.
+//!
+//! Besides wall-clock, the record checks the two reports byte-for-byte —
+//! per-cell seeding means thread count must never change a result. On a
+//! single-core host the parallel run still executes (4 pool threads
+//! time-slicing one core) but shows no speedup; `host_parallelism` is
+//! recorded so readers can interpret the ratio honestly.
+//!
+//! Budget defaults to `fast`; override with `CAE_BUDGET=smoke|fast|full`.
+//! Run with `cargo run --release -p cae-bench --bin bench_experiments`.
+
+use cae_bench::{budget_from_env, run_one};
+use serde::Value;
+use std::process::Command;
+use std::time::Instant;
+
+const CHILD_ENV: &str = "CAE_BENCH_EXPERIMENTS_CHILD";
+
+/// Child mode: run table02 and write its JSON report to the given path.
+fn run_child(out_path: &str) {
+    let budget = budget_from_env("fast");
+    let report = run_one("table02", &budget);
+    std::fs::write(out_path, report.to_json()).expect("failed to write child report");
+}
+
+struct Outcome {
+    mode: &'static str,
+    threads: usize,
+    seconds: f64,
+    report_json: String,
+}
+
+/// Parent mode: re-exec this binary once per configuration and time it.
+fn run_config(mode: &'static str, threads: usize, cell_parallel: &str) -> Outcome {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::env::temp_dir().join(format!("cae_bench_experiments_{mode}.json"));
+    let started = Instant::now();
+    let status = Command::new(&exe)
+        .env(CHILD_ENV, out.display().to_string())
+        .env("CAE_NUM_THREADS", threads.to_string())
+        .env("CAE_CELL_PARALLEL", cell_parallel)
+        .status()
+        .expect("failed to spawn child");
+    let seconds = started.elapsed().as_secs_f64();
+    assert!(status.success(), "{mode} child exited with {status}");
+    let report_json = std::fs::read_to_string(&out).expect("child report missing");
+    std::fs::remove_file(&out).ok();
+    Outcome { mode, threads, seconds, report_json }
+}
+
+fn main() {
+    if let Ok(out_path) = std::env::var(CHILD_ENV) {
+        run_child(&out_path);
+        return;
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_threads = host.clamp(2, 4);
+    println!("host parallelism: {host}; timing serial vs {parallel_threads}-thread table02 runs");
+
+    let serial = run_config("serial", 1, "0");
+    println!("  serial:   {:.1}s", serial.seconds);
+    let parallel = run_config("parallel", parallel_threads, "1");
+    println!("  parallel: {:.1}s", parallel.seconds);
+
+    let identical = serial.report_json == parallel.report_json;
+    assert!(identical, "serial and parallel reports differ — per-cell seeding is broken");
+    let speedup = serial.seconds / parallel.seconds.max(1e-9);
+    println!("  speedup:  {speedup:.2}x (reports identical: {identical})");
+
+    let record = |o: &Outcome| {
+        Value::Object(vec![
+            ("mode".to_string(), Value::String(o.mode.to_string())),
+            ("threads".to_string(), Value::Number(o.threads as f64)),
+            ("seconds".to_string(), Value::Number(o.seconds)),
+        ])
+    };
+    let json = serde_json::to_string_pretty(&Value::Object(vec![
+        ("experiment".to_string(), Value::String("table02".to_string())),
+        (
+            "budget".to_string(),
+            Value::String(std::env::var("CAE_BUDGET").unwrap_or_else(|_| "fast".to_string())),
+        ),
+        ("host_parallelism".to_string(), Value::Number(host as f64)),
+        ("runs".to_string(), Value::Array(vec![record(&serial), record(&parallel)])),
+        ("speedup".to_string(), Value::Number(speedup)),
+        ("reports_identical".to_string(), Value::Bool(identical)),
+    ]))
+    .expect("benchmark record always serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_experiments.json");
+    std::fs::write(path, json + "\n").expect("failed to write BENCH_experiments.json");
+    println!("wrote {path}");
+}

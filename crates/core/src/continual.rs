@@ -13,7 +13,7 @@ use crate::transfer::{evaluate, finetune, DenseModel, TaskSet, TransferMetrics};
 use cae_data::dense::DenseDataset;
 use cae_nn::module::Classifier;
 use cae_tensor::rng::TensorRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One stage of a continual-transfer run.
 #[derive(Debug, Clone)]
@@ -48,7 +48,7 @@ pub fn continual_transfer(
     seed: u64,
 ) -> Vec<ContinualStage> {
     let mut rng = TensorRng::seed_from(seed);
-    let shared: Rc<dyn Classifier> = Rc::from(backbone);
+    let shared: Arc<dyn Classifier> = Arc::from(backbone);
     let mut trained: Vec<(String, TransferMetrics, DenseModel, DenseDataset)> = Vec::new();
     for (name, tasks, train, test) in stages {
         let num_obj = test.num_seg_classes().saturating_sub(1).max(1);

@@ -3,6 +3,7 @@
 //! CEND perturbation magnitude `M`.
 
 use crate::config::{DfkdConfig, ExperimentBudget};
+use crate::experiments::scheduler;
 use crate::method::{EmbeddingKind, MethodSpec};
 use crate::metrics::classification::top1_accuracy;
 use crate::report::Report;
@@ -13,11 +14,11 @@ use cae_lm::{LmKind, PromptTemplate};
 use cae_nn::models::Arch;
 use cae_tensor::rng::TensorRng;
 
-fn run_with(config: DfkdConfig, spec: &MethodSpec, budget: &ExperimentBudget) -> f32 {
+fn run_with(config: DfkdConfig, spec: &MethodSpec, budget: &ExperimentBudget, seed: u64) -> f32 {
     let preset = ClassificationPreset::C10Sim;
     let split = preset.generate(budget.seed);
     let teacher = pretrained("teacher", Arch::ResNet34, &split.train, budget, config.batch_size);
-    let mut rng = TensorRng::seed_from(budget.seed ^ 0xab1a);
+    let mut rng = TensorRng::seed_from(seed ^ 0xab1a);
     let student = Arch::ResNet18.build(preset.num_classes(), budget.base_width, &mut rng);
     let class_names = preset.class_names();
     let mut trainer = DfkdTrainer::new(
@@ -28,7 +29,7 @@ fn run_with(config: DfkdConfig, spec: &MethodSpec, budget: &ExperimentBudget) ->
         spec,
         config,
         budget,
-        budget.seed,
+        seed,
     );
     trainer.run(budget);
     top1_accuracy(trainer.student(), &split.test, 32)
@@ -42,21 +43,22 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         &["Top-1 Acc (%)"],
     );
 
-    // Memory-bank capacity.
+    // One cell per swept setting, flattened in row order.
+    let mut plan: Vec<(String, DfkdConfig, MethodSpec)> = Vec::new();
     for capacity in [32usize, 128, 512] {
-        let config = DfkdConfig { memory_capacity: capacity, ..Default::default() };
-        let acc = run_with(config, &MethodSpec::cae_dfkd(4), budget);
-        report.push_full_row(&format!("memory capacity = {capacity}"), &[acc * 100.0]);
+        plan.push((
+            format!("memory capacity = {capacity}"),
+            DfkdConfig { memory_capacity: capacity, ..Default::default() },
+            MethodSpec::cae_dfkd(4),
+        ));
     }
-
-    // Adversarial weight λ_adv.
     for lambda in [0.0f32, 0.5, 2.0] {
-        let config = DfkdConfig { lambda_adv: lambda, ..Default::default() };
-        let acc = run_with(config, &MethodSpec::cae_dfkd(4), budget);
-        report.push_full_row(&format!("lambda_adv = {lambda}"), &[acc * 100.0]);
+        plan.push((
+            format!("lambda_adv = {lambda}"),
+            DfkdConfig { lambda_adv: lambda, ..Default::default() },
+            MethodSpec::cae_dfkd(4),
+        ));
     }
-
-    // CEND perturbation magnitude M.
     for magnitude in [0.05f32, 0.3, 1.0] {
         let spec = MethodSpec {
             embedding: EmbeddingKind::Cend {
@@ -67,8 +69,15 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             },
             ..MethodSpec::cae_dfkd(4)
         };
-        let acc = run_with(DfkdConfig::default(), &spec, budget);
-        report.push_full_row(&format!("CEND magnitude = {magnitude}"), &[acc * 100.0]);
+        plan.push((format!("CEND magnitude = {magnitude}"), DfkdConfig::default(), spec));
+    }
+
+    let accs = scheduler::run_indexed(plan.len(), |i| {
+        let (_, config, spec) = &plan[i];
+        run_with(*config, spec, budget, scheduler::cell_seed(budget.seed, i as u64))
+    });
+    for ((label, _, _), acc) in plan.iter().zip(accs) {
+        report.push_full_row(label, &[acc * 100.0]);
     }
 
     report.note("expectation: mid-range memory/λ_adv/magnitude settings dominate the extremes");

@@ -7,7 +7,7 @@
 //! mirrors the visual quality ordering in the figure.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -27,32 +27,38 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         &["seg err", "depth AErr"],
     );
 
-    let (s_model, _) = run_data_accessible(preset, pair.student, budget);
-    let m = transfer_evaluate(s_model, TaskSet::nyu(), &train, &test, budget.finetune_steps, 5);
-    report.push_full_row(
-        "Student (data-accessible)",
-        &[1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)],
-    );
-
-    for spec in [
+    // Cells: the data-accessible reference plus one per method.
+    let specs = [
         MethodSpec::vanilla().with_image_contrastive(1.0).named("Image-level CL"),
         MethodSpec::cae_dfkd(4).named("CAE-DFKD (embedding-level)"),
-    ] {
-        let run = distill(preset, pair, &spec, budget);
-        let m = transfer_clone(
-            run.student.as_ref(),
-            pair.student,
-            preset.num_classes(),
-            budget,
-            TaskSet::nyu(),
-            &train,
-            &test,
-            6,
-        );
-        report.push_full_row(
-            &spec.name,
-            &[1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)],
-        );
+    ];
+    let (train, test) = (&train, &test);
+    let mut cells: Vec<Box<dyn FnOnce() -> [f32; 2] + Send + '_>> = vec![Box::new(move || {
+        let (s_model, _) = run_data_accessible(preset, pair.student, budget);
+        let m = transfer_evaluate(s_model, TaskSet::nyu(), train, test, budget.finetune_steps, 5);
+        [1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)]
+    })];
+    for spec in &specs {
+        let idx = cells.len() as u64;
+        cells.push(Box::new(move || {
+            let run = distill(preset, pair, spec, budget, idx);
+            let m = transfer_clone(
+                run.student.as_ref(),
+                pair.student,
+                preset.num_classes(),
+                budget,
+                TaskSet::nyu(),
+                train,
+                test,
+                6,
+            );
+            [1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)]
+        }));
+    }
+    let rows = scheduler::run_cells(cells);
+    report.push_full_row("Student (data-accessible)", &rows[0]);
+    for (spec, row) in specs.iter().zip(&rows[1..]) {
+        report.push_full_row(&spec.name, row);
     }
     report.note("paper shape: embedding-level (CAE-DFKD) error maps are cleaner than image-level contrastive");
     report.note(&format!("budget: {budget:?}"));

@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod fig02;
 pub mod fig05;
+pub mod scheduler;
 pub mod table01;
 pub mod table02;
 pub mod table03;
@@ -61,13 +62,20 @@ pub fn table2_pairs() -> Vec<Pair> {
 }
 
 /// Distills one cell (convenience wrapper around [`run_dfkd`]).
+///
+/// `cell_index` is the cell's position within its runner; the run's RNG
+/// seed is derived as [`scheduler::cell_seed`]`(budget.seed, cell_index)`
+/// so every cell of a table gets an independent stream and results do not
+/// depend on execution order or thread count.
 pub fn distill(
     preset: ClassificationPreset,
     pair: Pair,
     spec: &MethodSpec,
     budget: &ExperimentBudget,
+    cell_index: u64,
 ) -> DfkdRun {
-    run_dfkd(preset, pair.teacher, pair.student, spec, budget, budget.seed)
+    let seed = scheduler::cell_seed(budget.seed, cell_index);
+    run_dfkd(preset, pair.teacher, pair.student, spec, budget, seed)
 }
 
 /// Dense dataset sizes scaled by budget.

@@ -1,0 +1,166 @@
+//! Cell-parallel experiment scheduler.
+//!
+//! A table runner's unit of work is a *cell*: one independent
+//! (teacher→student pair × preset × method) distillation run. Cells share
+//! no mutable state — each owns its models, optimizers and RNG, and the
+//! pretrained-teacher cache hands out private copies — so a runner can fan
+//! its cells out over the persistent [`cae_tensor::pool`] worker threads.
+//!
+//! Composition with kernel-level parallelism is automatic: inside a pool
+//! task, nested [`cae_tensor::pool::parallel_for`] calls degrade to inline
+//! execution, so a parallel table run spends every core on distinct cells
+//! while a serial run (one cell, `CAE_CELL_PARALLEL=0`, or a single-core
+//! host) spends them inside each cell's kernels.
+//!
+//! # Determinism
+//!
+//! Results are byte-identical regardless of execution order or thread
+//! count: every cell derives its RNG streams from
+//! [`cell_seed`]`(budget.seed, cell_index)` and writes only to its own
+//! result slot, and runners assemble rows from the returned vector in
+//! cell-index order.
+
+use cae_tensor::pool;
+use std::sync::Mutex;
+
+/// Derives a per-cell RNG seed from the experiment seed and the cell's
+/// index within its runner (splitmix64-style finalizer, so neighbouring
+/// indices produce uncorrelated streams and cell 0 differs from the base
+/// seed itself).
+pub fn cell_seed(base: u64, cell_index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cell_index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether cell-level parallelism is enabled (`CAE_CELL_PARALLEL=0` or
+/// `off` forces serial cell execution; kernels then parallelize instead).
+/// Read per call so tests can toggle it within one process.
+pub fn cell_parallelism_enabled() -> bool {
+    !matches!(
+        std::env::var("CAE_CELL_PARALLEL").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
+
+/// Runs every cell closure and returns their results in cell order.
+///
+/// Cells run concurrently on the tensor pool when it has more than one
+/// thread and [`cell_parallelism_enabled`] holds; otherwise they run
+/// serially on the calling thread (in index order, with kernel-level
+/// parallelism intact). Heterogeneous cells can be passed as
+/// `Vec<Box<dyn FnOnce() -> T + Send>>`.
+///
+/// # Panics
+/// Propagates a panic if any cell panics.
+pub fn run_cells<T, F>(cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    if n <= 1 || pool::max_parallelism() == 1 || !cell_parallelism_enabled() {
+        return cells.into_iter().map(|cell| cell()).collect();
+    }
+    let pending: Vec<Mutex<Option<F>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    pool::parallel_for(n, |i| {
+        let cell = pending[i]
+            .lock()
+            .expect("cell slot lock poisoned")
+            .take()
+            .expect("cell executed twice");
+        let out = cell();
+        *results[i].lock().expect("cell result lock poisoned") = Some(out);
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("cell result lock poisoned")
+                .expect("cell produced no result")
+        })
+        .collect()
+}
+
+/// Indexed convenience wrapper: runs `f(0..n)` as cells and collects the
+/// results in index order.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n <= 1 || pool::max_parallelism() == 1 || !cell_parallelism_enabled() {
+        return (0..n).map(f).collect();
+    }
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    pool::parallel_for(n, |i| {
+        let out = f(i);
+        *results[i].lock().expect("cell result lock poisoned") = Some(out);
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("cell result lock poisoned")
+                .expect("cell produced no result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_tensor::rng::TensorRng;
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..64).map(|i| cell_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "cell seeds must not collide");
+        assert_eq!(cell_seed(42, 7), cell_seed(42, 7), "seeds are pure");
+        assert_ne!(cell_seed(42, 0), 42, "cell 0 must not reuse the base seed");
+    }
+
+    #[test]
+    fn run_cells_preserves_order_and_results() {
+        let cells: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..23u64)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>)
+            .collect();
+        let out = run_cells(cells);
+        assert_eq!(out, (0..23u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_indexed_matches_serial_execution_with_rng_work() {
+        // Each cell draws from its own seeded RNG; parallel and serial
+        // execution must agree bit-for-bit.
+        let work = |i: usize| {
+            let mut rng = TensorRng::seed_from(cell_seed(7, i as u64));
+            let t = rng.normal_tensor(&[17], 0.0, 1.0);
+            t.data().iter().map(|v| v.to_bits() as u64).sum::<u64>()
+        };
+        let parallel = run_indexed(33, work);
+        let serial: Vec<u64> = (0..33).map(work).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn nested_kernel_parallelism_degrades_inline() {
+        // Cells may call parallel_for internally; this must not deadlock.
+        let out = run_indexed(8, |i| {
+            let acc = std::sync::atomic::AtomicUsize::new(0);
+            cae_tensor::pool::parallel_for(4, |j| {
+                acc.fetch_add(i + j, std::sync::atomic::Ordering::Relaxed);
+            });
+            acc.into_inner()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| 4 * i + 6).collect();
+        assert_eq!(out, expect);
+    }
+}

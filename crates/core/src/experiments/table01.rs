@@ -6,7 +6,7 @@
 //! two-view contrastive learning to the synthetic images degrades top-1.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, Pair};
+use crate::experiments::{distill, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use cae_data::presets::ClassificationPreset;
@@ -28,9 +28,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             .named("Vanilla")
             .with_image_contrastive(1.0),
     ];
-    for spec in &specs {
-        let run = distill(preset, pair, spec, budget);
-        report.push_full_row(&spec.name, &[run.student_top1 * 100.0]);
+    let accs = scheduler::run_indexed(specs.len(), |i| {
+        distill(preset, pair, &specs[i], budget, i as u64).student_top1
+    });
+    for (spec, acc) in specs.iter().zip(accs) {
+        report.push_full_row(&spec.name, &[acc * 100.0]);
     }
     report.note("paper shape: Vanilla > +Mixup > +Contrastive Learning (both additions hurt)");
     report.note(&format!("budget: {budget:?}"));

@@ -9,7 +9,7 @@
 //! their code and are noted instead.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, table2_pairs};
+use crate::experiments::{distill, scheduler, table2_pairs};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -46,28 +46,48 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         MethodSpec::cae_dfkd(4),
     ];
 
-    // Reference rows.
-    let mut teacher_row = Vec::new();
-    let mut student_row = Vec::new();
+    // One flat cell list: reference cells (teacher then student per
+    // dataset×pair) followed by one method cell per (method × dataset ×
+    // pair). Each cell returns one top-1 accuracy; the scheduler preserves
+    // cell order, so rows are assembled by slicing the result vector.
+    let mut cells: Vec<Box<dyn FnOnce() -> f32 + Send + '_>> = Vec::new();
     for &dataset in &datasets {
         for pair in &pairs {
-            let (_, t_acc) = run_data_accessible(dataset, pair.teacher, budget);
-            let (_, s_acc) = run_data_accessible(dataset, pair.student, budget);
-            teacher_row.push(Some(t_acc * 100.0));
-            student_row.push(Some(s_acc * 100.0));
+            let (t, s) = (pair.teacher, pair.student);
+            cells.push(Box::new(move || run_data_accessible(dataset, t, budget).1));
+            cells.push(Box::new(move || run_data_accessible(dataset, s, budget).1));
         }
+    }
+    let ref_cells = cells.len();
+    for spec in &methods {
+        for &dataset in &datasets {
+            for pair in &pairs {
+                let pair = *pair;
+                let idx = cells.len() as u64;
+                cells.push(Box::new(move || {
+                    distill(dataset, pair, spec, budget, idx).student_top1
+                }));
+            }
+        }
+    }
+    let accs = scheduler::run_cells(cells);
+
+    let mut teacher_row = Vec::new();
+    let mut student_row = Vec::new();
+    for chunk in accs[..ref_cells].chunks_exact(2) {
+        teacher_row.push(Some(chunk[0] * 100.0));
+        student_row.push(Some(chunk[1] * 100.0));
     }
     report.push_row("Teacher", teacher_row);
     report.push_row("Student", student_row);
 
-    for spec in &methods {
-        let mut row = Vec::new();
-        for &dataset in &datasets {
-            for pair in &pairs {
-                let run = distill(dataset, *pair, spec, budget);
-                row.push(Some(run.student_top1 * 100.0));
-            }
-        }
+    let cols = datasets.len() * pairs.len();
+    for (m, spec) in methods.iter().enumerate() {
+        let start = ref_cells + m * cols;
+        let row = accs[start..start + cols]
+            .iter()
+            .map(|a| Some(a * 100.0))
+            .collect();
         report.push_row(&spec.name, row);
     }
     report.note("paper shape: CAE-DFKD ≥ NAYER ≥ CMI ≥ vanilla/DeepInv across pairs; close to data-accessible Student");
@@ -86,5 +106,20 @@ mod tests {
         let r = run(&ExperimentBudget::smoke());
         assert_eq!(r.rows.len(), 7);
         assert_eq!(r.columns.len(), 10);
+    }
+
+    #[test]
+    #[ignore = "runs the fast budget twice (serial then parallel); minutes of wall-clock"]
+    fn serial_and_parallel_runs_emit_identical_json() {
+        // Per-cell seeds make every cell's RNG stream a function of
+        // (budget.seed, cell_index) only, so thread count and execution
+        // order must not change a single byte of the report.
+        let budget = ExperimentBudget::fast();
+        std::env::set_var("CAE_CELL_PARALLEL", "0");
+        let serial = run(&budget).to_json();
+        std::env::set_var("CAE_CELL_PARALLEL", "1");
+        let parallel = run(&budget).to_json();
+        std::env::remove_var("CAE_CELL_PARALLEL");
+        assert_eq!(serial, parallel, "table02 report depends on cell scheduling");
     }
 }

@@ -2,7 +2,7 @@
 //! ResNet-34 → ResNet-18.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, Pair};
+use crate::experiments::{distill, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -18,18 +18,28 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         "Medium-resolution experiments (Tiny-ImageNet sim, ResNet-34→ResNet-18, top-1 %)",
         &["Top-1 Acc (%)"],
     );
-    let (_, t_acc) = run_data_accessible(preset, pair.teacher, budget);
-    let (_, s_acc) = run_data_accessible(preset, pair.student, budget);
-    report.push_full_row("Teacher", &[t_acc * 100.0]);
-    report.push_full_row("Student", &[s_acc * 100.0]);
-    for spec in [
+    let specs = [
         MethodSpec::vanilla(),
         MethodSpec::cmi_like(),
         MethodSpec::nayer_like(),
         MethodSpec::cae_dfkd(4),
-    ] {
-        let run = distill(preset, pair, &spec, budget);
-        report.push_full_row(&spec.name, &[run.student_top1 * 100.0]);
+    ];
+    // Cells: the two data-accessible references, then one per method.
+    let mut cells: Vec<Box<dyn FnOnce() -> f32 + Send + '_>> = vec![
+        Box::new(move || run_data_accessible(preset, pair.teacher, budget).1),
+        Box::new(move || run_data_accessible(preset, pair.student, budget).1),
+    ];
+    for spec in &specs {
+        let idx = cells.len() as u64;
+        cells.push(Box::new(move || {
+            distill(preset, pair, spec, budget, idx).student_top1
+        }));
+    }
+    let accs = scheduler::run_cells(cells);
+    report.push_full_row("Teacher", &[accs[0] * 100.0]);
+    report.push_full_row("Student", &[accs[1] * 100.0]);
+    for (spec, acc) in specs.iter().zip(&accs[2..]) {
+        report.push_full_row(&spec.name, &[acc * 100.0]);
     }
     report.note("paper shape: CAE-DFKD > NAYER > CMI ≫ weaker baselines, approaching the data-accessible Student");
     report.note("rows PREKD/MBDFKD/MAD/KAKR/SpaceShipNet/KDCI are cited numbers and not re-implemented");

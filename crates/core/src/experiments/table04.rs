@@ -2,7 +2,7 @@
 //! ResNet-50 → ResNet-50.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, Pair};
+use crate::experiments::{distill, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -18,17 +18,26 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         "Large-resolution experiments (ImageNet-1K sim, ResNet-50→ResNet-50, top-1 %)",
         &["Top-1 Acc (%)"],
     );
-    let (_, t_acc) = run_data_accessible(preset, pair.teacher, budget);
-    report.push_full_row("Teacher", &[t_acc * 100.0]);
-    report.push_full_row("Student", &[t_acc * 100.0]); // same architecture/pipeline as teacher
-    for spec in [
+    let specs = [
         MethodSpec::vanilla().named("FM-like (vanilla fast DFKD)"),
         MethodSpec::deepinv_like(),
         MethodSpec::nayer_like(),
         MethodSpec::cae_dfkd(4),
-    ] {
-        let run = distill(preset, pair, &spec, budget);
-        report.push_full_row(&spec.name, &[run.student_top1 * 100.0]);
+    ];
+    // Cells: the teacher reference, then one per method.
+    let mut cells: Vec<Box<dyn FnOnce() -> f32 + Send + '_>> =
+        vec![Box::new(move || run_data_accessible(preset, pair.teacher, budget).1)];
+    for spec in &specs {
+        let idx = cells.len() as u64;
+        cells.push(Box::new(move || {
+            distill(preset, pair, spec, budget, idx).student_top1
+        }));
+    }
+    let accs = scheduler::run_cells(cells);
+    report.push_full_row("Teacher", &[accs[0] * 100.0]);
+    report.push_full_row("Student", &[accs[0] * 100.0]); // same architecture/pipeline as teacher
+    for (spec, acc) in specs.iter().zip(&accs[1..]) {
+        report.push_full_row(&spec.name, &[acc * 100.0]);
     }
     report.note("paper shape: CAE-DFKD > NAYER > DeepInv > FM; all below the data-accessible reference");
     report.note(&format!("budget: {budget:?}"));

@@ -3,7 +3,7 @@
 //! (sim).
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -39,27 +39,44 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         ],
     );
 
-    // Data-accessible references.
-    let (t_model, _) = run_data_accessible(preset, pair.teacher, budget);
-    let m = transfer_evaluate(t_model, TaskSet::nyu(), &train, &test, budget.finetune_steps, 1);
-    report.push_full_row("Teacher", &metrics_row(&m));
-    let (s_model, _) = run_data_accessible(preset, pair.student, budget);
-    let m = transfer_evaluate(s_model, TaskSet::nyu(), &train, &test, budget.finetune_steps, 2);
-    report.push_full_row("Student", &metrics_row(&m));
-
-    for spec in [MethodSpec::nayer_like(), MethodSpec::cae_dfkd(4)] {
-        let run = distill(preset, pair, &spec, budget);
-        let m = transfer_clone(
-            run.student.as_ref(),
-            pair.student,
-            preset.num_classes(),
-            budget,
-            TaskSet::nyu(),
-            &train,
-            &test,
-            3,
-        );
-        report.push_full_row(&spec.name, &metrics_row(&m));
+    // Cells: each distills (or trains) a backbone and transfer-evaluates it
+    // end to end, returning one metrics row.
+    let specs = [MethodSpec::nayer_like(), MethodSpec::cae_dfkd(4)];
+    let (train, test) = (&train, &test);
+    let mut cells: Vec<Box<dyn FnOnce() -> Vec<f32> + Send + '_>> = vec![
+        Box::new(move || {
+            let (t_model, _) = run_data_accessible(preset, pair.teacher, budget);
+            let m = transfer_evaluate(t_model, TaskSet::nyu(), train, test, budget.finetune_steps, 1);
+            metrics_row(&m)
+        }),
+        Box::new(move || {
+            let (s_model, _) = run_data_accessible(preset, pair.student, budget);
+            let m = transfer_evaluate(s_model, TaskSet::nyu(), train, test, budget.finetune_steps, 2);
+            metrics_row(&m)
+        }),
+    ];
+    for spec in &specs {
+        let idx = cells.len() as u64;
+        cells.push(Box::new(move || {
+            let run = distill(preset, pair, spec, budget, idx);
+            let m = transfer_clone(
+                run.student.as_ref(),
+                pair.student,
+                preset.num_classes(),
+                budget,
+                TaskSet::nyu(),
+                train,
+                test,
+                3,
+            );
+            metrics_row(&m)
+        }));
+    }
+    let rows = scheduler::run_cells(cells);
+    report.push_full_row("Teacher", &rows[0]);
+    report.push_full_row("Student", &rows[1]);
+    for (spec, row) in specs.iter().zip(&rows[2..]) {
+        report.push_full_row(&spec.name, row);
     }
     report.note("paper shape: CAE-DFKD > NAYER on every subtask, closing most of the gap to the data-accessible Student");
     report.note(&format!("budget: {budget:?}"));

@@ -2,7 +2,7 @@
 //! after data-free distillation on CIFAR-100 (sim).
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, Pair};
+use crate::experiments::{dense_split, distill, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -40,13 +40,15 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         ],
     );
 
-    let mut eval_both = |backbone: &dyn Classifier, arch: Arch, label: &str, seed: u64| {
+    let (ade_train, ade_test) = (&ade_train, &ade_test);
+    let (coco_train, coco_test) = (&coco_train, &coco_test);
+    let eval_both = move |backbone: &dyn Classifier, arch: Arch, seed: u64| {
         let ade_bb = clone_classifier(backbone, arch, preset.num_classes(), budget.base_width);
         let ade = transfer_evaluate(
             ade_bb,
             TaskSet::seg_only(),
-            &ade_train,
-            &ade_test,
+            ade_train,
+            ade_test,
             budget.finetune_steps,
             seed,
         );
@@ -54,22 +56,39 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         let coco = transfer_evaluate(
             coco_bb,
             TaskSet::detection_only(),
-            &coco_train,
-            &coco_test,
+            coco_train,
+            coco_test,
             budget.finetune_steps,
             seed ^ 0xc0c0,
         );
-        report.push_full_row(label, &row(&ade, &coco));
+        row(&ade, &coco)
     };
 
-    let (t_model, _) = run_data_accessible(preset, pair.teacher, budget);
-    eval_both(t_model.as_ref(), pair.teacher, "Teacher", 1);
-    let (s_model, _) = run_data_accessible(preset, pair.student, budget);
-    eval_both(s_model.as_ref(), pair.student, "Student", 2);
-
-    for spec in [MethodSpec::cmi_like(), MethodSpec::cae_dfkd(4)] {
-        let run = distill(preset, pair, &spec, budget);
-        eval_both(run.student.as_ref(), pair.student, &spec.name, 3);
+    // Cells: the two references plus one per method; each produces one row.
+    let specs = [MethodSpec::cmi_like(), MethodSpec::cae_dfkd(4)];
+    let eval_both = &eval_both;
+    let mut cells: Vec<Box<dyn FnOnce() -> Vec<f32> + Send + '_>> = vec![
+        Box::new(move || {
+            let (t_model, _) = run_data_accessible(preset, pair.teacher, budget);
+            eval_both(t_model.as_ref(), pair.teacher, 1)
+        }),
+        Box::new(move || {
+            let (s_model, _) = run_data_accessible(preset, pair.student, budget);
+            eval_both(s_model.as_ref(), pair.student, 2)
+        }),
+    ];
+    for spec in &specs {
+        let idx = cells.len() as u64;
+        cells.push(Box::new(move || {
+            let run = distill(preset, pair, spec, budget, idx);
+            eval_both(run.student.as_ref(), pair.student, 3)
+        }));
+    }
+    let rows = scheduler::run_cells(cells);
+    report.push_full_row("Teacher", &rows[0]);
+    report.push_full_row("Student", &rows[1]);
+    for (spec, r) in specs.iter().zip(&rows[2..]) {
+        report.push_full_row(&spec.name, r);
     }
     report.note("paper shape: CAE-DFKD > CMI on both datasets; beats the data-accessible Student on mAP_s/mAP_m");
     report.note("row SpaceShipNet is a cited number and not re-implemented");

@@ -2,7 +2,7 @@
 //! CMI-like base, evaluated by ADE-20K (sim) transfer, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -19,6 +19,8 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         "Component ablation over a CMI-like base (ADE-20K sim transfer)",
         &["pAcc", "mIoU"],
     );
+    // One cell per (pair × spec), flattened in row order.
+    let mut plan = Vec::new();
     for pair in [
         Pair::new(Arch::ResNet34, Arch::ResNet18),
         Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
@@ -31,23 +33,28 @@ pub fn run(budget: &ExperimentBudget) -> Report {
                 .with_cend(4, 0.3)
                 .with_cncl(),
         ];
-        for spec in &specs {
-            let run = distill(preset, pair, spec, budget);
-            let m = transfer_clone(
-                run.student.as_ref(),
-                pair.student,
-                preset.num_classes(),
-                budget,
-                TaskSet::seg_only(),
-                &train,
-                &test,
-                7,
-            );
-            report.push_full_row(
-                &format!("{} [{}]", spec.name, pair.label()),
-                &[m.pacc.unwrap_or(0.0) * 100.0, m.miou.unwrap_or(0.0) * 100.0],
-            );
+        for spec in specs {
+            plan.push((pair, spec));
         }
+    }
+    let (train, test) = (&train, &test);
+    let rows = scheduler::run_indexed(plan.len(), |i| {
+        let (pair, spec) = &plan[i];
+        let run = distill(preset, *pair, spec, budget, i as u64);
+        let m = transfer_clone(
+            run.student.as_ref(),
+            pair.student,
+            preset.num_classes(),
+            budget,
+            TaskSet::seg_only(),
+            train,
+            test,
+            7,
+        );
+        [m.pacc.unwrap_or(0.0) * 100.0, m.miou.unwrap_or(0.0) * 100.0]
+    });
+    for ((pair, spec), row) in plan.iter().zip(rows) {
+        report.push_full_row(&format!("{} [{}]", spec.name, pair.label()), &row);
     }
     report.note("paper shape: Base < Base+CEND < Base+CEND+CNCL for both pairs");
     report.note(&format!("budget: {budget:?}"));

@@ -3,7 +3,7 @@
 //! NAYER-like base, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -27,29 +27,40 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         "Noise-source count N vs downstream mIoU (NYUv2 sim segmentation)",
         &col_refs,
     );
-    for pair in [
+    // One cell per (pair × column): the NAYER-like base plus each N.
+    let pairs = [
         Pair::new(Arch::ResNet34, Arch::ResNet18),
         Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
-    ] {
-        let mut row = Vec::new();
-        let miou_of = |spec: &MethodSpec| {
-            let run = distill(preset, pair, spec, budget);
-            let m = transfer_clone(
-                run.student.as_ref(),
-                pair.student,
-                preset.num_classes(),
-                budget,
-                TaskSet::seg_only(),
-                &train,
-                &test,
-                8,
-            );
-            m.miou.unwrap_or(0.0) * 100.0
-        };
-        row.push(Some(miou_of(&MethodSpec::nayer_like())));
+    ];
+    let mut plan = Vec::new();
+    for pair in pairs {
+        plan.push((pair, MethodSpec::nayer_like()));
         for &n in &N_VALUES {
-            row.push(Some(miou_of(&MethodSpec::cae_dfkd(n))));
+            plan.push((pair, MethodSpec::cae_dfkd(n)));
         }
+    }
+    let (train, test) = (&train, &test);
+    let mious = scheduler::run_indexed(plan.len(), |i| {
+        let (pair, spec) = &plan[i];
+        let run = distill(preset, *pair, spec, budget, i as u64);
+        let m = transfer_clone(
+            run.student.as_ref(),
+            pair.student,
+            preset.num_classes(),
+            budget,
+            TaskSet::seg_only(),
+            train,
+            test,
+            8,
+        );
+        m.miou.unwrap_or(0.0) * 100.0
+    });
+    let per_row = N_VALUES.len() + 1;
+    for (r, pair) in pairs.iter().enumerate() {
+        let row = mious[r * per_row..(r + 1) * per_row]
+            .iter()
+            .map(|&v| Some(v))
+            .collect();
         report.push_row(&pair.label(), row);
     }
     report.note("paper shape: every N beats the base; N=4 is the most robust optimum");

@@ -2,7 +2,7 @@
 //! downstream COCO mAP@50, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -20,26 +20,39 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         "Language-model choice vs COCO-2017 (sim) mAP@50",
         &["doc2vec", "CLIP", "SBERT"],
     );
-    for pair in [
+    // One cell per (pair × language model), flattened in row order.
+    let pairs = [
         Pair::new(Arch::ResNet34, Arch::ResNet18),
         Pair::new(Arch::Wrn40x2, Arch::Wrn40x1),
-    ] {
-        let mut row = Vec::new();
-        for lm in [LmKind::Doc2Vec, LmKind::Clip, LmKind::Sbert] {
-            let spec = MethodSpec::cae_dfkd(4).with_lm(lm);
-            let run = distill(preset, pair, &spec, budget);
-            let m = transfer_clone(
-                run.student.as_ref(),
-                pair.student,
-                preset.num_classes(),
-                budget,
-                TaskSet::detection_only(),
-                &train,
-                &test,
-                10,
-            );
-            row.push(Some(m.map50.unwrap_or(0.0) * 100.0));
+    ];
+    let lms = [LmKind::Doc2Vec, LmKind::Clip, LmKind::Sbert];
+    let mut plan = Vec::new();
+    for pair in pairs {
+        for lm in lms {
+            plan.push((pair, MethodSpec::cae_dfkd(4).with_lm(lm)));
         }
+    }
+    let (train, test) = (&train, &test);
+    let map50s = scheduler::run_indexed(plan.len(), |i| {
+        let (pair, spec) = &plan[i];
+        let run = distill(preset, *pair, spec, budget, i as u64);
+        let m = transfer_clone(
+            run.student.as_ref(),
+            pair.student,
+            preset.num_classes(),
+            budget,
+            TaskSet::detection_only(),
+            train,
+            test,
+            10,
+        );
+        m.map50.unwrap_or(0.0) * 100.0
+    });
+    for (p, pair) in pairs.iter().enumerate() {
+        let row = map50s[p * lms.len()..(p + 1) * lms.len()]
+            .iter()
+            .map(|&v| Some(v))
+            .collect();
         report.push_row(&pair.label(), row);
     }
     report.note("paper shape: all three LMs work; CLIP is slightly best");

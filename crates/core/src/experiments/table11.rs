@@ -3,7 +3,7 @@
 //! segmentation, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -21,6 +21,8 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         "Prompt design vs NYUv2 (sim) segmentation",
         &["mIoU", "pAcc"],
     );
+    // One cell per (pair × prompt template), flattened in row order.
+    let mut plan = Vec::new();
     for pair in [
         Pair::new(Arch::ResNet34, Arch::ResNet18),
         Pair::new(Arch::Vgg11, Arch::ResNet18),
@@ -29,23 +31,27 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             (PromptTemplate::ClassName, "a photo of {class name}"),
             (PromptTemplate::ClassIndex, "a photo of {class index}"),
         ] {
-            let spec = MethodSpec::cae_dfkd(4).with_template(template);
-            let run = distill(preset, pair, &spec, budget);
-            let m = transfer_clone(
-                run.student.as_ref(),
-                pair.student,
-                preset.num_classes(),
-                budget,
-                TaskSet::seg_only(),
-                &train,
-                &test,
-                11,
-            );
-            report.push_full_row(
-                &format!("{} [{}]", label, pair.label()),
-                &[m.miou.unwrap_or(0.0) * 100.0, m.pacc.unwrap_or(0.0) * 100.0],
-            );
+            plan.push((pair, MethodSpec::cae_dfkd(4).with_template(template), label));
         }
+    }
+    let (train, test) = (&train, &test);
+    let rows = scheduler::run_indexed(plan.len(), |i| {
+        let (pair, spec, _) = &plan[i];
+        let run = distill(preset, *pair, spec, budget, i as u64);
+        let m = transfer_clone(
+            run.student.as_ref(),
+            pair.student,
+            preset.num_classes(),
+            budget,
+            TaskSet::seg_only(),
+            train,
+            test,
+            11,
+        );
+        [m.miou.unwrap_or(0.0) * 100.0, m.pacc.unwrap_or(0.0) * 100.0]
+    });
+    for ((pair, _, label), row) in plan.iter().zip(rows) {
+        report.push_full_row(&format!("{} [{}]", label, pair.label()), &row);
     }
     report.note("paper shape: class-name prompts slightly beat class-index prompts; both work");
     report.note(&format!("budget: {budget:?}"));

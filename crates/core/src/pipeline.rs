@@ -28,6 +28,10 @@ impl std::fmt::Debug for DfkdRun {
         f.debug_struct("DfkdRun")
             .field("student_top1", &self.student_top1)
             .field("teacher_top1", &self.teacher_top1)
+            .field("generator_loss_points", &self.stats.generator_losses.len())
+            .field("student_loss_points", &self.stats.student_losses.len())
+            .field("epochs", &self.stats.epoch_times.len())
+            .field("mean_epoch_time", &self.stats.mean_epoch_time())
             .finish()
     }
 }
@@ -80,16 +84,10 @@ pub fn run_data_accessible(
     budget: &ExperimentBudget,
 ) -> (Box<dyn Classifier>, f32) {
     let split = preset.generate(budget.seed);
+    // `pretrained` returns a private copy, so callers may fine-tune freely.
     let reference = pretrained("student-ref", arch, &split.train, budget, 16);
     let top1 = top1_accuracy(reference.as_ref(), &split.test, 32);
-    // Return an independent copy so callers may fine-tune freely.
-    let copy = crate::teacher::clone_classifier(
-        reference.as_ref(),
-        arch,
-        preset.num_classes(),
-        budget.base_width,
-    );
-    (copy, top1)
+    (reference, top1)
 }
 
 #[cfg(test)]

@@ -1,10 +1,19 @@
 //! Supervised pre-training of teachers and data-accessible student
-//! references, with a per-session cache.
+//! references, with a process-global cache.
 //!
 //! Every DFKD experiment needs the same frozen teacher for a given
 //! (dataset, architecture, budget) triple; training it once and sharing it
-//! across method cells keeps table runs tractable. Models are not `Send`
-//! (autograd nodes are `Rc`-based), so the cache is thread-local.
+//! across method cells keeps table runs tractable. Models are `Send + Sync`
+//! (autograd nodes are `Arc`-based), so the cache is a process-global map
+//! of per-key [`OnceLock`] slots: when several experiment cells request the
+//! same teacher concurrently, exactly one trains it and the rest block on
+//! the slot until the master is ready.
+//!
+//! The cached master is never handed out directly. DFKD's adversarial loss
+//! backpropagates into the teacher's parameter gradient buffers, so sharing
+//! the master's `Var`s across concurrent cells would cross-contaminate
+//! their gradients; [`pretrained`] therefore returns a private structural
+//! clone per call and the master stays read-only.
 
 use crate::config::ExperimentBudget;
 use cae_data::dataset::Dataset;
@@ -13,12 +22,50 @@ use cae_nn::models::Arch;
 use cae_nn::module::{copy_state, Classifier, ForwardCtx};
 use cae_nn::optim::{CosineSchedule, Optimizer, Sgd};
 use cae_tensor::rng::TensorRng;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-thread_local! {
-    static CACHE: RefCell<HashMap<String, Rc<dyn Classifier>>> = RefCell::new(HashMap::new());
+/// One cache entry: a lazily trained master model. The outer map hands out
+/// `Arc<Slot>`s under a short-lived lock; the expensive pre-training runs
+/// inside `get_or_init` without holding the map lock, so cells requesting
+/// *different* teachers train in parallel while cells requesting the *same*
+/// teacher wait for the single trainer.
+#[derive(Default)]
+struct Slot {
+    master: OnceLock<Box<dyn Classifier>>,
+}
+
+fn cache() -> &'static Mutex<HashMap<String, Arc<Slot>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Slot>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of actual pre-training runs performed (cache misses). Exposed so
+/// tests can assert that N concurrent requests for one key train once.
+static PRETRAIN_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+fn runs_by_prefix() -> &'static Mutex<HashMap<String, usize>> {
+    static RUNS: OnceLock<Mutex<HashMap<String, usize>>> = OnceLock::new();
+    RUNS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Total number of supervised pre-training runs executed so far (i.e. cache
+/// misses; cache hits do not increment this).
+pub fn pretrain_runs() -> usize {
+    PRETRAIN_RUNS.load(Ordering::Relaxed)
+}
+
+/// Pre-training runs whose cache key starts with `key_prefix`. Lets tests
+/// assert hit/miss behaviour for their own keys without interference from
+/// pre-training triggered elsewhere in the process.
+pub fn pretrain_runs_for(key_prefix: &str) -> usize {
+    runs_by_prefix()
+        .lock()
+        .expect("teacher run-count lock poisoned")
+        .get(key_prefix)
+        .copied()
+        .unwrap_or(0)
 }
 
 /// Trains `model` supervised on `dataset` for `steps` SGD steps with cosine
@@ -55,18 +102,19 @@ pub fn train_supervised(
 }
 
 /// Returns a supervised classifier for `(arch, dataset)` trained under
-/// `budget`, training it on first request and caching it for the rest of
-/// the session.
+/// `budget`, training it on the first request (concurrent requesters for
+/// the same key block until that single training run finishes) and serving
+/// every request from the cached master afterwards.
 ///
-/// The cached model must be treated as read-only; use
-/// [`clone_classifier`] before fine-tuning.
+/// The returned model is a private copy: callers may fine-tune it or
+/// backpropagate through it freely without affecting other cells.
 pub fn pretrained(
     key_prefix: &str,
     arch: Arch,
     dataset: &Dataset,
     budget: &ExperimentBudget,
     batch_size: usize,
-) -> Rc<dyn Classifier> {
+) -> Box<dyn Classifier> {
     let key = format!(
         "{key_prefix}/{arch:?}/k{}/r{}/n{}/s{}/w{}/seed{}",
         dataset.num_classes(),
@@ -76,27 +124,40 @@ pub fn pretrained(
         budget.base_width,
         budget.seed,
     );
-    if let Some(hit) = CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return hit;
-    }
-    let mut rng = TensorRng::seed_from(budget.seed ^ 0x7e4c_4e12);
-    let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
-    train_supervised(
-        model.as_ref(),
-        dataset,
-        budget.pretrain_steps,
-        batch_size,
-        0.1,
-        &mut rng,
-    );
-    let rc: Rc<dyn Classifier> = Rc::from(model);
-    CACHE.with(|c| c.borrow_mut().insert(key, rc.clone()));
-    rc
+    let slot = {
+        let mut map = cache().lock().expect("teacher cache lock poisoned");
+        map.entry(key).or_default().clone()
+    };
+    let master = slot.master.get_or_init(|| {
+        PRETRAIN_RUNS.fetch_add(1, Ordering::Relaxed);
+        *runs_by_prefix()
+            .lock()
+            .expect("teacher run-count lock poisoned")
+            .entry(key_prefix.to_owned())
+            .or_insert(0) += 1;
+        let mut rng = TensorRng::seed_from(budget.seed ^ 0x7e4c_4e12);
+        let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
+        train_supervised(
+            model.as_ref(),
+            dataset,
+            budget.pretrain_steps,
+            batch_size,
+            0.1,
+            &mut rng,
+        );
+        model
+    });
+    clone_classifier(
+        master.as_ref(),
+        arch,
+        dataset.num_classes(),
+        budget.base_width,
+    )
 }
 
 /// Clears the teacher cache (useful in long test sessions).
 pub fn clear_cache() {
-    CACHE.with(|c| c.borrow_mut().clear());
+    cache().lock().expect("teacher cache lock poisoned").clear();
 }
 
 /// Builds a structurally identical classifier and copies all weights and
@@ -136,14 +197,50 @@ mod tests {
     }
 
     #[test]
-    fn cache_returns_the_same_model() {
-        clear_cache();
+    fn cache_trains_once_and_returns_equal_private_copies() {
         let split = ClassificationPreset::C10Sim.generate(9);
         let tiny = ExperimentBudget::smoke();
-        let a = pretrained("t", Arch::ResNet18, &split.train, &tiny, 16);
-        let b = pretrained("t", Arch::ResNet18, &split.train, &tiny, 16);
-        assert!(Rc::ptr_eq(&a, &b));
-        clear_cache();
+        let a = pretrained("t-once", Arch::ResNet18, &split.train, &tiny, 16);
+        assert_eq!(pretrain_runs_for("t-once"), 1, "first request trains the master");
+        let b = pretrained("t-once", Arch::ResNet18, &split.train, &tiny, 16);
+        assert_eq!(pretrain_runs_for("t-once"), 1, "second request is a hit");
+        // Private copies: equal outputs, independent parameters.
+        let (x, _) = split.test.batch(&[0, 1]);
+        let xv = cae_tensor::Var::constant(x);
+        let ya = a.forward(&xv, &mut ForwardCtx::eval());
+        let yb = b.forward(&xv, &mut ForwardCtx::eval());
+        assert_eq!(ya.to_tensor(), yb.to_tensor());
+        let pa = a.parameters();
+        let pb = b.parameters();
+        assert!(pa.iter().zip(&pb).all(|(p, q)| p.id() != q.id()));
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_pretrain_exactly_once() {
+        let split = std::sync::Arc::new(ClassificationPreset::C10Sim.generate(13));
+        let tiny = ExperimentBudget {
+            seed: 1312,
+            ..ExperimentBudget::smoke()
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let split = split.clone();
+                std::thread::spawn(move || {
+                    pretrained("t-conc", Arch::Wrn16x1, &split.train, &tiny, 16)
+                        .num_parameters()
+                })
+            })
+            .collect();
+        let counts: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no deadlock or panic"))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            pretrain_runs_for("t-conc"),
+            1,
+            "4 concurrent requests must share one training run"
+        );
     }
 
     #[test]

@@ -37,12 +37,20 @@ pub struct TrainStats {
 
 impl TrainStats {
     /// Mean epoch wall-clock time.
+    ///
+    /// Computed via nanoseconds rather than `Duration / u32` so epoch
+    /// counts above `u32::MAX` cannot truncate (and sub-nanosecond rounding
+    /// follows integer division of the exact total).
     pub fn mean_epoch_time(&self) -> Duration {
         if self.epoch_times.is_empty() {
             return Duration::ZERO;
         }
-        let total: Duration = self.epoch_times.iter().sum();
-        total / self.epoch_times.len() as u32
+        let total_nanos: u128 = self.epoch_times.iter().map(Duration::as_nanos).sum();
+        let mean = total_nanos / self.epoch_times.len() as u128;
+        Duration::new(
+            (mean / 1_000_000_000) as u64,
+            (mean % 1_000_000_000) as u32,
+        )
     }
 }
 
@@ -418,6 +426,20 @@ mod tests {
     use cae_data::world::VisionWorld;
     use cae_data::SplitDataset;
     use cae_nn::models::Arch;
+
+    #[test]
+    fn mean_epoch_time_averages_exactly() {
+        let stats = TrainStats {
+            epoch_times: vec![
+                Duration::from_nanos(1),
+                Duration::from_nanos(2),
+                Duration::from_secs(3),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.mean_epoch_time(), Duration::from_nanos(1_000_000_001));
+        assert_eq!(TrainStats::default().mean_epoch_time(), Duration::ZERO);
+    }
 
     fn tiny_setup() -> (Box<dyn Classifier>, SplitDataset) {
         let world = VisionWorld::new(3, 8, 13);

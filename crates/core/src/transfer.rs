@@ -20,7 +20,7 @@ use cae_nn::module::{Classifier, ForwardCtx, Module};
 use cae_nn::optim::{CosineSchedule, Optimizer, Sgd};
 use cae_tensor::rng::TensorRng;
 use cae_tensor::{Tensor, Var};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which dense tasks a transfer run trains and evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,11 +90,13 @@ pub struct TransferMetrics {
 
 /// A backbone plus dense task heads, fine-tuned jointly.
 ///
-/// The backbone is reference-counted so several `DenseModel`s (e.g. the
-/// stages of a continual-transfer run) can share — and jointly evolve — the
-/// same representation while keeping their own heads.
+/// The backbone is reference-counted (`Arc`, so `DenseModel` stays `Send`
+/// and transfer cells can run on scheduler workers) so several
+/// `DenseModel`s (e.g. the stages of a continual-transfer run) can share —
+/// and jointly evolve — the same representation while keeping their own
+/// heads.
 pub struct DenseModel {
-    backbone: Rc<dyn Classifier>,
+    backbone: Arc<dyn Classifier>,
     seg_head: Option<Conv2d>,
     depth_head: Option<Conv2d>,
     normal_head: Option<Conv2d>,
@@ -108,7 +110,7 @@ pub struct DenseModel {
 impl DenseModel {
     /// Attaches fresh heads to a (distilled or supervised) backbone.
     pub fn new(
-        backbone: Rc<dyn Classifier>,
+        backbone: Arc<dyn Classifier>,
         tasks: TaskSet,
         num_seg_classes: usize,
         num_obj_classes: usize,
@@ -482,7 +484,7 @@ pub fn transfer_evaluate(
 ) -> TransferMetrics {
     let mut rng = TensorRng::seed_from(seed);
     let num_obj = test.num_seg_classes() - 1;
-    let model = DenseModel::new(Rc::from(backbone), tasks, test.num_seg_classes(), num_obj, &mut rng);
+    let model = DenseModel::new(Arc::from(backbone), tasks, test.num_seg_classes(), num_obj, &mut rng);
     finetune(&model, train, steps, 8, &mut rng);
     evaluate(&model, test, 8)
 }
@@ -523,7 +525,7 @@ mod tests {
         let (train, test) = DensePreset::AdeSim.generate(24, 8, 7);
         let mut rng = TensorRng::seed_from(3);
         let model = DenseModel::new(
-            Rc::from(backbone()),
+            Arc::from(backbone()),
             TaskSet::seg_only(),
             test.num_seg_classes(),
             test.num_seg_classes() - 1,

@@ -95,17 +95,27 @@ fn reports_persist_to_disk() {
 
 #[test]
 fn teacher_cache_key_distinguishes_budgets_and_archs() {
-    cae_core::teacher::clear_cache();
+    // `pretrained` returns private copies, so cache behaviour is observed
+    // through the per-prefix training-run counter: distinct keys miss (and
+    // train), repeated keys hit.
     let split = ClassificationPreset::C10Sim.generate(4);
     let smoke = ExperimentBudget::smoke();
     let other = ExperimentBudget {
         pretrain_steps: smoke.pretrain_steps + 1,
         ..smoke
     };
-    let a = pretrained("k", Arch::Wrn16x1, &split.train, &smoke, 16);
-    let b = pretrained("k", Arch::Wrn16x1, &split.train, &other, 16);
-    let c = pretrained("k", Arch::Wrn16x2, &split.train, &smoke, 16);
-    assert!(!std::rc::Rc::ptr_eq(&a, &b), "budget must be part of the key");
-    assert!(!std::rc::Rc::ptr_eq(&a, &c), "arch must be part of the key");
-    cae_core::teacher::clear_cache();
+    let _a = pretrained("k-int", Arch::Wrn16x1, &split.train, &smoke, 16);
+    let _b = pretrained("k-int", Arch::Wrn16x1, &split.train, &other, 16);
+    let _c = pretrained("k-int", Arch::Wrn16x2, &split.train, &smoke, 16);
+    assert_eq!(
+        cae_core::teacher::pretrain_runs_for("k-int"),
+        3,
+        "budget and arch must both be part of the key"
+    );
+    let _again = pretrained("k-int", Arch::Wrn16x1, &split.train, &smoke, 16);
+    assert_eq!(
+        cae_core::teacher::pretrain_runs_for("k-int"),
+        3,
+        "an identical request must hit the cache"
+    );
 }

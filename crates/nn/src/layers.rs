@@ -5,7 +5,7 @@ use crate::module::{BnBatchStats, ForwardCtx, Module};
 use cae_tensor::conv::Conv2dSpec;
 use cae_tensor::rng::TensorRng;
 use cae_tensor::{Tensor, Var};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Fully connected layer computing `y = x · W + b` on `[N, in]` inputs.
 #[derive(Debug)]
@@ -91,12 +91,15 @@ impl Module for Conv2d {
 /// [`ForwardCtx::collect_bn_stats`] is set, the layer additionally records
 /// [`BnBatchStats`] so the DFKD `L_BN` loss can match synthetic-batch
 /// statistics against the teacher's running statistics.
+/// Running statistics live behind a `Mutex` (not a `RefCell`) so a model is
+/// `Sync`; each experiment cell owns its models, so the locks are
+/// uncontended in practice.
 #[derive(Debug)]
 pub struct BatchNorm2d {
     gamma: Var,
     beta: Var,
-    running_mean: RefCell<Tensor>,
-    running_var: RefCell<Tensor>,
+    running_mean: Mutex<Tensor>,
+    running_var: Mutex<Tensor>,
     momentum: f32,
     eps: f32,
 }
@@ -108,8 +111,8 @@ impl BatchNorm2d {
         BatchNorm2d {
             gamma: Var::parameter(Tensor::ones(&[channels])),
             beta: Var::parameter(Tensor::zeros(&[channels])),
-            running_mean: RefCell::new(Tensor::zeros(&[channels])),
-            running_var: RefCell::new(Tensor::ones(&[channels])),
+            running_mean: Mutex::new(Tensor::zeros(&[channels])),
+            running_var: Mutex::new(Tensor::ones(&[channels])),
             momentum: 0.1,
             eps: 1e-5,
         }
@@ -117,12 +120,12 @@ impl BatchNorm2d {
 
     /// Snapshot of the running mean.
     pub fn running_mean(&self) -> Tensor {
-        self.running_mean.borrow().clone()
+        self.running_mean.lock().expect("BN stats lock poisoned").clone()
     }
 
     /// Snapshot of the running variance.
     pub fn running_var(&self) -> Tensor {
-        self.running_var.borrow().clone()
+        self.running_var.lock().expect("BN stats lock poisoned").clone()
     }
 
     fn batch_stats(&self, x: &Var) -> (Var, Var) {
@@ -155,8 +158,8 @@ impl Module for BatchNorm2d {
             let v = var.expect("batch var computed in training mode");
             // Update running statistics from detached batch statistics.
             {
-                let mut rm = self.running_mean.borrow_mut();
-                let mut rv = self.running_var.borrow_mut();
+                let mut rm = self.running_mean.lock().expect("BN stats lock poisoned");
+                let mut rv = self.running_var.lock().expect("BN stats lock poisoned");
                 let bm = m.to_tensor();
                 let bv = v.to_tensor();
                 *rm = rm.scale(1.0 - self.momentum).add(&bm.scale(self.momentum));
@@ -171,8 +174,7 @@ impl Module for BatchNorm2d {
             // Evaluation: normalize with frozen running statistics.
             let rm = Var::constant(self.running_mean());
             let inv_std = Var::constant(
-                self.running_var
-                    .borrow()
+                self.running_var()
                     .map(|v| 1.0 / (v + self.eps).sqrt()),
             );
             x.add_channels(&rm.neg())
@@ -192,8 +194,8 @@ impl Module for BatchNorm2d {
 
     fn set_buffers(&self, bufs: &[Tensor]) {
         assert_eq!(bufs.len(), 2, "BatchNorm2d expects 2 buffers, got {}", bufs.len());
-        *self.running_mean.borrow_mut() = bufs[0].clone();
-        *self.running_var.borrow_mut() = bufs[1].clone();
+        *self.running_mean.lock().expect("BN stats lock poisoned") = bufs[0].clone();
+        *self.running_var.lock().expect("BN stats lock poisoned") = bufs[1].clone();
     }
 }
 

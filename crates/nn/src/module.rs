@@ -67,7 +67,14 @@ impl ForwardCtx {
 }
 
 /// A neural-network component with trainable parameters.
-pub trait Module {
+///
+/// `Module` requires `Send + Sync` so trained models (and trait objects
+/// over them) can cross thread boundaries — the experiment scheduler runs
+/// whole distillation cells on pool workers, and the global teacher cache
+/// shares pretrained masters between them. Interior mutability inside
+/// layers (batch-norm running statistics) must therefore be lock-based,
+/// not `RefCell`-based.
+pub trait Module: Send + Sync {
     /// Runs the module on `x`.
     fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var;
 
@@ -148,6 +155,15 @@ pub trait Generator: Module {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn model_trait_objects_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Module>();
+        assert_send_sync::<dyn Classifier>();
+        assert_send_sync::<dyn Generator>();
+        assert_send_sync::<Box<dyn Classifier>>();
+    }
 
     #[test]
     fn contexts_have_expected_flags() {

@@ -1,13 +1,24 @@
 //! Reverse-mode automatic differentiation.
 //!
-//! [`Var`] wraps a [`Tensor`] in a reference-counted graph node. Operations
-//! on `Var`s compute their value eagerly and record a backward closure;
-//! [`Var::backward`] replays the closures in reverse creation order,
-//! accumulating gradients into leaves created with [`Var::parameter`].
+//! [`Var`] wraps a [`Tensor`] in an atomically reference-counted graph
+//! node. Operations on `Var`s compute their value eagerly and record a
+//! backward closure; [`Var::backward`] replays the closures in reverse
+//! creation order, accumulating gradients into leaves created with
+//! [`Var::parameter`].
 //!
 //! Nodes whose inputs do not require gradients skip closure construction
 //! entirely, so running a frozen teacher network under autograd costs the
 //! same as a plain forward pass.
+//!
+//! # Threading model
+//!
+//! `Var` is `Send + Sync`: node ids come from a process-global atomic
+//! counter, values sit behind an `RwLock` and gradients behind a `Mutex`,
+//! so whole experiment cells (each owning its own models and tapes) can run
+//! on different threads of the [`crate::pool`]. Ids are strictly increasing
+//! in program order on each thread, so within any single-threaded tape the
+//! descending-id ordering used by [`Var::backward`] remains a valid reverse
+//! topological order regardless of what other threads allocate in between.
 
 mod conv;
 mod elementwise;
@@ -16,38 +27,33 @@ mod reduce;
 mod structure;
 
 use crate::tensor::Tensor;
-use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
-thread_local! {
-    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
-}
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 fn next_id() -> u64 {
-    NEXT_ID.with(|c| {
-        let id = c.get();
-        c.set(id + 1);
-        id
-    })
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Backward closure: receives the output gradient and the parent nodes and
 /// accumulates into each parent that requires a gradient.
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Var])>;
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Var]) + Send + Sync>;
 
 pub(crate) struct VarNode {
     id: u64,
-    value: RefCell<Tensor>,
-    grad: RefCell<Option<Tensor>>,
+    value: RwLock<Tensor>,
+    grad: Mutex<Option<Tensor>>,
     requires_grad: bool,
     parents: Vec<Var>,
     backward: Option<BackwardFn>,
 }
 
 /// A node in the autograd graph: a tensor value plus optional gradient
-/// bookkeeping. Cloning a `Var` is cheap (reference-counted).
+/// bookkeeping. Cloning a `Var` is cheap (reference-counted), and `Var` is
+/// `Send + Sync` so independent graphs can live on different threads.
 ///
 /// ```
 /// use cae_tensor::{Tensor, Var};
@@ -57,13 +63,13 @@ pub(crate) struct VarNode {
 /// assert_eq!(x.grad().unwrap().item(), 12.0);
 /// ```
 #[derive(Clone)]
-pub struct Var(pub(crate) Rc<VarNode>);
+pub struct Var(pub(crate) Arc<VarNode>);
 
 impl fmt::Debug for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Var")
             .field("id", &self.0.id)
-            .field("shape", &self.0.value.borrow().shape().dims())
+            .field("shape", &self.value().shape().dims())
             .field("requires_grad", &self.0.requires_grad)
             .finish()
     }
@@ -72,10 +78,10 @@ impl fmt::Debug for Var {
 impl Var {
     /// Wraps a tensor as a non-differentiable constant.
     pub fn constant(value: Tensor) -> Var {
-        Var(Rc::new(VarNode {
+        Var(Arc::new(VarNode {
             id: next_id(),
-            value: RefCell::new(value),
-            grad: RefCell::new(None),
+            value: RwLock::new(value),
+            grad: Mutex::new(None),
             requires_grad: false,
             parents: Vec::new(),
             backward: None,
@@ -84,10 +90,10 @@ impl Var {
 
     /// Wraps a tensor as a trainable leaf that accumulates gradients.
     pub fn parameter(value: Tensor) -> Var {
-        Var(Rc::new(VarNode {
+        Var(Arc::new(VarNode {
             id: next_id(),
-            value: RefCell::new(value),
-            grad: RefCell::new(None),
+            value: RwLock::new(value),
+            grad: Mutex::new(None),
             requires_grad: true,
             parents: Vec::new(),
             backward: None,
@@ -98,10 +104,10 @@ impl Var {
     /// closure is dropped and the node degenerates to a constant.
     pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
         let requires = parents.iter().any(|p| p.0.requires_grad);
-        Var(Rc::new(VarNode {
+        Var(Arc::new(VarNode {
             id: next_id(),
-            value: RefCell::new(value),
-            grad: RefCell::new(None),
+            value: RwLock::new(value),
+            grad: Mutex::new(None),
             requires_grad: requires,
             parents: if requires { parents } else { Vec::new() },
             backward: if requires { Some(backward) } else { None },
@@ -118,23 +124,23 @@ impl Var {
         self.0.requires_grad
     }
 
-    /// Borrows the tensor value.
+    /// Borrows the tensor value (a shared read lock).
     ///
     /// # Panics
-    /// Panics if the value is concurrently mutably borrowed (not possible
-    /// through the public API).
-    pub fn value(&self) -> Ref<'_, Tensor> {
-        self.0.value.borrow()
+    /// Panics if the value lock is poisoned (a writer panicked), which is
+    /// not possible through the public API.
+    pub fn value(&self) -> RwLockReadGuard<'_, Tensor> {
+        self.0.value.read().expect("Var value lock poisoned")
     }
 
     /// Clones the tensor value out of the node.
     pub fn to_tensor(&self) -> Tensor {
-        self.0.value.borrow().clone()
+        self.value().clone()
     }
 
     /// Shape dimensions of the value.
     pub fn dims(&self) -> Vec<usize> {
-        self.0.value.borrow().shape().dims().to_vec()
+        self.value().shape().dims().to_vec()
     }
 
     /// Extracts a scalar value.
@@ -142,33 +148,33 @@ impl Var {
     /// # Panics
     /// Panics if the value holds more than one element.
     pub fn item(&self) -> f32 {
-        self.0.value.borrow().item()
+        self.value().item()
     }
 
     /// Replaces the stored value (used by optimizers; the graph is not
     /// replayed, so only call this on leaves between steps).
     pub fn set_value(&self, value: Tensor) {
-        *self.0.value.borrow_mut() = value;
+        *self.0.value.write().expect("Var value lock poisoned") = value;
     }
 
     /// Mutates the stored value in place (used by optimizers).
     pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
-        f(&mut self.0.value.borrow_mut());
+        f(&mut self.0.value.write().expect("Var value lock poisoned"));
     }
 
     /// Returns the accumulated gradient, if any.
     pub fn grad(&self) -> Option<Tensor> {
-        self.0.grad.borrow().clone()
+        self.0.grad.lock().expect("Var grad lock poisoned").clone()
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.0.grad.borrow_mut() = None;
+        *self.0.grad.lock().expect("Var grad lock poisoned") = None;
     }
 
     /// Removes and returns the accumulated gradient.
     pub fn take_grad(&self) -> Option<Tensor> {
-        self.0.grad.borrow_mut().take()
+        self.0.grad.lock().expect("Var grad lock poisoned").take()
     }
 
     /// Returns a constant `Var` sharing this node's current value (cuts the
@@ -182,7 +188,7 @@ impl Var {
         if !self.0.requires_grad {
             return;
         }
-        let mut slot = self.0.grad.borrow_mut();
+        let mut slot = self.0.grad.lock().expect("Var grad lock poisoned");
         match slot.as_mut() {
             Some(existing) => existing.add_assign_scaled(g, 1.0),
             None => *slot = Some(g.clone()),
@@ -199,7 +205,7 @@ impl Var {
             return;
         }
         let seed = {
-            let v = self.0.value.borrow();
+            let v = self.value();
             Tensor::full(v.shape().dims(), 1.0)
         };
         self.backward_with(seed);
@@ -212,7 +218,7 @@ impl Var {
     pub fn backward_with(&self, seed: Tensor) {
         assert_eq!(
             seed.shape(),
-            self.0.value.borrow().shape(),
+            self.value().shape(),
             "backward seed shape must match the output shape"
         );
         self.accum(&seed);
@@ -239,7 +245,7 @@ impl Var {
                 continue;
             };
             // Interior nodes consume their gradient; leaves keep theirs.
-            let grad = node.0.grad.borrow_mut().take();
+            let grad = node.0.grad.lock().expect("Var grad lock poisoned").take();
             if let Some(g) = grad {
                 backward(&g, &node.0.parents);
             }
@@ -281,6 +287,30 @@ mod tests {
         assert_eq!(x.grad().unwrap().item(), 4.0);
         x.zero_grad();
         assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn var_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Var>();
+        assert_send_sync::<Tensor>();
+    }
+
+    #[test]
+    fn graphs_built_on_other_threads_backpropagate() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let x = Var::parameter(Tensor::scalar(t as f32 + 1.0));
+                    let y = x.square().scale(3.0); // dy/dx = 6x
+                    y.backward();
+                    x.grad().unwrap().item()
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), 6.0 * (t as f32 + 1.0));
+        }
     }
 
     #[test]

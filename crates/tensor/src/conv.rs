@@ -9,10 +9,13 @@
 //!   `col2im`.
 //!
 //! The `col`/`dcol` scratch matrices come from [`crate::workspace`] instead
-//! of per-call `vec!` allocations, and the batch loop is split into
-//! per-thread chunks over [`crate::pool::parallel_for`] — each chunk owns
-//! its thread-local workspace and a private `dW`/`db` partial, reduced at
-//! the end.
+//! of per-call `vec!` allocations, and the batch loop is split into chunks
+//! over [`crate::pool::parallel_for`] — each chunk owns its thread-local
+//! workspace and a private `dW`/`db` partial, reduced at the end. The
+//! backward chunk count is a *fixed constant* (not the pool size): the
+//! partials are reduced in chunk order, so tying the chunking to the
+//! thread count would make `dW`/`db` rounding — and therefore whole
+//! training trajectories — depend on `CAE_NUM_THREADS`.
 
 use crate::gemm::gemm;
 use crate::pool;
@@ -21,6 +24,15 @@ use crate::workspace::{self, Slot};
 
 /// FLOP threshold below which a conv pass stays on the calling thread.
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Fixed batch chunking for [`conv2d_backward`]'s `dW`/`db` partials.
+///
+/// The per-chunk partials are summed in chunk order, so the chunk count
+/// must not depend on [`pool::max_parallelism`] or results would change
+/// with the thread count. Sixteen chunks keep up to sixteen cores busy
+/// while bounding the partial workspace; `parallel_for` load-balances
+/// them over however many threads exist.
+const BACKWARD_CHUNKS: usize = 16;
 
 /// Raw pointer wrapper so batch chunks can write disjoint sample slices of
 /// a shared output tensor from pool workers.
@@ -283,9 +295,12 @@ pub fn conv2d_backward(
 
     // Each chunk of the batch accumulates into a private [dw | db] partial,
     // reduced after the join; dx sample slices are disjoint by construction.
+    // The chunk count is fixed (see [`BACKWARD_CHUNKS`]) so the reduction
+    // order — and the f32 rounding of dw/db — is identical at every
+    // thread count.
     let flops = 4 * n * o * krows * ncols;
     let chunks = if flops >= PARALLEL_FLOP_THRESHOLD {
-        pool::max_parallelism().min(n)
+        BACKWARD_CHUNKS.min(n)
     } else {
         1
     };

@@ -6,4 +6,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test --offline --workspace -q
+# The thread-safe substrate must behave identically with an inline pool and
+# with worker threads (the cell scheduler and kernel pool both key off the
+# pool size, which CAE_NUM_THREADS fixes per process).
+CAE_NUM_THREADS=1 cargo test --offline --workspace -q
+CAE_NUM_THREADS=4 cargo test --offline --workspace -q
 cargo clippy --offline --workspace --all-targets -- -D warnings
