@@ -16,7 +16,7 @@ fn main() {
     let budget = cae_bench::budget_from_env("fast");
     println!("# CAE-DFKD table benchmarks (budget: {budget:?})\n");
     let mut total = 0.0f64;
-    for name in cae_bench::ALL_EXPERIMENTS {
+    for name in cae_bench::paper_experiment_ids() {
         if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
             continue;
         }

@@ -2,7 +2,7 @@
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");
-    for name in cae_bench::ALL_EXPERIMENTS {
+    for name in cae_bench::paper_experiment_ids() {
         eprintln!(">>> running {name} ...");
         let report = cae_bench::run_one(name, &budget);
         cae_bench::emit(&report);

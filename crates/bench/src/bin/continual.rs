@@ -37,9 +37,9 @@ fn main() {
         ];
         let outcome = continual_transfer(backbone, stages, budget.finetune_steps, 5);
         for stage in outcome {
-            report.push_full_row(
+            report.push_row(
                 &format!("{} / {}", spec.name, stage.name),
-                &[
+                [
                     stage.after_training.pacc.unwrap_or(0.0) * 100.0,
                     stage.final_metrics.pacc.unwrap_or(0.0) * 100.0,
                     stage.pacc_forgetting().unwrap_or(0.0) * 100.0,

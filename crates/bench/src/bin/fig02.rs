@@ -1,4 +1,4 @@
-//! Regenerates paper fig02Figure 02 at the full budget.
+//! Regenerates paper Figure 02 (registry id `fig02`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper fig05Figure 05 at the full budget.
+//! Regenerates paper Figure 05 (registry id `fig05`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper Table 01table01 at the full budget.
+//! Regenerates paper Table 01 (registry id `table01`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper Table 02table02 at the full budget.
+//! Regenerates paper Table 02 (registry id `table02`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

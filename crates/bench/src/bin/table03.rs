@@ -1,4 +1,4 @@
-//! Regenerates paper Table 03table03 at the full budget.
+//! Regenerates paper Table 03 (registry id `table03`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

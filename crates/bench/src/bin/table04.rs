@@ -1,4 +1,4 @@
-//! Regenerates paper Table 04table04 at the full budget.
+//! Regenerates paper Table 04 (registry id `table04`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper Table 05table05 at the full budget.
+//! Regenerates paper Table 05 (registry id `table05`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper Table 06table06 at the full budget.
+//! Regenerates paper Table 06 (registry id `table06`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper Table 07table07 at the full budget.
+//! Regenerates paper Table 07 (registry id `table07`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

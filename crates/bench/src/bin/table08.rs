@@ -1,4 +1,4 @@
-//! Regenerates paper Table 08table08 at the full budget.
+//! Regenerates paper Table 08 (registry id `table08`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

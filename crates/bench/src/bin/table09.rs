@@ -1,4 +1,4 @@
-//! Regenerates paper Table 09table09 at the full budget.
+//! Regenerates paper Table 09 (registry id `table09`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

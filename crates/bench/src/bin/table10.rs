@@ -1,4 +1,4 @@
-//! Regenerates paper Table 10table10 at the full budget.
+//! Regenerates paper Table 10 (registry id `table10`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -1,4 +1,4 @@
-//! Regenerates paper Table 11table11 at the full budget.
+//! Regenerates paper Table 11 (registry id `table11`) at the full budget.
 
 fn main() {
     let budget = cae_bench::budget_from_env("full");

@@ -42,45 +42,86 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Prints a report and persists its JSON artifact; used by every bin.
+/// When tracing is enabled, also drains the trace accumulated while the
+/// report was produced and writes `trace_<stem>.jsonl` plus
+/// `TRACE_<stem>.json` next to the report JSON.
 pub fn emit(report: &Report) {
     println!("{report}");
     match report.save_json(&results_dir()) {
         Ok(path) => println!("  saved: {}\n", path.display()),
         Err(e) => eprintln!("  could not save JSON artifact: {e}\n"),
     }
+    export_trace(&report.file_stem());
 }
 
-/// Runs one named experiment end to end (shared by the bins).
-pub fn run_one(name: &str, budget: &ExperimentBudget) -> Report {
-    use cae_core::experiments as ex;
-    match name {
-        "table01" => ex::table01::run(budget),
-        "table02" => ex::table02::run(budget),
-        "table03" => ex::table03::run(budget),
-        "table04" => ex::table04::run(budget),
-        "table05" => ex::table05::run(budget),
-        "table06" => ex::table06::run(budget),
-        "table07" => ex::table07::run(budget),
-        "table08" => ex::table08::run(budget),
-        "table09" => ex::table09::run(budget),
-        "table10" => ex::table10::run(budget),
-        "table11" => ex::table11::run(budget),
-        "fig02" => ex::fig02::run(budget),
-        "fig05" => ex::fig05::run(budget),
-        "ablations" => ex::ablations::run(budget),
-        other => panic!("unknown experiment '{other}'"),
+/// Drains the trace (if tracing is enabled and anything was recorded) and
+/// writes its JSONL + summary artifacts under [`results_dir`]. Returns the
+/// summary path when one was written.
+pub fn export_trace(stem: &str) -> Option<std::path::PathBuf> {
+    if !cae_trace::enabled() {
+        return None;
+    }
+    let trace = cae_trace::drain();
+    if trace.is_empty() {
+        return None;
+    }
+    match trace.save(&results_dir(), stem) {
+        Ok((jsonl, summary)) => {
+            println!("  trace: {} + {}\n", jsonl.display(), summary.display());
+            Some(summary)
+        }
+        Err(e) => {
+            eprintln!("  could not save trace artifacts: {e}\n");
+            None
+        }
     }
 }
 
-/// All experiment names in paper order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "table01", "fig02", "table02", "table03", "table04", "table05", "table06", "table07",
-    "table08", "table09", "table10", "table11", "fig05",
-];
+/// Runs one experiment by registry id, traced (shared by the bins).
+///
+/// # Panics
+/// Panics with the known ids for unknown names.
+pub fn run_one(name: &str, budget: &ExperimentBudget) -> Report {
+    use cae_core::experiments as ex;
+    match ex::run_by_id(name, budget) {
+        Some(report) => report,
+        None => {
+            let known: Vec<&str> = ex::registry().iter().map(|e| e.id).collect();
+            panic!("unknown experiment '{name}' (known: {})", known.join("|"))
+        }
+    }
+}
+
+/// Registry ids of the paper's tables and figures, in paper order.
+pub fn paper_experiment_ids() -> Vec<&'static str> {
+    cae_core::experiments::registry()
+        .iter()
+        .filter(|e| e.in_paper)
+        .map(|e| e.id)
+        .collect()
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_one_rejects_unknown_ids_with_the_known_list() {
+        let err = std::panic::catch_unwind(|| {
+            run_one("tableXX", &ExperimentBudget::smoke());
+        })
+        .expect_err("unknown id must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("table02") && msg.contains("ablations"), "{msg}");
+    }
+
+    #[test]
+    fn paper_ids_come_from_the_registry() {
+        let ids = paper_experiment_ids();
+        assert_eq!(ids.len(), 13);
+        assert_eq!(ids[0], "table01");
+        assert!(!ids.contains(&"ablations"));
+    }
 
     #[test]
     fn budget_parsing() {

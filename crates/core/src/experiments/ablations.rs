@@ -72,12 +72,12 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         plan.push((format!("CEND magnitude = {magnitude}"), DfkdConfig::default(), spec));
     }
 
-    let accs = scheduler::run_indexed(plan.len(), |i| {
+    let accs = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
         let (_, config, spec) = &plan[i];
         run_with(*config, spec, budget, scheduler::cell_seed(budget.seed, i as u64))
     });
     for ((label, _, _), acc) in plan.iter().zip(accs) {
-        report.push_full_row(label, &[acc * 100.0]);
+        report.push_row(label, [acc * 100.0]);
     }
 
     report.note("expectation: mid-range memory/λ_adv/magnitude settings dominate the extremes");

@@ -68,14 +68,14 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         &["low-conf frac", "mean max-prob"],
     );
     for (k, name) in class_names.iter().enumerate() {
-        report.push_full_row(
+        report.push_row(
             name,
-            &[profile.low_conf_fraction[k], profile.mean_max_prob[k]],
+            [profile.low_conf_fraction[k], profile.mean_max_prob[k]],
         );
     }
-    report.push_full_row(
+    report.push_row(
         "[spread across categories]",
-        &[profile.low_conf_spread(), profile.mean_low_conf()],
+        [profile.low_conf_spread(), profile.mean_low_conf()],
     );
 
     // Fig. 2c proxy: augmentation lowers teacher confidence.
@@ -88,9 +88,9 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         threshold,
     );
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
-    report.push_full_row(
+    report.push_row(
         "[mean max-prob: raw vs augmented]",
-        &[mean(&profile.mean_max_prob), mean(&aug_profile.mean_max_prob)],
+        [mean(&profile.mean_max_prob), mean(&aug_profile.mean_max_prob)],
     );
     report.note("paper shape: low-conf fraction differs strongly across categories (a); augmentation reduces confidence (c)");
     report.note(&format!("budget: {budget:?}"));

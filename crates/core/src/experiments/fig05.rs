@@ -55,10 +55,10 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             [1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)]
         }));
     }
-    let rows = scheduler::run_cells(cells);
-    report.push_full_row("Student (data-accessible)", &rows[0]);
+    let rows = scheduler::run_cells_seeded(budget.seed, cells);
+    report.push_row("Student (data-accessible)", rows[0]);
     for (spec, row) in specs.iter().zip(&rows[1..]) {
-        report.push_full_row(&spec.name, row);
+        report.push_row(&spec.name, row);
     }
     report.note("paper shape: embedding-level (CAE-DFKD) error maps are cleaner than image-level contrastive");
     report.note(&format!("budget: {budget:?}"));

@@ -112,23 +112,144 @@ pub fn transfer_clone(
     transfer_evaluate(backbone, tasks, train, test, budget.finetune_steps, seed)
 }
 
-/// Runs every table and figure, returning reports in paper order.
+/// One registered experiment runner: a stable id, a human title and the
+/// `run` entry point. The registry is the single authority every consumer
+/// (bench bins, benches, the CLI, examples) looks experiments up in, so
+/// adding a runner module means adding exactly one entry here.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentEntry {
+    /// Stable lookup id, equal to the runner module's name ("table02").
+    pub id: &'static str,
+    /// Short human-readable title.
+    pub title: &'static str,
+    /// Whether the paper itself reports this table/figure (the ablation
+    /// suite is ours and is excluded from paper-order sweeps).
+    pub in_paper: bool,
+    /// The runner.
+    pub run: fn(&ExperimentBudget) -> Report,
+}
+
+impl ExperimentEntry {
+    /// Runs the experiment inside an `experiment` trace span tagged with
+    /// the registry id, so a drained trace attributes every interval to
+    /// the table that produced it.
+    pub fn run_traced(&self, budget: &ExperimentBudget) -> Report {
+        let _sp = cae_trace::span_with("experiment", &[("id", self.id.into())]);
+        (self.run)(budget)
+    }
+}
+
+/// Every experiment, in paper order (tables and figures interleaved as the
+/// paper presents them), with the ablation suite last.
+pub const REGISTRY: &[ExperimentEntry] = &[
+    ExperimentEntry {
+        id: "table01",
+        title: "Image-level augmentation hurts DFKD",
+        in_paper: true,
+        run: table01::run,
+    },
+    ExperimentEntry {
+        id: "fig02",
+        title: "Per-category confidence and augmentation-ambiguity diagnostics",
+        in_paper: true,
+        run: fig02::run,
+    },
+    ExperimentEntry {
+        id: "table02",
+        title: "Small-resolution main results (CIFAR-10/100 sims)",
+        in_paper: true,
+        run: table02::run,
+    },
+    ExperimentEntry {
+        id: "table03",
+        title: "Medium-resolution results (Tiny-ImageNet sim)",
+        in_paper: true,
+        run: table03::run,
+    },
+    ExperimentEntry {
+        id: "table04",
+        title: "Large-resolution results (ImageNet-1K sim)",
+        in_paper: true,
+        run: table04::run,
+    },
+    ExperimentEntry {
+        id: "table05",
+        title: "NYUv2 (sim) transfer: seg / depth / normals",
+        in_paper: true,
+        run: table05::run,
+    },
+    ExperimentEntry {
+        id: "table06",
+        title: "ADE-20K (sim) segmentation + COCO-2017 (sim) detection transfer",
+        in_paper: true,
+        run: table06::run,
+    },
+    ExperimentEntry {
+        id: "table07",
+        title: "Component ablation over a CMI-like base (ADE-20K sim transfer)",
+        in_paper: true,
+        run: table07::run,
+    },
+    ExperimentEntry {
+        id: "table08",
+        title: "Noise-source count N vs downstream mIoU (NYUv2 sim)",
+        in_paper: true,
+        run: table08::run,
+    },
+    ExperimentEntry {
+        id: "table09",
+        title: "DFKD convergence with vs without CEND",
+        in_paper: true,
+        run: table09::run,
+    },
+    ExperimentEntry {
+        id: "table10",
+        title: "Language-model choice vs COCO-2017 (sim) mAP@50",
+        in_paper: true,
+        run: table10::run,
+    },
+    ExperimentEntry {
+        id: "table11",
+        title: "Prompt design vs NYUv2 (sim) segmentation",
+        in_paper: true,
+        run: table11::run,
+    },
+    ExperimentEntry {
+        id: "fig05",
+        title: "Downstream error-map summary (seg error, depth abs error)",
+        in_paper: true,
+        run: fig05::run,
+    },
+    ExperimentEntry {
+        id: "ablations",
+        title: "Design-choice ablations (memory, λ_adv, CEND magnitude)",
+        in_paper: false,
+        run: ablations::run,
+    },
+];
+
+/// The registry, ordered as [`REGISTRY`].
+pub fn registry() -> &'static [ExperimentEntry] {
+    REGISTRY
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static ExperimentEntry> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// Runs an experiment by registry id (traced); `None` for unknown ids.
+pub fn run_by_id(id: &str, budget: &ExperimentBudget) -> Option<Report> {
+    find(id).map(|e| e.run_traced(budget))
+}
+
+/// Runs every table and figure the paper reports, in paper order.
 pub fn run_all(budget: &ExperimentBudget) -> Vec<Report> {
-    vec![
-        table01::run(budget),
-        fig02::run(budget),
-        table02::run(budget),
-        table03::run(budget),
-        table04::run(budget),
-        table05::run(budget),
-        table06::run(budget),
-        table07::run(budget),
-        table08::run(budget),
-        table09::run(budget),
-        table10::run(budget),
-        table11::run(budget),
-        fig05::run(budget),
-    ]
+    registry()
+        .iter()
+        .filter(|e| e.in_paper)
+        .map(|e| e.run_traced(budget))
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,5 +269,41 @@ mod tests {
         let (fast_tr, _) = dense_sizes(&ExperimentBudget::fast());
         let (full_tr, _) = dense_sizes(&ExperimentBudget::full());
         assert!(smoke_tr < fast_tr && fast_tr < full_tr);
+    }
+
+    #[test]
+    fn registry_covers_every_runner_module_exactly_once() {
+        // Registry ids equal runner module names, so the source directory
+        // is the ground truth: every `experiments/*.rs` file except the
+        // infrastructure modules must appear in the registry exactly once.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/experiments");
+        let mut modules: Vec<String> = std::fs::read_dir(&dir)
+            .expect("experiments source dir readable")
+            .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+            .filter_map(|name| name.strip_suffix(".rs").map(str::to_owned))
+            .filter(|stem| stem != "mod" && stem != "scheduler")
+            .collect();
+        modules.sort();
+        let mut ids: Vec<String> = registry().iter().map(|e| e.id.to_owned()).collect();
+        ids.sort();
+        assert_eq!(
+            ids, modules,
+            "registry ids must match the runner modules one-to-one"
+        );
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), registry().len(), "duplicate registry id");
+    }
+
+    #[test]
+    fn registry_lookup_and_paper_order() {
+        assert!(find("table02").is_some());
+        assert!(find("nope").is_none());
+        assert!(run_by_id("nope", &ExperimentBudget::smoke()).is_none());
+        let paper: Vec<&str> = registry().iter().filter(|e| e.in_paper).map(|e| e.id).collect();
+        assert_eq!(paper.len(), 13, "eleven tables plus fig02/fig05");
+        assert_eq!(paper.first(), Some(&"table01"));
+        assert_eq!(paper.last(), Some(&"fig05"));
+        assert!(registry().iter().all(|e| !e.title.is_empty()));
     }
 }

@@ -86,6 +86,51 @@ where
         .collect()
 }
 
+/// [`run_cells`] with per-cell trace spans: each cell `i` executes inside a
+/// `scheduler.cell` span tagged with its index and the RNG seed
+/// [`cell_seed`]`(base_seed, i)` the runner derives for it, so a drained
+/// trace attributes every interval to a concrete (cell, seed) pair even
+/// when cells interleave across pool workers.
+pub fn run_cells_seeded<'a, T>(base_seed: u64, cells: Vec<Box<dyn FnOnce() -> T + Send + 'a>>) -> Vec<T>
+where
+    T: Send + 'a,
+{
+    let traced: Vec<Box<dyn FnOnce() -> T + Send + 'a>> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            Box::new(move || {
+                let _sp = cell_span(base_seed, i);
+                cell()
+            }) as Box<dyn FnOnce() -> T + Send + 'a>
+        })
+        .collect();
+    run_cells(traced)
+}
+
+/// [`run_indexed`] with the same per-cell trace spans as
+/// [`run_cells_seeded`].
+pub fn run_indexed_seeded<T, F>(base_seed: u64, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(n, move |i| {
+        let _sp = cell_span(base_seed, i);
+        f(i)
+    })
+}
+
+fn cell_span(base_seed: u64, i: usize) -> cae_trace::SpanGuard {
+    cae_trace::span_with(
+        "scheduler.cell",
+        &[
+            ("cell", (i as u64).into()),
+            ("cell_seed", cell_seed(base_seed, i as u64).into()),
+        ],
+    )
+}
+
 /// Indexed convenience wrapper: runs `f(0..n)` as cells and collects the
 /// results in index order.
 pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
@@ -148,6 +193,27 @@ mod tests {
         let parallel = run_indexed(33, work);
         let serial: Vec<u64> = (0..33).map(work).collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn seeded_cells_trace_the_seed_they_actually_use() {
+        // Each cell reports the seed it derives for itself (exactly what
+        // `distill` does); the scheduler's span tag must agree.
+        let base = 0xBADC_0FFE_E0DD_F00D_u64;
+        cae_trace::force_enabled(true);
+        let used: Vec<u64> = run_indexed_seeded(base, 6, |i| cell_seed(base, i as u64));
+        let trace = cae_trace::drain();
+        cae_trace::reset_to_env();
+        for (i, &used_seed) in used.iter().enumerate() {
+            let tagged = trace.spans_named("scheduler.cell").any(|s| {
+                s.tags.contains(&("cell", cae_trace::TagValue::U64(i as u64)))
+                    && s.tags.contains(&("cell_seed", cae_trace::TagValue::U64(used_seed)))
+            });
+            assert!(
+                tagged,
+                "cell {i} has no scheduler.cell span tagged with its seed {used_seed:#x}"
+            );
+        }
     }
 
     #[test]

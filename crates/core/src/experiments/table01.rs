@@ -28,11 +28,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             .named("Vanilla")
             .with_image_contrastive(1.0),
     ];
-    let accs = scheduler::run_indexed(specs.len(), |i| {
+    let accs = scheduler::run_indexed_seeded(budget.seed, specs.len(), |i| {
         distill(preset, pair, &specs[i], budget, i as u64).student_top1
     });
     for (spec, acc) in specs.iter().zip(accs) {
-        report.push_full_row(&spec.name, &[acc * 100.0]);
+        report.push_row(&spec.name, [acc * 100.0]);
     }
     report.note("paper shape: Vanilla > +Mixup > +Contrastive Learning (both additions hurt)");
     report.note(&format!("budget: {budget:?}"));

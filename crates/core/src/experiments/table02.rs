@@ -70,7 +70,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             }
         }
     }
-    let accs = scheduler::run_cells(cells);
+    let accs = scheduler::run_cells_seeded(budget.seed, cells);
 
     let mut teacher_row = Vec::new();
     let mut student_row = Vec::new();
@@ -84,7 +84,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
     let cols = datasets.len() * pairs.len();
     for (m, spec) in methods.iter().enumerate() {
         let start = ref_cells + m * cols;
-        let row = accs[start..start + cols]
+        let row: Vec<Option<f32>> = accs[start..start + cols]
             .iter()
             .map(|a| Some(a * 100.0))
             .collect();

@@ -35,11 +35,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             distill(preset, pair, spec, budget, idx).student_top1
         }));
     }
-    let accs = scheduler::run_cells(cells);
-    report.push_full_row("Teacher", &[accs[0] * 100.0]);
-    report.push_full_row("Student", &[accs[1] * 100.0]);
+    let accs = scheduler::run_cells_seeded(budget.seed, cells);
+    report.push_row("Teacher", [accs[0] * 100.0]);
+    report.push_row("Student", [accs[1] * 100.0]);
     for (spec, acc) in specs.iter().zip(&accs[2..]) {
-        report.push_full_row(&spec.name, &[acc * 100.0]);
+        report.push_row(&spec.name, [acc * 100.0]);
     }
     report.note("paper shape: CAE-DFKD > NAYER > CMI ≫ weaker baselines, approaching the data-accessible Student");
     report.note("rows PREKD/MBDFKD/MAD/KAKR/SpaceShipNet/KDCI are cited numbers and not re-implemented");

@@ -33,11 +33,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             distill(preset, pair, spec, budget, idx).student_top1
         }));
     }
-    let accs = scheduler::run_cells(cells);
-    report.push_full_row("Teacher", &[accs[0] * 100.0]);
-    report.push_full_row("Student", &[accs[0] * 100.0]); // same architecture/pipeline as teacher
+    let accs = scheduler::run_cells_seeded(budget.seed, cells);
+    report.push_row("Teacher", [accs[0] * 100.0]);
+    report.push_row("Student", [accs[0] * 100.0]); // same architecture/pipeline as teacher
     for (spec, acc) in specs.iter().zip(&accs[1..]) {
-        report.push_full_row(&spec.name, &[acc * 100.0]);
+        report.push_row(&spec.name, [acc * 100.0]);
     }
     report.note("paper shape: CAE-DFKD > NAYER > DeepInv > FM; all below the data-accessible reference");
     report.note(&format!("budget: {budget:?}"));

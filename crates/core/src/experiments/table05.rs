@@ -72,11 +72,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             metrics_row(&m)
         }));
     }
-    let rows = scheduler::run_cells(cells);
-    report.push_full_row("Teacher", &rows[0]);
-    report.push_full_row("Student", &rows[1]);
+    let rows = scheduler::run_cells_seeded(budget.seed, cells);
+    report.push_row("Teacher", &rows[0]);
+    report.push_row("Student", &rows[1]);
     for (spec, row) in specs.iter().zip(&rows[2..]) {
-        report.push_full_row(&spec.name, row);
+        report.push_row(&spec.name, row);
     }
     report.note("paper shape: CAE-DFKD > NAYER on every subtask, closing most of the gap to the data-accessible Student");
     report.note(&format!("budget: {budget:?}"));

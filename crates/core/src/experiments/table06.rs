@@ -84,11 +84,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             eval_both(run.student.as_ref(), pair.student, 3)
         }));
     }
-    let rows = scheduler::run_cells(cells);
-    report.push_full_row("Teacher", &rows[0]);
-    report.push_full_row("Student", &rows[1]);
+    let rows = scheduler::run_cells_seeded(budget.seed, cells);
+    report.push_row("Teacher", &rows[0]);
+    report.push_row("Student", &rows[1]);
     for (spec, r) in specs.iter().zip(&rows[2..]) {
-        report.push_full_row(&spec.name, r);
+        report.push_row(&spec.name, r);
     }
     report.note("paper shape: CAE-DFKD > CMI on both datasets; beats the data-accessible Student on mAP_s/mAP_m");
     report.note("row SpaceShipNet is a cited number and not re-implemented");

@@ -38,7 +38,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let rows = scheduler::run_indexed(plan.len(), |i| {
+    let rows = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
         let (pair, spec) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -54,7 +54,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         [m.pacc.unwrap_or(0.0) * 100.0, m.miou.unwrap_or(0.0) * 100.0]
     });
     for ((pair, spec), row) in plan.iter().zip(rows) {
-        report.push_full_row(&format!("{} [{}]", spec.name, pair.label()), &row);
+        report.push_row(&format!("{} [{}]", spec.name, pair.label()), row);
     }
     report.note("paper shape: Base < Base+CEND < Base+CEND+CNCL for both pairs");
     report.note(&format!("budget: {budget:?}"));

@@ -40,7 +40,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let mious = scheduler::run_indexed(plan.len(), |i| {
+    let mious = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
         let (pair, spec) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -57,7 +57,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
     });
     let per_row = N_VALUES.len() + 1;
     for (r, pair) in pairs.iter().enumerate() {
-        let row = mious[r * per_row..(r + 1) * per_row]
+        let row: Vec<Option<f32>> = mious[r * per_row..(r + 1) * per_row]
             .iter()
             .map(|&v| Some(v))
             .collect();

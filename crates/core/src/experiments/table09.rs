@@ -87,7 +87,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             plan.push((*pair, seeded, true));
         }
     }
-    let outcomes = scheduler::run_indexed(plan.len(), |i| {
+    let outcomes = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
         let (pair, seeded, with_cend) = &plan[i];
         let spec = if *with_cend {
             MethodSpec::cend_only(4)
@@ -111,9 +111,9 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         let (base_epochs, base_s, cend_epochs, cend_s) =
             (acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n);
         let speedup = if cend_s > 0.0 { base_s / cend_s } else { 1.0 };
-        report.push_full_row(
+        report.push_row(
             &pair.label(),
-            &[base_epochs, base_s, cend_epochs, cend_s, speedup],
+            [base_epochs, base_s, cend_epochs, cend_s, speedup],
         );
     }
     report.note("paper shape: w/ CEND converges faster (paper: 1.37×/1.71× epoch-time speedup)");

@@ -33,7 +33,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let map50s = scheduler::run_indexed(plan.len(), |i| {
+    let map50s = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
         let (pair, spec) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -49,7 +49,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         m.map50.unwrap_or(0.0) * 100.0
     });
     for (p, pair) in pairs.iter().enumerate() {
-        let row = map50s[p * lms.len()..(p + 1) * lms.len()]
+        let row: Vec<Option<f32>> = map50s[p * lms.len()..(p + 1) * lms.len()]
             .iter()
             .map(|&v| Some(v))
             .collect();

@@ -35,7 +35,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let rows = scheduler::run_indexed(plan.len(), |i| {
+    let rows = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
         let (pair, spec, _) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -51,7 +51,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         [m.miou.unwrap_or(0.0) * 100.0, m.pacc.unwrap_or(0.0) * 100.0]
     });
     for ((pair, _, label), row) in plan.iter().zip(rows) {
-        report.push_full_row(&format!("{} [{}]", label, pair.label()), &row);
+        report.push_row(&format!("{} [{}]", label, pair.label()), row);
     }
     report.note("paper shape: class-name prompts slightly beat class-index prompts; both work");
     report.note(&format!("budget: {budget:?}"));

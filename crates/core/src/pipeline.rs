@@ -47,6 +47,7 @@ pub fn run_dfkd(
     budget: &ExperimentBudget,
     seed: u64,
 ) -> DfkdRun {
+    let _sp = cae_trace::span_with("pipeline.run_dfkd", &[("seed", seed.into())]);
     let split = preset.generate(budget.seed);
     let config = DfkdConfig::default();
     let teacher = pretrained("teacher", teacher_arch, &split.train, budget, config.batch_size);
@@ -67,7 +68,10 @@ pub fn run_dfkd(
     );
     let stats = trainer.run(budget);
     let student = trainer.into_student();
-    let student_top1 = top1_accuracy(student.as_ref(), &split.test, 32);
+    let student_top1 = {
+        let _eval = cae_trace::span("pipeline.evaluate");
+        top1_accuracy(student.as_ref(), &split.test, 32)
+    };
     DfkdRun {
         student,
         student_top1,

@@ -32,6 +32,62 @@ pub struct Report {
 
 serde::impl_json_struct!(Report { id, title, columns, rows, notes });
 
+/// Conversion into one report row's cell values, so [`Report::push_row`]
+/// accepts both sparse (`Option<f32>`) and fully populated (`f32`) rows
+/// through a single method.
+pub trait IntoRowValues {
+    /// Converts `self` into one `Option<f32>` per column.
+    fn into_row_values(self) -> Vec<Option<f32>>;
+}
+
+impl IntoRowValues for Vec<Option<f32>> {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self
+    }
+}
+
+impl IntoRowValues for &[Option<f32>] {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.to_vec()
+    }
+}
+
+impl IntoRowValues for Vec<f32> {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.into_iter().map(Some).collect()
+    }
+}
+
+impl IntoRowValues for &Vec<f32> {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.iter().copied().map(Some).collect()
+    }
+}
+
+impl IntoRowValues for &[f32] {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.iter().copied().map(Some).collect()
+    }
+}
+
+impl<const N: usize> IntoRowValues for &[f32; N] {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.iter().copied().map(Some).collect()
+    }
+}
+
+impl<const N: usize> IntoRowValues for [f32; N] {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.iter().copied().map(Some).collect()
+    }
+}
+
+impl<const N: usize> IntoRowValues for [Option<f32>; N] {
+    fn into_row_values(self) -> Vec<Option<f32>> {
+        self.to_vec()
+    }
+}
+
 impl Report {
     /// Creates an empty report.
     pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
@@ -44,15 +100,21 @@ impl Report {
         }
     }
 
-    /// Appends a row.
+    /// Appends a row. Accepts either optional values (`Vec<Option<f32>>`,
+    /// `None` rendering as `-`) or fully populated slices/arrays of `f32`
+    /// via [`IntoRowValues`].
     ///
     /// # Panics
-    /// Panics if the value count differs from the column count.
-    pub fn push_row(&mut self, label: &str, values: Vec<Option<f32>>) {
+    /// Panics — naming this report — if the value count differs from the
+    /// column count; a silent mismatch would corrupt every later lookup.
+    pub fn push_row<V: IntoRowValues>(&mut self, label: &str, values: V) {
+        let values = values.into_row_values();
         assert_eq!(
             values.len(),
             self.columns.len(),
-            "row has {} values for {} columns",
+            "report '{}': row '{}' has {} values for {} columns",
+            self.id,
+            label,
             values.len(),
             self.columns.len()
         );
@@ -60,11 +122,6 @@ impl Report {
             label: label.to_owned(),
             values,
         });
-    }
-
-    /// Appends a fully populated row.
-    pub fn push_full_row(&mut self, label: &str, values: &[f32]) {
-        self.push_row(label, values.iter().map(|&v| Some(v)).collect());
     }
 
     /// Appends a note.
@@ -94,13 +151,21 @@ impl Report {
         serde_json::from_str(json)
     }
 
-    /// Writes the JSON artifact to `dir/<id>.json` (spaces replaced).
+    /// Filesystem-safe stem derived from the report id ("Table II" →
+    /// "table_ii"); shared by the JSON artifact and its trace files.
+    pub fn file_stem(&self) -> String {
+        self.id.replace([' ', '/'], "_").to_lowercase()
+    }
+
+    /// Writes the JSON artifact to `dir/<stem>.json`, creating `dir` (and
+    /// any missing parents) first — the same convention as
+    /// [`crate::logging::CurveLog::save_csv`].
     ///
     /// # Errors
     /// Returns any I/O error from creating the directory or writing.
     pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let file = dir.join(format!("{}.json", self.id.replace([' ', '/'], "_").to_lowercase()));
+        let file = dir.join(format!("{}.json", self.file_stem()));
         std::fs::write(&file, self.to_json())?;
         Ok(file)
     }
@@ -151,7 +216,7 @@ mod tests {
     #[test]
     fn rows_render_and_serialize() {
         let mut r = Report::new("Table T", "demo", &["acc", "miou"]);
-        r.push_full_row("CAE-DFKD", &[0.9, 0.5]);
+        r.push_row("CAE-DFKD", [0.9, 0.5]);
         r.push_row("Base", vec![Some(0.8), None]);
         r.note("fast budget");
         let text = r.to_string();
@@ -165,9 +230,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "columns")]
-    fn row_arity_is_checked() {
+    #[should_panic(expected = "report 'Table Arity'")]
+    fn row_arity_mismatch_names_the_report() {
+        let mut r = Report::new("Table Arity", "demo", &["a", "b"]);
+        r.push_row("x", [1.0]);
+    }
+
+    #[test]
+    fn push_row_accepts_sparse_and_full_forms() {
         let mut r = Report::new("T", "demo", &["a", "b"]);
-        r.push_full_row("x", &[1.0]);
+        r.push_row("vec-f32", vec![1.0f32, 2.0]);
+        r.push_row("slice-f32", &[1.0f32, 2.0][..]);
+        r.push_row("array-f32", [1.0f32, 2.0]);
+        r.push_row("sparse", [Some(1.0), None]);
+        assert!(r.rows.iter().take(3).all(|row| row.values.iter().all(Option::is_some)));
+        assert_eq!(r.rows[3].values, vec![Some(1.0), None]);
+    }
+
+    #[test]
+    fn save_json_creates_nested_directories() {
+        let mut r = Report::new("Table Nested/Dirs", "demo", &["a"]);
+        r.push_row("x", [1.0]);
+        let dir = std::env::temp_dir()
+            .join(format!("cae_report_test_{}", std::process::id()))
+            .join("deeply")
+            .join("nested");
+        let path = r.save_json(&dir).expect("creates parents like CurveLog::save_csv");
+        assert_eq!(path, dir.join("table_nested_dirs.json"));
+        let back = Report::from_json(&std::fs::read_to_string(&path).expect("written"))
+            .expect("roundtrips");
+        assert_eq!(back, r);
+        std::fs::remove_dir_all(dir.parent().expect("parent").parent().expect("root")).ok();
     }
 }

@@ -128,7 +128,17 @@ pub fn pretrained(
         let mut map = cache().lock().expect("teacher cache lock poisoned");
         map.entry(key).or_default().clone()
     };
+    // A populated slot is a hit; otherwise this call either trains the
+    // master itself (span `teacher.pretrain`) or blocks until a concurrent
+    // trainer finishes (the remainder of `teacher.cache_acquire`).
+    let hit = slot.master.get().is_some();
+    cae_trace::counter(
+        if hit { "teacher.cache_hits" } else { "teacher.cache_misses" },
+        1,
+    );
+    let _acquire = if hit { None } else { Some(cae_trace::span("teacher.cache_acquire")) };
     let master = slot.master.get_or_init(|| {
+        let _sp = cae_trace::span("teacher.pretrain");
         PRETRAIN_RUNS.fetch_add(1, Ordering::Relaxed);
         *runs_by_prefix()
             .lock()

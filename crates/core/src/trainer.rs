@@ -153,8 +153,10 @@ impl<'a> DfkdTrainer<'a> {
     /// optimization-based specs this runs pixel inversion instead and
     /// returns the final inversion teacher cross-entropy.
     pub fn generator_step(&mut self) -> f32 {
+        let _sp = cae_trace::span("trainer.generator_step");
         let labels = self.random_labels(self.config.batch_size);
         if self.spec.optimization_based {
+            let _inv = cae_trace::span("trainer.inversion");
             let images = invert_batch(
                 self.teacher,
                 &labels,
@@ -200,6 +202,7 @@ impl<'a> DfkdTrainer<'a> {
         // Memory labels: the intended class when conditioned, the teacher's
         // pseudo-label otherwise.
         self.memory.push_batch(&images.to_tensor(), &ce_targets);
+        cae_trace::counter("memory.pushed_images", self.config.batch_size as u64);
         loss.item()
     }
 
@@ -209,9 +212,12 @@ impl<'a> DfkdTrainer<'a> {
         if self.memory.is_empty() {
             return None;
         }
-        let (raw_images, _labels) = self
-            .memory
-            .sample_batch(self.config.batch_size, &mut self.rng);
+        let _sp = cae_trace::span("trainer.student_step");
+        let (raw_images, _labels) = {
+            let _replay = cae_trace::span("trainer.memory_replay");
+            self.memory
+                .sample_batch(self.config.batch_size, &mut self.rng)
+        };
 
         self.opt_s
             .set_lr(self.schedule.lr_at(self.student_step_count));
@@ -242,6 +248,7 @@ impl<'a> DfkdTrainer<'a> {
         if self.spec.use_cncl {
             if let (Some(e_off), Some(layer)) = (self.provider.e_off(), self.provider.cend_layer())
             {
+                let _cncl_sp = cae_trace::span("trainer.cncl_loss");
                 let (e_off, layer) = (e_off.clone(), layer.clone());
                 let cncl = cncl_loss(
                     self.student.as_ref(),
@@ -297,6 +304,7 @@ impl<'a> DfkdTrainer<'a> {
     pub fn run(&mut self, budget: &ExperimentBudget) -> TrainStats {
         let mut stats = TrainStats::default();
         for epoch in 0..budget.dfkd_epochs {
+            let _ep = cae_trace::span_with("trainer.epoch", &[("epoch", (epoch as u64).into())]);
             if let Some(every) = self.spec.generator_reinit_every {
                 if epoch > 0 && epoch % every == 0 && !self.spec.optimization_based {
                     self.reinit_generator();

@@ -83,7 +83,7 @@ fn method_specs_serialize_roundtrip() {
 #[test]
 fn reports_persist_to_disk() {
     let mut report = Report::new("Table T/demo", "persistence", &["x"]);
-    report.push_full_row("row", &[1.0]);
+    report.push_row("row", [1.0]);
     let dir = std::env::temp_dir().join("cae_report_test");
     let path = report.save_json(&dir).expect("save succeeds");
     let loaded = Report::from_json(&std::fs::read_to_string(&path).expect("read"))

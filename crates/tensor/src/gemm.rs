@@ -103,6 +103,7 @@ pub fn gemm(
         b.len() > (k - 1) * brs + (n - 1) * bcs,
         "B too short for {k}x{n} with strides ({brs},{bcs})"
     );
+    cae_trace::counters(&[("gemm.calls", 1), ("gemm.flops", (2 * m * n * k) as u64)]);
 
     let threads = if 2 * m * n * k >= PARALLEL_FLOP_THRESHOLD {
         pool::max_parallelism()

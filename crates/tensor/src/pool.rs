@@ -174,6 +174,7 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
         || n_tasks == 1
         || IN_PARALLEL_TASK.with(|f| f.get());
     if inline {
+        cae_trace::counter("pool.inline_jobs", 1);
         let was = IN_PARALLEL_TASK.with(|f| f.replace(true));
         for i in 0..n_tasks {
             body(i);
@@ -182,6 +183,21 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
         return;
     }
 
+    // Submitters queued on the single job slot, this call included.
+    static WAITING: AtomicUsize = AtomicUsize::new(0);
+    let depth = WAITING.fetch_add(1, Ordering::Relaxed) + 1;
+    if cae_trace::enabled() {
+        cae_trace::counters(&[("pool.jobs", 1), ("pool.tasks", n_tasks as u64)]);
+        cae_trace::gauge("pool.queue_depth", depth as f64);
+    }
+    /// Decrements the waiting-submitter count on scope exit (incl. unwind).
+    struct WaitingGuard(&'static AtomicUsize);
+    impl Drop for WaitingGuard {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _waiting = WaitingGuard(&WAITING);
     let _submit = pool.submit_lock.lock().expect("pool submit lock poisoned");
     // SAFETY: erases the borrow's lifetime; `parallel_for` does not return
     // until no task can dereference `body` again (see `Job`).

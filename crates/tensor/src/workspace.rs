@@ -59,6 +59,17 @@ thread_local! {
 /// Pair with [`give`] to recycle the allocation.
 pub fn take(slot: Slot, len: usize) -> Vec<f32> {
     let mut buf = SLOTS.with(|s| std::mem::take(&mut s.borrow_mut()[slot as usize]));
+    cae_trace::counters(&[
+        ("workspace.takes", 1),
+        (
+            if buf.capacity() >= len {
+                "workspace.reuses"
+            } else {
+                "workspace.allocs"
+            },
+            1,
+        ),
+    ]);
     // Zero the prefix we keep, then extend; for a warm buffer of sufficient
     // capacity this is one memset and no allocation.
     buf.truncate(len);

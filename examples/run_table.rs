@@ -1,0 +1,51 @@
+//! Run any registered experiment by id, with optional tracing.
+//!
+//! ```text
+//! cargo run --release --example run_table -- table02 smoke
+//! CAE_TRACE=1 cargo run --release --example run_table -- table02 smoke
+//! ```
+//!
+//! The first argument is a registry id (`table01`..`table11`, `fig02`,
+//! `fig05`, `ablations`; run with no arguments to list them), the optional
+//! second one a budget (`smoke` | `fast` — default | `full`). The report
+//! JSON lands under `results/`; with `CAE_TRACE=1` the run's span/counter
+//! trace is written next to it as `trace_<id>.jsonl` + `TRACE_<id>.json`.
+
+use cae_dfkd::core::config::ExperimentBudget;
+use cae_dfkd::core::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(id) = args.first() else {
+        println!("usage: run_table <id> [smoke|fast|full]\n\nregistered experiments:");
+        for entry in experiments::registry() {
+            println!("  {:<10} {}", entry.id, entry.title);
+        }
+        return;
+    };
+    let budget = match args.get(1).map(String::as_str) {
+        None | Some("fast") => ExperimentBudget::fast(),
+        Some("smoke") => ExperimentBudget::smoke(),
+        Some("full") => ExperimentBudget::full(),
+        Some(other) => panic!("unknown budget '{other}' (smoke|fast|full)"),
+    };
+
+    let report = experiments::run_by_id(id, &budget).unwrap_or_else(|| {
+        let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
+        panic!("unknown experiment '{id}' (known: {})", known.join("|"))
+    });
+    println!("{report}");
+    let out = std::path::Path::new("results");
+    let path = report.save_json(out).expect("failed to save report JSON");
+    println!("saved: {}", path.display());
+
+    if cae_dfkd::trace::enabled() {
+        let trace = cae_dfkd::trace::drain();
+        if !trace.is_empty() {
+            let (jsonl, summary) = trace
+                .save(out, &report.file_stem())
+                .expect("failed to save trace artifacts");
+            println!("trace: {} + {}", jsonl.display(), summary.display());
+        }
+    }
+}

@@ -11,4 +11,17 @@ cargo test --offline --workspace -q
 # pool size, which CAE_NUM_THREADS fixes per process).
 CAE_NUM_THREADS=1 cargo test --offline --workspace -q
 CAE_NUM_THREADS=4 cargo test --offline --workspace -q
+# Tracing is observational: the whole suite must also pass with every span,
+# counter and gauge recorded ...
+CAE_TRACE=1 cargo test --offline --workspace -q
+# ... and a traced table run must reproduce the untraced report
+# byte-for-byte.
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+CAE_BUDGET=smoke CAE_TRACE=0 CAE_RESULTS_DIR="$trace_tmp/off" \
+  cargo run --release --offline -p cae-bench --bin table02 >/dev/null
+CAE_BUDGET=smoke CAE_TRACE=1 CAE_RESULTS_DIR="$trace_tmp/on" \
+  cargo run --release --offline -p cae-bench --bin table02 >/dev/null
+cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/on/table_ii.json"
+test -s "$trace_tmp/on/TRACE_table_ii.json"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -14,7 +14,8 @@ use std::fmt;
 /// A parsed command line: subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Command {
-    /// The subcommand (`distill`, `evaluate`, `transfer`, `table`, `help`).
+    /// The subcommand (`distill`, `evaluate`, `transfer`, `table`, `list`,
+    /// `help`).
     pub name: String,
     /// Flag map.
     pub options: BTreeMap<String, String>,
@@ -196,7 +197,13 @@ USAGE:
   cae-dfkd evaluate --weights FILE.json [--dataset c10] [--arch resnet18] [--budget fast]
   cae-dfkd transfer --weights FILE.json [--task nyu|ade|coco] [--arch resnet18]
                     [--dataset c10] [--budget fast]
+  cae-dfkd table    --id table02 [--budget smoke|fast|full] [--out results]
+  cae-dfkd list
   cae-dfkd help
+
+`table` runs one registered experiment by id (see `list` for the ids) and
+writes its JSON artifact under --out. Set CAE_TRACE=1 to also write the
+run's trace (trace_<id>.jsonl + TRACE_<id>.json) next to the report.
 
 Architectures: resnet18 resnet34 resnet50 wrn40-2 wrn40-1 wrn16-2 wrn16-1 vgg11
 ";

@@ -26,3 +26,4 @@ pub use cae_data as data;
 pub use cae_lm as lm;
 pub use cae_nn as nn;
 pub use cae_tensor as tensor;
+pub use cae_trace as trace;

@@ -6,9 +6,11 @@
 //!                  --method cae --n 4 --budget fast --save student.json
 //! cae-dfkd evaluate --weights student.json --dataset c100 --arch resnet18
 //! cae-dfkd transfer --weights student.json --task nyu --arch resnet18
+//! cae-dfkd table --id table02 --budget smoke
 //! ```
 
 use cae_dfkd::cli::{Command, HELP};
+use cae_dfkd::core::experiments;
 use cae_dfkd::core::metrics::classification::top1_accuracy;
 use cae_dfkd::core::pipeline::run_dfkd;
 use cae_dfkd::core::transfer::{transfer_evaluate, TaskSet};
@@ -40,8 +42,43 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error + Send + Sync>> {
         "distill" => distill(&cmd),
         "evaluate" => evaluate(&cmd),
         "transfer" => transfer(&cmd),
+        "table" => table(&cmd),
+        "list" => {
+            list();
+            Ok(())
+        }
         other => Err(format!("unknown subcommand '{other}'").into()),
     }
+}
+
+fn list() {
+    println!("registered experiments (paper order):");
+    for entry in experiments::registry() {
+        let marker = if entry.in_paper { " " } else { "+" };
+        println!("  {marker} {:<10} {}", entry.id, entry.title);
+    }
+    println!("(+ = extra suite beyond the paper's tables/figures)");
+}
+
+fn table(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let id = cmd.required("id")?;
+    let budget = cmd.budget()?;
+    let Some(report) = experiments::run_by_id(id, &budget) else {
+        let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
+        return Err(format!("unknown experiment '{id}' (known: {})", known.join("|")).into());
+    };
+    println!("{report}");
+    let out = std::path::PathBuf::from(cmd.str_or("out", "results"));
+    let path = report.save_json(&out)?;
+    println!("saved: {}", path.display());
+    if cae_dfkd::trace::enabled() {
+        let trace = cae_dfkd::trace::drain();
+        if !trace.is_empty() {
+            let (jsonl, summary) = trace.save(&out, &report.file_stem())?;
+            println!("trace: {} + {}", jsonl.display(), summary.display());
+        }
+    }
+    Ok(())
 }
 
 fn distill(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
