@@ -1,10 +1,45 @@
-//! Regenerates every paper table and figure in order.
+//! Regenerates every paper table and figure in order, fault-isolated and
+//! resumable.
+//!
+//! Each experiment runs via `ExperimentEntry::run`, so one broken table
+//! reports its error and the sweep continues. Completed JSON artifacts
+//! under the results directory are detected and skipped on re-run
+//! (disable with `CAE_RESUME=0`), so an interrupted sweep picks up where
+//! it left off instead of redoing hours of finished work.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let budget = cae_bench::budget_from_env("full");
-    for name in cae_bench::paper_experiment_ids() {
-        eprintln!(">>> running {name} ...");
-        let report = cae_bench::run_one(name, &budget);
-        cae_bench::emit(&report);
+    let resume = cae_bench::resume_enabled();
+    let mut failures = Vec::new();
+    for entry in cae_core::experiments::registry().iter().filter(|e| e.in_paper) {
+        if resume {
+            if let Some(path) = cae_bench::completed_artifact(entry) {
+                eprintln!(
+                    ">>> {}: already completed ({}), skipping (CAE_RESUME=0 to re-run)",
+                    entry.id,
+                    path.display()
+                );
+                continue;
+            }
+        }
+        eprintln!(">>> running {} ...", entry.id);
+        match entry.run(&budget) {
+            Ok(report) => cae_bench::emit(&report),
+            Err(e) => {
+                eprintln!(">>> {e}; continuing with the remaining tables\n");
+                failures.push(e);
+            }
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} experiment(s) failed:", failures.len());
+        for e in &failures {
+            eprintln!("  {e}");
+        }
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,106 @@
+//! Fault-recovery benchmark: runs `table02` clean, with deterministic
+//! fault injection and no retries (partial table, `FAILED(...)` rows), and
+//! with injection plus ample retries (full recovery), then checks the
+//! recovered report byte-for-byte against the clean one — retries re-run a
+//! cell under its identical derived seed, so successful recovery must not
+//! change a single result. Writes `BENCH_faults.json` at the repository
+//! root with per-mode wall-clock and the recovery overhead.
+//!
+//! The retry policy is read from the environment once per scheduler call on
+//! the submitting thread, so all three configurations run in this process
+//! (no re-exec needed); an untimed warm-up run first populates the
+//! process-global teacher cache so the timed runs are comparable.
+//!
+//! Budget defaults to `smoke`; override with `CAE_BUDGET=smoke|fast|full`.
+//! Run with `cargo run --release -p cae-bench --bin bench_faults`.
+
+use cae_bench::{budget_from_env, run_one};
+use cae_core::config::ExperimentBudget;
+use serde::Value;
+use std::time::Instant;
+
+/// Injection knob used for the faulty/recovered runs: ~20% of cell
+/// attempts panic, deterministically in the (cell seed, attempt) pair.
+const INJECT: &str = "0.2:7";
+
+struct Outcome {
+    mode: &'static str,
+    seconds: f64,
+    report_json: String,
+}
+
+fn run_mode(mode: &'static str, inject: Option<&str>, retries: Option<&str>, budget: &ExperimentBudget) -> Outcome {
+    match inject {
+        Some(v) => std::env::set_var("CAE_FAULT_INJECT", v),
+        None => std::env::remove_var("CAE_FAULT_INJECT"),
+    }
+    match retries {
+        Some(v) => std::env::set_var("CAE_CELL_RETRIES", v),
+        None => std::env::remove_var("CAE_CELL_RETRIES"),
+    }
+    let started = Instant::now();
+    let report = run_one("table02", budget);
+    let seconds = started.elapsed().as_secs_f64();
+    println!("  {mode}: {seconds:.1}s");
+    Outcome { mode, seconds, report_json: report.to_json() }
+}
+
+fn main() {
+    let budget = budget_from_env("smoke");
+
+    println!("warming the teacher cache (untimed clean run) ...");
+    run_mode("warmup", None, None, &budget);
+
+    println!("timing table02 clean / injected / injected+retries ...");
+    let clean = run_mode("clean", None, None, &budget);
+    let faulty = run_mode("faulty", Some(INJECT), Some("0"), &budget);
+    let recovered = run_mode("recovered", Some(INJECT), Some("20"), &budget);
+    std::env::remove_var("CAE_FAULT_INJECT");
+    std::env::remove_var("CAE_CELL_RETRIES");
+
+    let failed_rows = faulty.report_json.matches("FAILED(").count();
+    assert!(
+        failed_rows > 0,
+        "injection {INJECT} produced no FAILED rows — the fault path was not exercised"
+    );
+    assert!(
+        faulty.report_json.contains("injected fault"),
+        "FAILED rows must carry the original panic message"
+    );
+    assert_eq!(
+        recovered.report_json, clean.report_json,
+        "recovered run must be byte-identical to the clean run"
+    );
+    let recovery_overhead_pct =
+        (recovered.seconds - clean.seconds) / clean.seconds.max(1e-9) * 100.0;
+    println!(
+        "  faulty run: {failed_rows} FAILED row(s); recovery overhead: {recovery_overhead_pct:+.2}% (reports identical)"
+    );
+
+    let record = |o: &Outcome| {
+        Value::Object(vec![
+            ("mode".to_string(), Value::String(o.mode.to_string())),
+            ("seconds".to_string(), Value::Number(o.seconds)),
+        ])
+    };
+    let json = serde_json::to_string_pretty(&Value::Object(vec![
+        ("experiment".to_string(), Value::String("table02".to_string())),
+        (
+            "budget".to_string(),
+            Value::String(std::env::var("CAE_BUDGET").unwrap_or_else(|_| "smoke".to_string())),
+        ),
+        ("fault_inject".to_string(), Value::String(INJECT.to_string())),
+        (
+            "runs".to_string(),
+            Value::Array(vec![record(&clean), record(&faulty), record(&recovered)]),
+        ),
+        ("failed_rows_without_retries".to_string(), Value::Number(failed_rows as f64)),
+        ("recovery_overhead_pct".to_string(), Value::Number(recovery_overhead_pct)),
+        ("recovered_identical_to_clean".to_string(), Value::Bool(true)),
+    ]))
+    .expect("benchmark record always serializes");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_faults.json");
+    std::fs::write(&path, json + "\n").expect("failed to write BENCH_faults.json");
+    println!("wrote {}", path.display());
+}

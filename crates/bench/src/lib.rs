@@ -80,16 +80,51 @@ pub fn export_trace(stem: &str) -> Option<std::path::PathBuf> {
 /// Runs one experiment by registry id, traced (shared by the bins).
 ///
 /// # Panics
-/// Panics with the known ids for unknown names.
+/// Panics with the known ids for unknown names, and with the runner's
+/// original panic message if the experiment itself failed (single-table
+/// bins want loud failure; [`run_by_id`](cae_core::experiments::run_by_id)
+/// returns the typed error for callers like `all_tables` that continue).
 pub fn run_one(name: &str, budget: &ExperimentBudget) -> Report {
     use cae_core::experiments as ex;
     match ex::run_by_id(name, budget) {
-        Some(report) => report,
+        Some(Ok(report)) => report,
+        Some(Err(e)) => panic!("{e}"),
         None => {
             let known: Vec<&str> = ex::registry().iter().map(|e| e.id).collect();
             panic!("unknown experiment '{name}' (known: {})", known.join("|"))
         }
     }
+}
+
+/// Whether checkpoint/resume is enabled for sweep bins. Defaults to on;
+/// `CAE_RESUME` set to `0`, `off`, `false` or `no` (case-insensitive)
+/// forces every experiment to re-run.
+pub fn resume_enabled() -> bool {
+    match std::env::var("CAE_RESUME") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// Checks whether `entry` already has a completed report artifact under
+/// [`results_dir`] and returns its path if so. "Completed" means the file
+/// exists *and* parses back as a [`Report`] — a torn artifact from an
+/// interrupted earlier run is treated as absent and re-run.
+pub fn completed_artifact(entry: &cae_core::experiments::ExperimentEntry) -> Option<PathBuf> {
+    completed_artifact_in(&results_dir(), entry)
+}
+
+fn completed_artifact_in(
+    dir: &std::path::Path,
+    entry: &cae_core::experiments::ExperimentEntry,
+) -> Option<PathBuf> {
+    let path = dir.join(format!("{}.json", entry.artifact_stem));
+    let json = std::fs::read_to_string(&path).ok()?;
+    Report::from_json(&json).ok()?;
+    Some(path)
 }
 
 /// Registry ids of the paper's tables and figures, in paper order.
@@ -128,5 +163,28 @@ mod tests {
         std::env::remove_var("CAE_BUDGET");
         assert_eq!(budget_from_env("fast"), ExperimentBudget::fast());
         assert_eq!(budget_from_env("smoke"), ExperimentBudget::smoke());
+    }
+
+    #[test]
+    fn completed_artifact_requires_a_parseable_report() {
+        let entry = cae_core::experiments::find("table02").expect("registered");
+        let dir = std::env::temp_dir().join(format!("cae_resume_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("table_ii.json");
+
+        // No artifact yet: not completed.
+        std::fs::remove_file(&path).ok();
+        assert_eq!(completed_artifact_in(&dir, entry), None);
+
+        // Torn artifact (interrupted write): treated as absent.
+        std::fs::write(&path, "{\"id\": \"Table II\", \"tru").expect("write");
+        assert_eq!(completed_artifact_in(&dir, entry), None, "torn JSON must not count");
+
+        // A real report artifact counts.
+        let mut report = cae_core::report::Report::new("Table II", "demo", &["a"]);
+        report.push_row("x", [1.0]);
+        report.save_json(&dir).expect("save");
+        assert_eq!(completed_artifact_in(&dir, entry), Some(path));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,7 +3,7 @@
 //! CEND perturbation magnitude `M`.
 
 use crate::config::{DfkdConfig, ExperimentBudget};
-use crate::experiments::scheduler;
+use crate::experiments::{push_failure_rows, scheduler};
 use crate::method::{EmbeddingKind, MethodSpec};
 use crate::metrics::classification::top1_accuracy;
 use crate::report::Report;
@@ -72,13 +72,15 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         plan.push((format!("CEND magnitude = {magnitude}"), DfkdConfig::default(), spec));
     }
 
-    let accs = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
+    let outcomes = scheduler::run_indexed_isolated(budget.seed, plan.len(), |i| {
         let (_, config, spec) = &plan[i];
         run_with(*config, spec, budget, scheduler::cell_seed(budget.seed, i as u64))
     });
+    let (accs, failures) = scheduler::split_failures(outcomes);
     for ((label, _, _), acc) in plan.iter().zip(accs) {
-        report.push_row(label, [acc * 100.0]);
+        report.push_row(label, [acc.map(|a| a * 100.0)]);
     }
+    push_failure_rows(&mut report, &failures);
 
     report.note("expectation: mid-range memory/λ_adv/magnitude settings dominate the extremes");
     report.note(&format!("budget: {budget:?}"));

@@ -7,7 +7,7 @@
 //! mirrors the visual quality ordering in the figure.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, push_cell_row, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -33,7 +33,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         MethodSpec::cae_dfkd(4).named("CAE-DFKD (embedding-level)"),
     ];
     let (train, test) = (&train, &test);
-    let mut cells: Vec<Box<dyn FnOnce() -> [f32; 2] + Send + '_>> = vec![Box::new(move || {
+    let mut cells: Vec<scheduler::Cell<'_, [f32; 2]>> = vec![Box::new(move || {
         let (s_model, _) = run_data_accessible(preset, pair.student, budget);
         let m = transfer_evaluate(s_model, TaskSet::nyu(), train, test, budget.finetune_steps, 5);
         [1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)]
@@ -55,10 +55,12 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             [1.0 - m.pacc.unwrap_or(0.0), m.abs_err.unwrap_or(0.0)]
         }));
     }
-    let rows = scheduler::run_cells_seeded(budget.seed, cells);
-    report.push_row("Student (data-accessible)", rows[0]);
-    for (spec, row) in specs.iter().zip(&rows[1..]) {
-        report.push_row(&spec.name, row);
+    let rows = scheduler::run_cells_isolated(budget.seed, cells);
+    let labels: Vec<&str> = std::iter::once("Student (data-accessible)")
+        .chain(specs.iter().map(|s| s.name.as_str()))
+        .collect();
+    for (label, outcome) in labels.into_iter().zip(rows) {
+        push_cell_row(&mut report, label, outcome);
     }
     report.note("paper shape: embedding-level (CAE-DFKD) error maps are cleaner than image-level contrastive");
     report.note(&format!("budget: {budget:?}"));

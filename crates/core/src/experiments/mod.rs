@@ -21,8 +21,11 @@ pub mod table11;
 use crate::config::ExperimentBudget;
 use crate::method::MethodSpec;
 use crate::pipeline::{run_dfkd, DfkdRun};
-use crate::report::Report;
+use crate::report::{IntoRowValues, Report};
 use crate::teacher::clone_classifier;
+use scheduler::CellError;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use crate::transfer::{transfer_evaluate, TaskSet, TransferMetrics};
 use cae_data::dense::{DenseDataset, DensePreset};
 use cae_data::presets::ClassificationPreset;
@@ -112,8 +115,29 @@ pub fn transfer_clone(
     transfer_evaluate(backbone, tasks, train, test, budget.finetune_steps, seed)
 }
 
+/// A whole experiment failed: the runner itself panicked (outside any
+/// isolated cell — e.g. during report assembly). Cell-level failures are
+/// absorbed into `FAILED(...)` report rows instead (see
+/// [`push_failure_rows`]); this error is the outer safety net that keeps
+/// one broken table from aborting an `all_tables` sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentError {
+    /// Registry id of the experiment that failed.
+    pub id: &'static str,
+    /// The runner's original panic message.
+    pub message: String,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment '{}' failed: {}", self.id, self.message)
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
 /// One registered experiment runner: a stable id, a human title and the
-/// `run` entry point. The registry is the single authority every consumer
+/// runner entry point. The registry is the single authority every consumer
 /// (bench bins, benches, the CLI, examples) looks experiments up in, so
 /// adding a runner module means adding exactly one entry here.
 #[derive(Debug, Clone, Copy)]
@@ -125,17 +149,68 @@ pub struct ExperimentEntry {
     /// Whether the paper itself reports this table/figure (the ablation
     /// suite is ours and is excluded from paper-order sweeps).
     pub in_paper: bool,
+    /// File stem of the report artifact the runner produces
+    /// (`Report::file_stem()` of its report id, e.g. "table_ii"), declared
+    /// here so resume logic can locate a run's artifact *without* running
+    /// it first. `run()` asserts the two stay in sync.
+    pub artifact_stem: &'static str,
     /// The runner.
-    pub run: fn(&ExperimentBudget) -> Report,
+    pub runner: fn(&ExperimentBudget) -> Report,
 }
 
 impl ExperimentEntry {
     /// Runs the experiment inside an `experiment` trace span tagged with
     /// the registry id, so a drained trace attributes every interval to
-    /// the table that produced it.
-    pub fn run_traced(&self, budget: &ExperimentBudget) -> Report {
-        let _sp = cae_trace::span_with("experiment", &[("id", self.id.into())]);
-        (self.run)(budget)
+    /// the table that produced it. The runner executes under
+    /// `catch_unwind`: a panic that escapes the runner (cell failures
+    /// normally don't — they become `FAILED` rows) is returned as a typed
+    /// [`ExperimentError`] carrying the original message, so sweeps over
+    /// the registry can continue past one broken table.
+    pub fn run(&self, budget: &ExperimentBudget) -> Result<Report, ExperimentError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _sp = cae_trace::span_with("experiment", &[("id", self.id.into())]);
+            (self.runner)(budget)
+        }));
+        match outcome {
+            Ok(report) => {
+                debug_assert_eq!(
+                    report.file_stem(),
+                    self.artifact_stem,
+                    "registry entry '{}' declares artifact stem '{}' but its report is '{}'",
+                    self.id,
+                    self.artifact_stem,
+                    report.file_stem()
+                );
+                Ok(report)
+            }
+            Err(payload) => Err(ExperimentError {
+                id: self.id,
+                message: scheduler::panic_message(payload.as_ref()),
+            }),
+        }
+    }
+}
+
+/// Appends one all-`None` row per cell failure, labelled
+/// `FAILED(<cell> seed <seed>: <message>)`, so a partially failed table
+/// still renders and records *why* each missing cell is missing. Call it
+/// last so data rows keep their positions.
+pub fn push_failure_rows(report: &mut Report, failures: &[CellError]) {
+    for e in failures {
+        report.push_row(&format!("FAILED({e})"), vec![None; report.columns.len()]);
+    }
+}
+
+/// Appends one row per isolated cell outcome: a successful cell renders
+/// normally under `label`, a failed one as a `FAILED(<label>: <error>)` row
+/// of `-`s in the same position, keeping row order stable under partial
+/// failure.
+pub fn push_cell_row<V: IntoRowValues>(report: &mut Report, label: &str, outcome: Result<V, CellError>) {
+    match outcome {
+        Ok(values) => report.push_row(label, values),
+        Err(e) => {
+            report.push_row(&format!("FAILED({label}: {e})"), vec![None; report.columns.len()]);
+        }
     }
 }
 
@@ -146,85 +221,99 @@ pub const REGISTRY: &[ExperimentEntry] = &[
         id: "table01",
         title: "Image-level augmentation hurts DFKD",
         in_paper: true,
-        run: table01::run,
+        artifact_stem: "table_i",
+        runner: table01::run,
     },
     ExperimentEntry {
         id: "fig02",
         title: "Per-category confidence and augmentation-ambiguity diagnostics",
         in_paper: true,
-        run: fig02::run,
+        artifact_stem: "figure_2",
+        runner: fig02::run,
     },
     ExperimentEntry {
         id: "table02",
         title: "Small-resolution main results (CIFAR-10/100 sims)",
         in_paper: true,
-        run: table02::run,
+        artifact_stem: "table_ii",
+        runner: table02::run,
     },
     ExperimentEntry {
         id: "table03",
         title: "Medium-resolution results (Tiny-ImageNet sim)",
         in_paper: true,
-        run: table03::run,
+        artifact_stem: "table_iii",
+        runner: table03::run,
     },
     ExperimentEntry {
         id: "table04",
         title: "Large-resolution results (ImageNet-1K sim)",
         in_paper: true,
-        run: table04::run,
+        artifact_stem: "table_iv",
+        runner: table04::run,
     },
     ExperimentEntry {
         id: "table05",
         title: "NYUv2 (sim) transfer: seg / depth / normals",
         in_paper: true,
-        run: table05::run,
+        artifact_stem: "table_v",
+        runner: table05::run,
     },
     ExperimentEntry {
         id: "table06",
         title: "ADE-20K (sim) segmentation + COCO-2017 (sim) detection transfer",
         in_paper: true,
-        run: table06::run,
+        artifact_stem: "table_vi",
+        runner: table06::run,
     },
     ExperimentEntry {
         id: "table07",
         title: "Component ablation over a CMI-like base (ADE-20K sim transfer)",
         in_paper: true,
-        run: table07::run,
+        artifact_stem: "table_vii",
+        runner: table07::run,
     },
     ExperimentEntry {
         id: "table08",
         title: "Noise-source count N vs downstream mIoU (NYUv2 sim)",
         in_paper: true,
-        run: table08::run,
+        artifact_stem: "table_viii",
+        runner: table08::run,
     },
     ExperimentEntry {
         id: "table09",
         title: "DFKD convergence with vs without CEND",
         in_paper: true,
-        run: table09::run,
+        artifact_stem: "table_ix",
+        runner: table09::run,
     },
     ExperimentEntry {
         id: "table10",
         title: "Language-model choice vs COCO-2017 (sim) mAP@50",
         in_paper: true,
-        run: table10::run,
+        artifact_stem: "table_x",
+        runner: table10::run,
     },
     ExperimentEntry {
         id: "table11",
         title: "Prompt design vs NYUv2 (sim) segmentation",
         in_paper: true,
-        run: table11::run,
+        artifact_stem: "table_xi",
+        runner: table11::run,
     },
     ExperimentEntry {
         id: "fig05",
         title: "Downstream error-map summary (seg error, depth abs error)",
         in_paper: true,
-        run: fig05::run,
+        artifact_stem: "figure_5",
+        runner: fig05::run,
     },
     ExperimentEntry {
         id: "ablations",
         title: "Design-choice ablations (memory, λ_adv, CEND magnitude)",
         in_paper: false,
-        run: ablations::run,
+        artifact_stem: "ablations",
+        runner: ablations::run,
     },
 ];
 
@@ -238,17 +327,19 @@ pub fn find(id: &str) -> Option<&'static ExperimentEntry> {
     REGISTRY.iter().find(|e| e.id == id)
 }
 
-/// Runs an experiment by registry id (traced); `None` for unknown ids.
-pub fn run_by_id(id: &str, budget: &ExperimentBudget) -> Option<Report> {
-    find(id).map(|e| e.run_traced(budget))
+/// Runs an experiment by registry id (traced, fault-isolated); `None` for
+/// unknown ids, `Some(Err(..))` if the runner itself panicked.
+pub fn run_by_id(id: &str, budget: &ExperimentBudget) -> Option<Result<Report, ExperimentError>> {
+    find(id).map(|e| e.run(budget))
 }
 
-/// Runs every table and figure the paper reports, in paper order.
-pub fn run_all(budget: &ExperimentBudget) -> Vec<Report> {
+/// Runs every table and figure the paper reports, in paper order. One
+/// failed experiment yields its `Err` slot; the sweep continues.
+pub fn run_all(budget: &ExperimentBudget) -> Vec<Result<Report, ExperimentError>> {
     registry()
         .iter()
         .filter(|e| e.in_paper)
-        .map(|e| e.run_traced(budget))
+        .map(|e| e.run(budget))
         .collect()
 }
 
@@ -305,5 +396,63 @@ mod tests {
         assert_eq!(paper.first(), Some(&"table01"));
         assert_eq!(paper.last(), Some(&"fig05"));
         assert!(registry().iter().all(|e| !e.title.is_empty()));
+    }
+
+    #[test]
+    fn artifact_stems_are_unique_and_filesystem_safe() {
+        let mut stems: Vec<&str> = registry().iter().map(|e| e.artifact_stem).collect();
+        stems.sort_unstable();
+        let mut dedup = stems.clone();
+        dedup.dedup();
+        assert_eq!(dedup, stems, "artifact stems must be unique");
+        for stem in stems {
+            assert!(!stem.is_empty());
+            assert!(
+                stem.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "stem {stem:?} must be lowercase ascii/underscore"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_run_converts_runner_panics_into_typed_errors() {
+        fn broken(_: &ExperimentBudget) -> Report {
+            panic!("report assembly fell over");
+        }
+        let entry = ExperimentEntry {
+            id: "broken",
+            title: "deliberately panicking runner",
+            in_paper: false,
+            artifact_stem: "broken",
+            runner: broken,
+        };
+        let err = entry.run(&ExperimentBudget::smoke()).expect_err("must fail");
+        assert_eq!(err.id, "broken");
+        assert_eq!(err.message, "report assembly fell over");
+        assert_eq!(
+            err.to_string(),
+            "experiment 'broken' failed: report assembly fell over"
+        );
+    }
+
+    #[test]
+    fn failure_rows_render_reason_and_preserve_columns() {
+        let mut report = Report::new("Table F", "demo", &["a", "b"]);
+        report.push_row("ok", [1.0, 2.0]);
+        push_failure_rows(
+            &mut report,
+            &[CellError { cell: 4, seed: 0x2a, message: "boom".into() }],
+        );
+        push_cell_row(&mut report, "late", Err::<[f32; 2], _>(CellError {
+            cell: 5,
+            seed: 0x2b,
+            message: "bang".into(),
+        }));
+        push_cell_row(&mut report, "fine", Ok([3.0, 4.0]));
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.rows[1].label, "FAILED(cell 4 seed 0x2a: boom)");
+        assert_eq!(report.rows[1].values, vec![None, None]);
+        assert_eq!(report.rows[2].label, "FAILED(late: cell 5 seed 0x2b: bang)");
+        assert_eq!(report.cell("fine", "b"), Some(4.0));
     }
 }

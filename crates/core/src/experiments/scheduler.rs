@@ -1,4 +1,4 @@
-//! Cell-parallel experiment scheduler.
+//! Cell-parallel experiment scheduler with fault isolation.
 //!
 //! A table runner's unit of work is a *cell*: one independent
 //! (teacher→student pair × preset × method) distillation run. Cells share
@@ -19,9 +19,32 @@
 //! [`cell_seed`]`(budget.seed, cell_index)` and writes only to its own
 //! result slot, and runners assemble rows from the returned vector in
 //! cell-index order.
+//!
+//! # Fault isolation
+//!
+//! Long many-cell runs should degrade gracefully, not abort: generator
+//! DFKD training is unstable early on, so partial failure is routine. The
+//! `*_isolated` runners wrap every cell in `catch_unwind` and return
+//! `Result<T, CellError>` per cell — a panicking cell costs exactly its
+//! own slot, never its siblings' completed work. Failed cells may be
+//! retried (`CAE_CELL_RETRIES`, default 0); a retry re-runs the cell with
+//! the *identical* derived seed, so a run whose retries all succeed is
+//! byte-identical to a fault-free run. `CAE_FAULT_INJECT=<prob>:<seed>`
+//! deterministically injects panics at cell-attempt entry (consulted via a
+//! per-(cell, attempt) seeded RNG before the cell does any work) to make
+//! the whole recovery path testable end to end.
 
 use cae_tensor::pool;
-use std::sync::Mutex;
+use cae_tensor::rng::TensorRng;
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+
+/// A boxed retryable cell: unlike the `FnOnce` cells of [`run_cells`], an
+/// isolated cell may be invoked again after a panic, so it must be `Fn`
+/// (and `Sync`, because retries happen on pool worker threads).
+pub type Cell<'a, T> = Box<dyn Fn() -> T + Send + Sync + 'a>;
 
 /// Derives a per-cell RNG seed from the experiment seed and the cell's
 /// index within its runner (splitmix64-style finalizer, so neighbouring
@@ -36,14 +59,142 @@ pub fn cell_seed(base: u64, cell_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Whether cell-level parallelism is enabled (`CAE_CELL_PARALLEL=0` or
-/// `off` forces serial cell execution; kernels then parallelize instead).
-/// Read per call so tests can toggle it within one process.
+/// Whether cell-level parallelism is enabled. `CAE_CELL_PARALLEL` disables
+/// it when set to one of `0`, `off`, `false` or `no` (case-insensitive,
+/// surrounding whitespace ignored); any other value — or the variable
+/// being unset — leaves it enabled, and kernels then parallelize inside
+/// each cell instead. Read per call so tests can toggle it within one
+/// process.
 pub fn cell_parallelism_enabled() -> bool {
-    !matches!(
-        std::env::var("CAE_CELL_PARALLEL").as_deref(),
-        Ok("0") | Ok("off") | Ok("false")
+    match std::env::var("CAE_CELL_PARALLEL") {
+        Ok(v) => !parallelism_disabled_by(&v),
+        Err(_) => true,
+    }
+}
+
+/// Whether a `CAE_CELL_PARALLEL` value requests serial cells. The accepted
+/// disabling values are `0`, `off`, `false` and `no`, case-insensitively.
+fn parallelism_disabled_by(value: &str) -> bool {
+    matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "0" | "off" | "false" | "no"
     )
+}
+
+/// One cell's failure: which cell, the exact seed it ran under (so the
+/// failure is reproducible in isolation), and the original panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Index of the failed cell within its runner.
+    pub cell: usize,
+    /// The derived RNG seed the cell ran (and was retried) under.
+    pub seed: u64,
+    /// The original panic message (not a generic re-panic).
+    pub message: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} seed {:#x}: {}", self.cell, self.seed, self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Renders a panic payload's message: `&str` and `String` payloads pass
+/// through verbatim, anything else degrades to a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Retry/fault-injection policy, resolved from the environment **once per
+/// scheduler call on the calling thread** (pool workers never read the
+/// environment), so one run sees one coherent policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FaultPolicy {
+    /// How many times a failed cell is re-run (`CAE_CELL_RETRIES`).
+    retries: usize,
+    /// Deterministic fault injection as `(probability, seed)`
+    /// (`CAE_FAULT_INJECT=<prob>:<seed>`), or `None`.
+    inject: Option<(f32, u64)>,
+}
+
+impl FaultPolicy {
+    #[cfg(test)]
+    const NONE: FaultPolicy = FaultPolicy { retries: 0, inject: None };
+
+    fn from_env() -> Self {
+        let retries = std::env::var("CAE_CELL_RETRIES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        let inject = std::env::var("CAE_FAULT_INJECT")
+            .ok()
+            .and_then(|v| parse_fault_inject(&v));
+        FaultPolicy { retries, inject }
+    }
+
+    /// Whether attempt `attempt` of the cell seeded `seed` should fail.
+    /// Consulted via a fresh RNG derived from the cell's own seed (plus the
+    /// injection seed and attempt number), so the verdict is a pure
+    /// function of `(inject, seed, attempt)` — independent of scheduling —
+    /// and the cell's working RNG stream is never perturbed.
+    fn injects_fault(&self, seed: u64, attempt: usize) -> bool {
+        let Some((prob, fault_seed)) = self.inject else {
+            return false;
+        };
+        let mut rng = TensorRng::seed_from(cell_seed(seed ^ fault_seed, attempt as u64));
+        rng.uniform() < prob
+    }
+}
+
+/// Parses a `CAE_FAULT_INJECT` value of the form `<prob>:<seed>` (e.g.
+/// `0.2:7`). Probabilities are clamped to `[0, 1]`; non-positive
+/// probabilities and malformed values disable injection.
+fn parse_fault_inject(value: &str) -> Option<(f32, u64)> {
+    let (prob, seed) = value.split_once(':')?;
+    let prob = prob.trim().parse::<f32>().ok()?;
+    let seed = seed.trim().parse::<u64>().ok()?;
+    (prob > 0.0).then_some((prob.min(1.0), seed))
+}
+
+/// Runs one cell attempt-by-attempt under `policy`: injected faults and
+/// real panics are caught, counted (`cell.failed`, and `cell.retried` per
+/// re-run), and retried up to `policy.retries` times with the identical
+/// seed. Returns the first success, or a [`CellError`] carrying the *last*
+/// attempt's original panic message once retries are exhausted.
+fn run_isolated<T>(policy: &FaultPolicy, cell: usize, seed: u64, body: &dyn Fn() -> T) -> Result<T, CellError> {
+    let mut attempt = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if policy.injects_fault(seed, attempt) {
+                panic!("injected fault (cell {cell}, seed {seed:#x}, attempt {attempt})");
+            }
+            body()
+        }));
+        match outcome {
+            Ok(value) => return Ok(value),
+            Err(payload) => {
+                cae_trace::counter("cell.failed", 1);
+                if attempt < policy.retries {
+                    attempt += 1;
+                    cae_trace::counter("cell.retried", 1);
+                    continue;
+                }
+                return Err(CellError {
+                    cell,
+                    seed,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    }
 }
 
 /// Runs every cell closure and returns their results in cell order.
@@ -55,7 +206,9 @@ pub fn cell_parallelism_enabled() -> bool {
 /// `Vec<Box<dyn FnOnce() -> T + Send>>`.
 ///
 /// # Panics
-/// Propagates a panic if any cell panics.
+/// Re-raises the first panicking cell's original payload (see
+/// [`cae_tensor::pool::parallel_for`]); sibling results are lost, so
+/// prefer [`run_cells_isolated`] for long fault-prone runs.
 pub fn run_cells<T, F>(cells: Vec<F>) -> Vec<T>
 where
     T: Send,
@@ -70,18 +223,26 @@ where
     pool::parallel_for(n, |i| {
         let cell = pending[i]
             .lock()
-            .expect("cell slot lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .expect("cell executed twice");
         let out = cell();
-        *results[i].lock().expect("cell result lock poisoned") = Some(out);
+        *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
     });
+    collect_results(results)
+}
+
+/// Collects per-cell result slots in order, recovering poisoned slot locks
+/// (the value, not the lock, is the source of truth) and naming the cell —
+/// instead of surfacing lock-poisoning noise — if one produced no result.
+fn collect_results<T>(results: Vec<Mutex<Option<T>>>) -> Vec<T> {
     results
         .into_iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(i, m)| {
             m.into_inner()
-                .expect("cell result lock poisoned")
-                .expect("cell produced no result")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| panic!("cell {i} produced no result"))
         })
         .collect()
 }
@@ -121,6 +282,78 @@ where
     })
 }
 
+/// Fault-isolated [`run_cells_seeded`]: every cell runs inside
+/// `catch_unwind` with the retry/fault-injection policy from the
+/// environment (`CAE_CELL_RETRIES`, `CAE_FAULT_INJECT`), and the result
+/// vector carries one `Result` per cell in cell order — a panicking cell
+/// never aborts its siblings, and completed work is always returned.
+pub fn run_cells_isolated<'a, T>(base_seed: u64, cells: Vec<Cell<'a, T>>) -> Vec<Result<T, CellError>>
+where
+    T: Send + 'a,
+{
+    let policy = FaultPolicy::from_env();
+    run_cells_isolated_with(&policy, base_seed, cells)
+}
+
+fn run_cells_isolated_with<'a, T>(
+    policy: &FaultPolicy,
+    base_seed: u64,
+    cells: Vec<Cell<'a, T>>,
+) -> Vec<Result<T, CellError>>
+where
+    T: Send + 'a,
+{
+    let cells = &cells;
+    run_indexed(cells.len(), move |i| {
+        let _sp = cell_span(base_seed, i);
+        run_isolated(policy, i, cell_seed(base_seed, i as u64), &*cells[i])
+    })
+}
+
+/// Fault-isolated [`run_indexed_seeded`] (see [`run_cells_isolated`]).
+pub fn run_indexed_isolated<T, F>(base_seed: u64, n: usize, f: F) -> Vec<Result<T, CellError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let policy = FaultPolicy::from_env();
+    run_indexed_isolated_with(&policy, base_seed, n, f)
+}
+
+fn run_indexed_isolated_with<T, F>(
+    policy: &FaultPolicy,
+    base_seed: u64,
+    n: usize,
+    f: F,
+) -> Vec<Result<T, CellError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(n, move |i| {
+        let _sp = cell_span(base_seed, i);
+        run_isolated(policy, i, cell_seed(base_seed, i as u64), &|| f(i))
+    })
+}
+
+/// Splits isolated cell outcomes into per-cell optional values (`None` for
+/// failed cells, in cell order) plus the collected failures, so runners
+/// can render partial tables and report what broke.
+pub fn split_failures<T>(results: Vec<Result<T, CellError>>) -> (Vec<Option<T>>, Vec<CellError>) {
+    let mut failures = Vec::new();
+    let values = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => Some(v),
+            Err(e) => {
+                failures.push(e);
+                None
+            }
+        })
+        .collect();
+    (values, failures)
+}
+
 fn cell_span(base_seed: u64, i: usize) -> cae_trace::SpanGuard {
     cae_trace::span_with(
         "scheduler.cell",
@@ -144,16 +377,9 @@ where
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     pool::parallel_for(n, |i| {
         let out = f(i);
-        *results[i].lock().expect("cell result lock poisoned") = Some(out);
+        *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
     });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("cell result lock poisoned")
-                .expect("cell produced no result")
-        })
-        .collect()
+    collect_results(results)
 }
 
 #[cfg(test)]
@@ -228,5 +454,133 @@ mod tests {
         });
         let expect: Vec<usize> = (0..8).map(|i| 4 * i + 6).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallelism_values_are_case_insensitive() {
+        for v in ["0", "off", "OFF", "Off", "false", "FALSE", "no", "No", " off "] {
+            assert!(parallelism_disabled_by(v), "{v:?} must disable cell parallelism");
+        }
+        for v in ["1", "on", "true", "yes", "", "anything"] {
+            assert!(!parallelism_disabled_by(v), "{v:?} must leave cell parallelism on");
+        }
+    }
+
+    #[test]
+    fn fault_inject_parsing() {
+        assert_eq!(parse_fault_inject("0.2:7"), Some((0.2, 7)));
+        assert_eq!(parse_fault_inject(" 1.5 : 42 "), Some((1.0, 42)), "prob clamps to 1");
+        assert_eq!(parse_fault_inject("0:7"), None, "zero probability disables");
+        assert_eq!(parse_fault_inject("-0.5:7"), None);
+        assert_eq!(parse_fault_inject("0.5"), None, "missing seed");
+        assert_eq!(parse_fault_inject("x:7"), None);
+        assert_eq!(parse_fault_inject("0.5:x"), None);
+    }
+
+    #[test]
+    fn isolated_cells_capture_panics_and_siblings_complete() {
+        let out = run_indexed_isolated_with(&FaultPolicy::NONE, 9, 8, |i| {
+            if i == 3 {
+                panic!("cell three exploded");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().expect_err("cell 3 must fail");
+                assert_eq!(e.cell, 3);
+                assert_eq!(e.seed, cell_seed(9, 3));
+                assert_eq!(e.message, "cell three exploded", "original message must survive");
+            } else {
+                assert_eq!(*r.as_ref().expect("sibling cells must complete"), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_boxed_cells_preserve_order_and_errors() {
+        let cells: Vec<Cell<u64>> = (0..12u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 5 == 4 {
+                        panic!("boxed cell {i} failed");
+                    }
+                    i * i
+                }) as Cell<u64>
+            })
+            .collect();
+        let out = run_cells_isolated_with(&FaultPolicy::NONE, 3, cells);
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 4 {
+                let e = r.as_ref().expect_err("must fail");
+                assert_eq!(e.message, format!("boxed cell {i} failed"));
+            } else {
+                assert_eq!(*r.as_ref().expect("must pass"), (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_faults_fail_without_retries_and_are_absorbed_by_them() {
+        // Certain injection with no retries: every cell fails with the
+        // injection message.
+        let certain = FaultPolicy { retries: 0, inject: Some((1.0, 7)) };
+        let out = run_indexed_isolated_with(&certain, 5, 4, |i| i);
+        for r in &out {
+            let e = r.as_ref().expect_err("certain injection must fail");
+            assert!(e.message.starts_with("injected fault"), "{}", e.message);
+        }
+        // Probabilistic injection with ample retries: results must equal a
+        // fault-free run exactly (retries re-run the identical seed).
+        let flaky = FaultPolicy { retries: 30, inject: Some((0.7, 99)) };
+        let noisy = run_indexed_isolated_with(&flaky, 5, 6, |i| i as u64 + 1);
+        let clean = run_indexed_isolated_with(&FaultPolicy::NONE, 5, 6, |i| i as u64 + 1);
+        let noisy: Vec<u64> = noisy.into_iter().map(|r| r.expect("retries absorb faults")).collect();
+        let clean: Vec<u64> = clean.into_iter().map(|r| r.expect("no faults")).collect();
+        assert_eq!(noisy, clean);
+    }
+
+    #[test]
+    fn retries_reuse_the_identical_cell_seed() {
+        // A cell that fails once on its own must see the same derived seed
+        // on the retry — determinism is preserved across recovery.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let attempts = AtomicUsize::new(0);
+        let policy = FaultPolicy { retries: 2, inject: None };
+        let out = run_indexed_isolated_with(&policy, 11, 1, |i| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+            let mut rng = TensorRng::seed_from(cell_seed(11, i as u64));
+            rng.uniform().to_bits()
+        });
+        let mut rng = TensorRng::seed_from(cell_seed(11, 0));
+        assert_eq!(out[0].as_ref().copied(), Ok(rng.uniform().to_bits()));
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn split_failures_partitions_in_order() {
+        let results: Vec<Result<u32, CellError>> = vec![
+            Ok(1),
+            Err(CellError { cell: 1, seed: 0xabc, message: "x".into() }),
+            Ok(3),
+        ];
+        let (values, failures) = split_failures(results);
+        assert_eq!(values, vec![Some(1), None, Some(3)]);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].cell, 1);
+        assert_eq!(failures[0].to_string(), "cell 1 seed 0xabc: x");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_attempt() {
+        let policy = FaultPolicy { retries: 0, inject: Some((0.5, 1234)) };
+        let verdicts: Vec<bool> = (0..32).map(|a| policy.injects_fault(77, a)).collect();
+        let again: Vec<bool> = (0..32).map(|a| policy.injects_fault(77, a)).collect();
+        assert_eq!(verdicts, again, "injection verdicts must be pure");
+        assert!(verdicts.iter().any(|&v| v), "p=0.5 over 32 attempts must inject at least once");
+        assert!(!verdicts.iter().all(|&v| v), "p=0.5 over 32 attempts must also pass sometimes");
     }
 }

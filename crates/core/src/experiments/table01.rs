@@ -6,7 +6,7 @@
 //! two-view contrastive learning to the synthetic images degrades top-1.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, scheduler, Pair};
+use crate::experiments::{distill, push_failure_rows, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use cae_data::presets::ClassificationPreset;
@@ -28,12 +28,14 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             .named("Vanilla")
             .with_image_contrastive(1.0),
     ];
-    let accs = scheduler::run_indexed_seeded(budget.seed, specs.len(), |i| {
+    let outcomes = scheduler::run_indexed_isolated(budget.seed, specs.len(), |i| {
         distill(preset, pair, &specs[i], budget, i as u64).student_top1
     });
+    let (accs, failures) = scheduler::split_failures(outcomes);
     for (spec, acc) in specs.iter().zip(accs) {
-        report.push_row(&spec.name, [acc * 100.0]);
+        report.push_row(&spec.name, [acc.map(|a| a * 100.0)]);
     }
+    push_failure_rows(&mut report, &failures);
     report.note("paper shape: Vanilla > +Mixup > +Contrastive Learning (both additions hurt)");
     report.note(&format!("budget: {budget:?}"));
     report

@@ -9,7 +9,7 @@
 //! their code and are noted instead.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, scheduler, table2_pairs};
+use crate::experiments::{distill, push_failure_rows, scheduler, table2_pairs};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -49,8 +49,10 @@ pub fn run(budget: &ExperimentBudget) -> Report {
     // One flat cell list: reference cells (teacher then student per
     // dataset×pair) followed by one method cell per (method × dataset ×
     // pair). Each cell returns one top-1 accuracy; the scheduler preserves
-    // cell order, so rows are assembled by slicing the result vector.
-    let mut cells: Vec<Box<dyn FnOnce() -> f32 + Send + '_>> = Vec::new();
+    // cell order, so rows are assembled by slicing the result vector. Cells
+    // run isolated: a failed cell leaves a `-` in its column (plus a
+    // trailing FAILED row naming the cause) instead of aborting the table.
+    let mut cells: Vec<scheduler::Cell<'_, f32>> = Vec::new();
     for &dataset in &datasets {
         for pair in &pairs {
             let (t, s) = (pair.teacher, pair.student);
@@ -70,13 +72,14 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             }
         }
     }
-    let accs = scheduler::run_cells_seeded(budget.seed, cells);
+    let outcomes = scheduler::run_cells_isolated(budget.seed, cells);
+    let (accs, failures) = scheduler::split_failures(outcomes);
 
     let mut teacher_row = Vec::new();
     let mut student_row = Vec::new();
     for chunk in accs[..ref_cells].chunks_exact(2) {
-        teacher_row.push(Some(chunk[0] * 100.0));
-        student_row.push(Some(chunk[1] * 100.0));
+        teacher_row.push(chunk[0].map(|a| a * 100.0));
+        student_row.push(chunk[1].map(|a| a * 100.0));
     }
     report.push_row("Teacher", teacher_row);
     report.push_row("Student", student_row);
@@ -86,10 +89,11 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         let start = ref_cells + m * cols;
         let row: Vec<Option<f32>> = accs[start..start + cols]
             .iter()
-            .map(|a| Some(a * 100.0))
+            .map(|a| a.map(|a| a * 100.0))
             .collect();
         report.push_row(&spec.name, row);
     }
+    push_failure_rows(&mut report, &failures);
     report.note("paper shape: CAE-DFKD ≥ NAYER ≥ CMI ≥ vanilla/DeepInv across pairs; close to data-accessible Student");
     report.note("rows SpaceShipNet/SSD-KD/KDCI/CCL-D are cited numbers in the paper and are not re-implemented");
     report.note(&format!("budget: {budget:?}"));

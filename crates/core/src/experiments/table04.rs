@@ -2,7 +2,7 @@
 //! ResNet-50 → ResNet-50.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{distill, scheduler, Pair};
+use crate::experiments::{distill, push_failure_rows, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -25,7 +25,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         MethodSpec::cae_dfkd(4),
     ];
     // Cells: the teacher reference, then one per method.
-    let mut cells: Vec<Box<dyn FnOnce() -> f32 + Send + '_>> =
+    let mut cells: Vec<scheduler::Cell<'_, f32>> =
         vec![Box::new(move || run_data_accessible(preset, pair.teacher, budget).1)];
     for spec in &specs {
         let idx = cells.len() as u64;
@@ -33,12 +33,14 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             distill(preset, pair, spec, budget, idx).student_top1
         }));
     }
-    let accs = scheduler::run_cells_seeded(budget.seed, cells);
-    report.push_row("Teacher", [accs[0] * 100.0]);
-    report.push_row("Student", [accs[0] * 100.0]); // same architecture/pipeline as teacher
+    let outcomes = scheduler::run_cells_isolated(budget.seed, cells);
+    let (accs, failures) = scheduler::split_failures(outcomes);
+    report.push_row("Teacher", [accs[0].map(|a| a * 100.0)]);
+    report.push_row("Student", [accs[0].map(|a| a * 100.0)]); // same architecture/pipeline as teacher
     for (spec, acc) in specs.iter().zip(&accs[1..]) {
-        report.push_row(&spec.name, [acc * 100.0]);
+        report.push_row(&spec.name, [acc.map(|a| a * 100.0)]);
     }
+    push_failure_rows(&mut report, &failures);
     report.note("paper shape: CAE-DFKD > NAYER > DeepInv > FM; all below the data-accessible reference");
     report.note(&format!("budget: {budget:?}"));
     report

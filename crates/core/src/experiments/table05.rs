@@ -3,7 +3,7 @@
 //! (sim).
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, push_cell_row, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -43,7 +43,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
     // end to end, returning one metrics row.
     let specs = [MethodSpec::nayer_like(), MethodSpec::cae_dfkd(4)];
     let (train, test) = (&train, &test);
-    let mut cells: Vec<Box<dyn FnOnce() -> Vec<f32> + Send + '_>> = vec![
+    let mut cells: Vec<scheduler::Cell<'_, Vec<f32>>> = vec![
         Box::new(move || {
             let (t_model, _) = run_data_accessible(preset, pair.teacher, budget);
             let m = transfer_evaluate(t_model, TaskSet::nyu(), train, test, budget.finetune_steps, 1);
@@ -72,11 +72,13 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             metrics_row(&m)
         }));
     }
-    let rows = scheduler::run_cells_seeded(budget.seed, cells);
-    report.push_row("Teacher", &rows[0]);
-    report.push_row("Student", &rows[1]);
-    for (spec, row) in specs.iter().zip(&rows[2..]) {
-        report.push_row(&spec.name, row);
+    let rows = scheduler::run_cells_isolated(budget.seed, cells);
+    let labels: Vec<&str> = ["Teacher", "Student"]
+        .into_iter()
+        .chain(specs.iter().map(|s| s.name.as_str()))
+        .collect();
+    for (label, outcome) in labels.into_iter().zip(rows) {
+        push_cell_row(&mut report, label, outcome);
     }
     report.note("paper shape: CAE-DFKD > NAYER on every subtask, closing most of the gap to the data-accessible Student");
     report.note(&format!("budget: {budget:?}"));

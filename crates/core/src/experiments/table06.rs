@@ -2,7 +2,7 @@
 //! after data-free distillation on CIFAR-100 (sim).
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, Pair};
+use crate::experiments::{dense_split, distill, push_cell_row, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::pipeline::run_data_accessible;
 use crate::report::Report;
@@ -67,7 +67,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
     // Cells: the two references plus one per method; each produces one row.
     let specs = [MethodSpec::cmi_like(), MethodSpec::cae_dfkd(4)];
     let eval_both = &eval_both;
-    let mut cells: Vec<Box<dyn FnOnce() -> Vec<f32> + Send + '_>> = vec![
+    let mut cells: Vec<scheduler::Cell<'_, Vec<f32>>> = vec![
         Box::new(move || {
             let (t_model, _) = run_data_accessible(preset, pair.teacher, budget);
             eval_both(t_model.as_ref(), pair.teacher, 1)
@@ -84,11 +84,13 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             eval_both(run.student.as_ref(), pair.student, 3)
         }));
     }
-    let rows = scheduler::run_cells_seeded(budget.seed, cells);
-    report.push_row("Teacher", &rows[0]);
-    report.push_row("Student", &rows[1]);
-    for (spec, r) in specs.iter().zip(&rows[2..]) {
-        report.push_row(&spec.name, r);
+    let rows = scheduler::run_cells_isolated(budget.seed, cells);
+    let labels: Vec<&str> = ["Teacher", "Student"]
+        .into_iter()
+        .chain(specs.iter().map(|s| s.name.as_str()))
+        .collect();
+    for (label, outcome) in labels.into_iter().zip(rows) {
+        push_cell_row(&mut report, label, outcome);
     }
     report.note("paper shape: CAE-DFKD > CMI on both datasets; beats the data-accessible Student on mAP_s/mAP_m");
     report.note("row SpaceShipNet is a cited number and not re-implemented");

@@ -2,7 +2,7 @@
 //! CMI-like base, evaluated by ADE-20K (sim) transfer, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, push_cell_row, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -38,7 +38,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let rows = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
+    let rows = scheduler::run_indexed_isolated(budget.seed, plan.len(), |i| {
         let (pair, spec) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -53,8 +53,12 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         );
         [m.pacc.unwrap_or(0.0) * 100.0, m.miou.unwrap_or(0.0) * 100.0]
     });
-    for ((pair, spec), row) in plan.iter().zip(rows) {
-        report.push_row(&format!("{} [{}]", spec.name, pair.label()), row);
+    for ((pair, spec), outcome) in plan.iter().zip(rows) {
+        push_cell_row(
+            &mut report,
+            &format!("{} [{}]", spec.name, pair.label()),
+            outcome,
+        );
     }
     report.note("paper shape: Base < Base+CEND < Base+CEND+CNCL for both pairs");
     report.note(&format!("budget: {budget:?}"));

@@ -3,7 +3,7 @@
 //! NAYER-like base, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, push_failure_rows, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -40,7 +40,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let mious = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
+    let outcomes = scheduler::run_indexed_isolated(budget.seed, plan.len(), |i| {
         let (pair, spec) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -55,14 +55,13 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         );
         m.miou.unwrap_or(0.0) * 100.0
     });
+    let (mious, failures) = scheduler::split_failures(outcomes);
     let per_row = N_VALUES.len() + 1;
     for (r, pair) in pairs.iter().enumerate() {
-        let row: Vec<Option<f32>> = mious[r * per_row..(r + 1) * per_row]
-            .iter()
-            .map(|&v| Some(v))
-            .collect();
+        let row: Vec<Option<f32>> = mious[r * per_row..(r + 1) * per_row].to_vec();
         report.push_row(&pair.label(), row);
     }
+    push_failure_rows(&mut report, &failures);
     report.note("paper shape: every N beats the base; N=4 is the most robust optimum");
     report.note(&format!("budget: {budget:?}"));
     report

@@ -9,7 +9,7 @@
 //! quality bar).
 
 use crate::config::{DfkdConfig, ExperimentBudget};
-use crate::experiments::{scheduler, Pair};
+use crate::experiments::{push_failure_rows, scheduler, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::teacher::pretrained;
@@ -87,7 +87,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             plan.push((*pair, seeded, true));
         }
     }
-    let outcomes = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
+    let isolated = scheduler::run_indexed_isolated(budget.seed, plan.len(), |i| {
         let (pair, seeded, with_cend) = &plan[i];
         let spec = if *with_cend {
             MethodSpec::cend_only(4)
@@ -96,12 +96,22 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         };
         convergence_seconds(*pair, &spec, seeded, target, max_epochs)
     });
+    let (outcomes, failures) = scheduler::split_failures(isolated);
     for (p, pair) in pairs.iter().enumerate() {
+        // Averages need every repetition of both arms; if any cell of this
+        // pair failed, the whole row is marked unavailable (the trailing
+        // FAILED rows carry the reasons) rather than averaging a biased
+        // subset.
+        let slots = &outcomes[p * REPS * 2..(p + 1) * REPS * 2];
+        if slots.iter().any(Option::is_none) {
+            report.push_row(&pair.label(), vec![None; 5]);
+            continue;
+        }
         let mut acc = [0.0f32; 4]; // base epochs/s, cend epochs/s
         for rep in 0..REPS {
-            let at = p * REPS * 2 + rep * 2;
-            let (be, bs) = outcomes[at];
-            let (ce, cs) = outcomes[at + 1];
+            let at = rep * 2;
+            let (be, bs) = slots[at].expect("checked above");
+            let (ce, cs) = slots[at + 1].expect("checked above");
             acc[0] += be as f32;
             acc[1] += bs;
             acc[2] += ce as f32;
@@ -116,6 +126,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
             [base_epochs, base_s, cend_epochs, cend_s, speedup],
         );
     }
+    push_failure_rows(&mut report, &failures);
     report.note("paper shape: w/ CEND converges faster (paper: 1.37×/1.71× epoch-time speedup)");
     report.note(&format!("budget: {budget:?}"));
     report

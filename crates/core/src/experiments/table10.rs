@@ -2,7 +2,7 @@
 //! downstream COCO mAP@50, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, push_failure_rows, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -33,7 +33,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let map50s = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
+    let outcomes = scheduler::run_indexed_isolated(budget.seed, plan.len(), |i| {
         let (pair, spec) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -48,13 +48,12 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         );
         m.map50.unwrap_or(0.0) * 100.0
     });
+    let (map50s, failures) = scheduler::split_failures(outcomes);
     for (p, pair) in pairs.iter().enumerate() {
-        let row: Vec<Option<f32>> = map50s[p * lms.len()..(p + 1) * lms.len()]
-            .iter()
-            .map(|&v| Some(v))
-            .collect();
+        let row: Vec<Option<f32>> = map50s[p * lms.len()..(p + 1) * lms.len()].to_vec();
         report.push_row(&pair.label(), row);
     }
+    push_failure_rows(&mut report, &failures);
     report.note("paper shape: all three LMs work; CLIP is slightly best");
     report.note(&format!("budget: {budget:?}"));
     report

@@ -3,7 +3,7 @@
 //! segmentation, for two pairs.
 
 use crate::config::ExperimentBudget;
-use crate::experiments::{dense_split, distill, scheduler, transfer_clone, Pair};
+use crate::experiments::{dense_split, distill, push_cell_row, scheduler, transfer_clone, Pair};
 use crate::method::MethodSpec;
 use crate::report::Report;
 use crate::transfer::TaskSet;
@@ -35,7 +35,7 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         }
     }
     let (train, test) = (&train, &test);
-    let rows = scheduler::run_indexed_seeded(budget.seed, plan.len(), |i| {
+    let rows = scheduler::run_indexed_isolated(budget.seed, plan.len(), |i| {
         let (pair, spec, _) = &plan[i];
         let run = distill(preset, *pair, spec, budget, i as u64);
         let m = transfer_clone(
@@ -50,8 +50,8 @@ pub fn run(budget: &ExperimentBudget) -> Report {
         );
         [m.miou.unwrap_or(0.0) * 100.0, m.pacc.unwrap_or(0.0) * 100.0]
     });
-    for ((pair, _, label), row) in plan.iter().zip(rows) {
-        report.push_row(&format!("{} [{}]", label, pair.label()), row);
+    for ((pair, _, label), outcome) in plan.iter().zip(rows) {
+        push_cell_row(&mut report, &format!("{} [{}]", label, pair.label()), outcome);
     }
     report.note("paper shape: class-name prompts slightly beat class-index prompts; both work");
     report.note(&format!("budget: {budget:?}"));

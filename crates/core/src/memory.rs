@@ -47,12 +47,22 @@ impl MemoryBank {
     }
 
     /// Writes a labelled NCHW batch, evicting the oldest images when full.
+    /// A batch larger than the capacity is accepted: its oldest images are
+    /// evicted in turn, leaving the newest `capacity` images in order.
     ///
     /// # Panics
-    /// Panics if the batch's trailing dimensions differ from the bank's
-    /// image shape or `labels.len()` differs from the batch size.
+    /// Panics if the batch's rank or trailing dimensions differ from the
+    /// bank's image shape or `labels.len()` differs from the batch size.
     pub fn push_batch(&mut self, images: &Tensor, labels: &[usize]) {
         let dims = images.shape().dims();
+        assert_eq!(
+            dims.len(),
+            1 + self.image_dims.len(),
+            "batch must be rank {} (N plus image dims {:?}), got shape {:?}",
+            1 + self.image_dims.len(),
+            self.image_dims,
+            dims
+        );
         assert_eq!(
             &dims[1..],
             self.image_dims.as_slice(),
@@ -135,5 +145,29 @@ mod tests {
         let bank = MemoryBank::new(4, &[3, 2, 2]);
         let mut rng = TensorRng::seed_from(0);
         bank.sample_batch(1, &mut rng);
+    }
+
+    #[test]
+    fn oversized_batch_keeps_newest_capacity_images_in_order() {
+        // One push of 7 images into a 4-slot bank: the batch evicts its own
+        // leading images, leaving exactly the newest 4 in push order.
+        let mut bank = MemoryBank::new(4, &[1, 1, 1]);
+        let data: Vec<f32> = (0..7).map(|v| v as f32).collect();
+        let imgs = Tensor::from_vec(data, &[7, 1, 1, 1]).expect("shape");
+        let labels: Vec<usize> = (0..7).collect();
+        bank.push_batch(&imgs, &labels);
+        assert_eq!(bank.len(), 4);
+        let stored: Vec<(f32, usize)> = bank.entries.iter().map(|(d, l)| (d[0], *l)).collect();
+        assert_eq!(stored, vec![(3.0, 3), (4.0, 4), (5.0, 5), (6.0, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be rank 4")]
+    fn non_4d_batch_is_rejected() {
+        let mut bank = MemoryBank::new(4, &[3, 2, 2]);
+        // Right element count (4 × 12 floats), wrong rank: must be caught
+        // by the shape check, not silently reinterpreted.
+        let flat = Tensor::full(&[4, 12], 0.0);
+        bank.push_batch(&flat, &[0, 1, 2, 3]);
     }
 }

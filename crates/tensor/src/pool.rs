@@ -18,9 +18,10 @@
 //! Tasks are claimed from a shared atomic counter, giving dynamic load
 //! balancing across unevenly sized tasks (e.g. edge blocks of a GEMM).
 
+use std::any::Any;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A published job: an erased borrowed closure plus claim/completion state.
 ///
@@ -32,7 +33,10 @@ struct Job {
     n_tasks: usize,
     next: AtomicUsize,
     completed: AtomicUsize,
-    panicked: AtomicBool,
+    /// First panic observed across the job's tasks: the panicking task's
+    /// index plus its original payload, so the submitting thread can
+    /// re-raise the real failure instead of a fresh anonymous panic.
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -55,8 +59,11 @@ impl Job {
             // SAFETY: see the struct-level invariant.
             let body = unsafe { &*self.body };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(i)));
-            if outcome.is_err() {
-                self.panicked.store(true, Ordering::Relaxed);
+            if let Err(payload) = outcome {
+                let mut first = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+                if first.is_none() {
+                    *first = Some((i, payload));
+                }
             }
             ran += 1;
             if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks {
@@ -74,6 +81,14 @@ impl Job {
                 .wait(done)
                 .expect("pool done mutex poisoned");
         }
+    }
+
+    /// Takes the first captured panic, if any task panicked.
+    fn take_panic(&self) -> Option<(usize, Box<dyn Any + Send>)> {
+        self.panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 }
 
@@ -95,6 +110,37 @@ thread_local! {
     /// [`parallel_for`] calls degrade to sequential execution instead of
     /// deadlocking or oversubscribing.
     static IN_PARALLEL_TASK: Cell<bool> = const { Cell::new(false) };
+
+    /// Index of the task whose panic [`parallel_for`] most recently
+    /// re-raised on this thread (see [`last_panic_task`]).
+    static LAST_PANIC_TASK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Restores `IN_PARALLEL_TASK` to its previous value on drop, so the flag
+/// survives an unwinding task body (a leaked `true` would permanently
+/// serialize every later `parallel_for` on this thread).
+struct InlineFlagGuard(bool);
+
+impl InlineFlagGuard {
+    fn enter() -> Self {
+        InlineFlagGuard(IN_PARALLEL_TASK.with(|f| f.replace(true)))
+    }
+}
+
+impl Drop for InlineFlagGuard {
+    fn drop(&mut self) {
+        let was = self.0;
+        IN_PARALLEL_TASK.with(|f| f.set(was));
+    }
+}
+
+/// The task index of the panic most recently re-raised by [`parallel_for`]
+/// on the calling thread, or `None` if no task panic has been re-raised
+/// here. The payload itself is propagated verbatim via
+/// [`std::panic::resume_unwind`]; this side channel preserves *where* it
+/// happened.
+pub fn last_panic_task() -> Option<usize> {
+    LAST_PANIC_TASK.with(|c| c.get())
 }
 
 fn worker_loop(mailbox: Arc<Mailbox>) {
@@ -102,7 +148,7 @@ fn worker_loop(mailbox: Arc<Mailbox>) {
     let mut last_seen = 0u64;
     loop {
         let job = {
-            let mut slot = mailbox.slot.lock().expect("pool mailbox poisoned");
+            let mut slot = mailbox.slot.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 match &slot.1 {
                     Some(job) if slot.0 != last_seen => {
@@ -113,7 +159,7 @@ fn worker_loop(mailbox: Arc<Mailbox>) {
                         slot = mailbox
                             .work_cv
                             .wait(slot)
-                            .expect("pool mailbox poisoned");
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                 }
             }
@@ -164,7 +210,10 @@ pub fn max_parallelism() -> usize {
 /// caller is itself a pool task.
 ///
 /// # Panics
-/// Propagates (as a fresh panic) if any task body panicked.
+/// If any task body panicked, the **first** panic's original payload is
+/// re-raised on the calling thread via [`std::panic::resume_unwind`] after
+/// every remaining task has finished, so the real failure message survives
+/// intact; [`last_panic_task`] then reports the panicking task's index.
 pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
     if n_tasks == 0 {
         return;
@@ -175,11 +224,16 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
         || IN_PARALLEL_TASK.with(|f| f.get());
     if inline {
         cae_trace::counter("pool.inline_jobs", 1);
-        let was = IN_PARALLEL_TASK.with(|f| f.replace(true));
+        let _flag = InlineFlagGuard::enter();
         for i in 0..n_tasks {
-            body(i);
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(i)))
+            {
+                cae_trace::counter("pool.task_panics", 1);
+                LAST_PANIC_TASK.with(|c| c.set(Some(i)));
+                std::panic::resume_unwind(payload);
+            }
         }
-        IN_PARALLEL_TASK.with(|f| f.set(was));
         return;
     }
 
@@ -198,7 +252,13 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
         }
     }
     let _waiting = WaitingGuard(&WAITING);
-    let _submit = pool.submit_lock.lock().expect("pool submit lock poisoned");
+    // Poisoning is recovered everywhere below: these locks guard state
+    // that stays consistent across a task-panic unwind (the job slot is
+    // cleared before the panic is re-raised).
+    let _submit = pool
+        .submit_lock
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     // SAFETY: erases the borrow's lifetime; `parallel_for` does not return
     // until no task can dereference `body` again (see `Job`).
     let body_erased: *const (dyn Fn(usize) + Sync) = unsafe {
@@ -211,27 +271,30 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n_tasks: usize, body: F) {
         n_tasks,
         next: AtomicUsize::new(0),
         completed: AtomicUsize::new(0),
-        panicked: AtomicBool::new(false),
+        panic: Mutex::new(None),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
     });
     {
-        let mut slot = pool.mailbox.slot.lock().expect("pool mailbox poisoned");
+        let mut slot = pool.mailbox.slot.lock().unwrap_or_else(PoisonError::into_inner);
         slot.0 += 1;
         slot.1 = Some(job.clone());
         pool.mailbox.work_cv.notify_all();
     }
     // Participate instead of blocking.
-    let was = IN_PARALLEL_TASK.with(|f| f.replace(true));
-    job.drain();
-    IN_PARALLEL_TASK.with(|f| f.set(was));
+    {
+        let _flag = InlineFlagGuard::enter();
+        job.drain();
+    }
     job.wait_done();
     {
-        let mut slot = pool.mailbox.slot.lock().expect("pool mailbox poisoned");
+        let mut slot = pool.mailbox.slot.lock().unwrap_or_else(PoisonError::into_inner);
         slot.1 = None;
     }
-    if job.panicked.load(Ordering::Relaxed) {
-        panic!("a parallel_for task panicked");
+    if let Some((task, payload)) = job.take_panic() {
+        cae_trace::counter("pool.task_panics", 1);
+        LAST_PANIC_TASK.with(|c| c.set(Some(task)));
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -269,6 +332,43 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panic_payload_and_task_index_survive() {
+        // The original panic payload — not a fresh anonymous panic — must
+        // reach the submitting thread, along with which task raised it.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for(8, |i| {
+                if i == 5 {
+                    panic!("task five exploded: {}", 2 * 21);
+                }
+            });
+        }))
+        .expect_err("the task panic must propagate");
+        assert_eq!(
+            err.downcast_ref::<String>().map(String::as_str),
+            Some("task five exploded: 42"),
+            "original panic message must survive re-raising"
+        );
+        assert_eq!(last_panic_task(), Some(5));
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        // A panicked job must not wedge the mailbox, leak the inline flag,
+        // or poison later jobs on the same thread.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for(4, |_| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        for _ in 0..4 {
+            let sum = AtomicU64::new(0);
+            parallel_for(16, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 120);
+        }
     }
 
     #[test]

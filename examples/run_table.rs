@@ -30,10 +30,12 @@ fn main() {
         Some(other) => panic!("unknown budget '{other}' (smoke|fast|full)"),
     };
 
-    let report = experiments::run_by_id(id, &budget).unwrap_or_else(|| {
-        let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
-        panic!("unknown experiment '{id}' (known: {})", known.join("|"))
-    });
+    let report = experiments::run_by_id(id, &budget)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
+            panic!("unknown experiment '{id}' (known: {})", known.join("|"))
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
     println!("{report}");
     let out = std::path::Path::new("results");
     let path = report.save_json(out).expect("failed to save report JSON");

@@ -24,4 +24,18 @@ CAE_BUDGET=smoke CAE_TRACE=1 CAE_RESULTS_DIR="$trace_tmp/on" \
   cargo run --release --offline -p cae-bench --bin table02 >/dev/null
 cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/on/table_ii.json"
 test -s "$trace_tmp/on/TRACE_table_ii.json"
+# Fault isolation: with deterministic injection and no retries the table
+# must still complete, rendering the injected failures as FAILED rows ...
+CAE_BUDGET=smoke CAE_TRACE=0 CAE_FAULT_INJECT=0.2:7 CAE_CELL_RETRIES=0 \
+  CAE_RESULTS_DIR="$trace_tmp/fault" \
+  cargo run --release --offline -p cae-bench --bin table02 >/dev/null
+grep -q 'FAILED(' "$trace_tmp/fault/table_ii.json"
+grep -q 'injected fault' "$trace_tmp/fault/table_ii.json"
+# ... and with retries enough to absorb every injected fault, the report
+# must be byte-identical to the uninjected baseline (retries re-run the
+# identical cell seed).
+CAE_BUDGET=smoke CAE_TRACE=0 CAE_FAULT_INJECT=0.2:7 CAE_CELL_RETRIES=20 \
+  CAE_RESULTS_DIR="$trace_tmp/retry" \
+  cargo run --release --offline -p cae-bench --bin table02 >/dev/null
+cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/retry/table_ii.json"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -63,10 +63,11 @@ fn list() {
 fn table(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
     let id = cmd.required("id")?;
     let budget = cmd.budget()?;
-    let Some(report) = experiments::run_by_id(id, &budget) else {
+    let Some(outcome) = experiments::run_by_id(id, &budget) else {
         let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
         return Err(format!("unknown experiment '{id}' (known: {})", known.join("|")).into());
     };
+    let report = outcome?;
     println!("{report}");
     let out = std::path::PathBuf::from(cmd.str_or("out", "results"));
     let path = report.save_json(&out)?;
