@@ -1,0 +1,101 @@
+//! Bench regression gate CLI: diffs the current `BENCH_*.json` records
+//! against the committed baselines in `crates/bench/baselines/` and exits
+//! non-zero on any regression (see [`cae_bench::compare`] for the
+//! per-metric tolerance bands).
+//!
+//! ```text
+//! cargo run --release -p cae-bench --bin bench_compare
+//! cargo run ... --bin bench_compare -- --current DIR --baseline DIR
+//! ```
+//!
+//! Exit codes: 0 all checks pass, 1 at least one regression, 2 a record
+//! was unreadable or malformed. `scripts/tier1.sh` runs this on every
+//! pass, so a perf regression fails tier-1 the same way a broken test
+//! does.
+
+use cae_bench::compare::{gated_files, Check};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Repository root: current records live here.
+fn repo_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Committed baselines shipped with the bench crate.
+fn default_baseline_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines"))
+}
+
+fn parse_dirs(args: &[String]) -> Result<(PathBuf, PathBuf), String> {
+    let mut current = repo_root();
+    let mut baseline = default_baseline_dir();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let target = match arg.as_str() {
+            "--current" => &mut current,
+            "--baseline" => &mut baseline,
+            other => return Err(format!("unknown flag '{other}' (--current DIR | --baseline DIR)")),
+        };
+        let value = iter.next().ok_or_else(|| format!("{arg} is missing its value"))?;
+        *target = PathBuf::from(value);
+    }
+    Ok((current, baseline))
+}
+
+fn load(dir: &Path, file: &str) -> Result<Value, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_dir, baseline_dir) = match parse_dirs(&args) {
+        Ok(dirs) => dirs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "bench_compare: {} vs baseline {}",
+        current_dir.display(),
+        baseline_dir.display()
+    );
+
+    let mut regressions = 0usize;
+    let mut total = 0usize;
+    for (file, compare) in gated_files() {
+        let pair = load(&current_dir, file).and_then(|cur| {
+            let base = load(&baseline_dir, file)?;
+            compare(&cur, &base).map_err(|e| e.to_string())
+        });
+        let checks: Vec<Check> = match pair {
+            Ok(checks) => checks,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for check in checks {
+            total += 1;
+            if check.ok {
+                println!("  ok        {:<45} {}", check.metric, check.detail);
+            } else {
+                regressions += 1;
+                println!("  REGRESSED {:<45} {}", check.metric, check.detail);
+            }
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("bench_compare: {regressions}/{total} checks regressed");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: all {total} checks pass");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,363 @@
+//! Bench regression gate: diffs current `BENCH_*.json` records against
+//! committed baselines with per-metric tolerance bands.
+//!
+//! Timing medians move with host load, so absolute nanoseconds are never
+//! compared. The gate instead checks the *invariants* each bench record
+//! exists to protect:
+//!
+//! - `BENCH_kernels.json` — every baselined `(op, shape)` still exists and
+//!   keeps at least half its baseline speedup over the naive kernel (a 2×
+//!   band absorbs host noise; losing more means a real kernel regression);
+//! - `BENCH_trace.json` — traced and untraced reports stayed identical,
+//!   and the disabled-path overhead is under an absolute 3% cap;
+//! - `BENCH_experiments.json` — serial and parallel reports stayed
+//!   identical, and cell-parallel speedup keeps half its baseline;
+//! - `BENCH_faults.json` — the recovered run is byte-identical to the
+//!   clean one, injection still produces FAILED rows, and retry recovery
+//!   costs at most baseline + 50 percentage points.
+//!
+//! The `bench_compare` bin prints one line per check and exits non-zero on
+//! any regression; `scripts/tier1.sh` runs it on every tier-1 pass.
+
+use serde::Value;
+
+/// Disabled-path tracing overhead cap, in percent (absolute, not relative
+/// to baseline: the whole point of the relaxed-load gate is that tracing
+/// costs nothing when off).
+pub const TRACE_OVERHEAD_CAP_PCT: f64 = 3.0;
+
+/// Fraction of its baseline a speedup metric must retain.
+pub const SPEEDUP_RETENTION: f64 = 0.5;
+
+/// Percentage points of extra recovery overhead tolerated over baseline.
+pub const RECOVERY_OVERHEAD_SLACK_PCT: f64 = 50.0;
+
+/// One gate check: which metric, whether it passed, and a human line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Metric identifier, e.g. `kernels/matmul 64x128x96/speedup`.
+    pub metric: String,
+    /// Whether the check passed.
+    pub ok: bool,
+    /// Rendered `current vs baseline` detail.
+    pub detail: String,
+}
+
+impl Check {
+    fn pass(metric: impl Into<String>, detail: impl Into<String>) -> Check {
+        Check { metric: metric.into(), ok: true, detail: detail.into() }
+    }
+
+    fn fail(metric: impl Into<String>, detail: impl Into<String>) -> Check {
+        Check { metric: metric.into(), ok: false, detail: detail.into() }
+    }
+}
+
+/// A malformed or incomplete bench record (distinct from a regression: the
+/// bin exits 2 for these, 1 for regressions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompareError(pub String);
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, CompareError> {
+    match v.get(key) {
+        Some(Value::Number(n)) => Ok(*n),
+        other => Err(CompareError(format!("{ctx}: field '{key}' is not a number ({other:?})"))),
+    }
+}
+
+fn bool_field(v: &Value, key: &str, ctx: &str) -> Result<bool, CompareError> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        other => Err(CompareError(format!("{ctx}: field '{key}' is not a bool ({other:?})"))),
+    }
+}
+
+fn str_field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v str, CompareError> {
+    match v.get(key) {
+        Some(Value::String(s)) => Ok(s),
+        other => Err(CompareError(format!("{ctx}: field '{key}' is not a string ({other:?})"))),
+    }
+}
+
+/// Compares `BENCH_kernels.json` records (arrays of per-op entries): every
+/// baselined `(op, shape)` must still exist and retain at least
+/// [`SPEEDUP_RETENTION`] of its baseline speedup.
+///
+/// # Errors
+/// Returns [`CompareError`] on malformed records.
+pub fn compare_kernels(current: &Value, baseline: &Value) -> Result<Vec<Check>, CompareError> {
+    let ctx = "BENCH_kernels.json";
+    let (Value::Array(cur), Value::Array(base)) = (current, baseline) else {
+        return Err(CompareError(format!("{ctx}: expected a JSON array in both trees")));
+    };
+    let mut checks = Vec::new();
+    for entry in base {
+        let op = str_field(entry, "op", ctx)?;
+        let shape = str_field(entry, "shape", ctx)?;
+        let metric = format!("kernels/{op} {shape}/speedup");
+        let base_speedup = f64_field(entry, "speedup", ctx)?;
+        let found = cur.iter().find(|e| {
+            e.get("op").and_then(|v| match v {
+                Value::String(s) => Some(s.as_str()),
+                _ => None,
+            }) == Some(op)
+                && e.get("shape").and_then(|v| match v {
+                    Value::String(s) => Some(s.as_str()),
+                    _ => None,
+                }) == Some(shape)
+        });
+        let Some(found) = found else {
+            checks.push(Check::fail(metric, "entry missing from current record"));
+            continue;
+        };
+        let cur_speedup = f64_field(found, "speedup", ctx)?;
+        let floor = base_speedup * SPEEDUP_RETENTION;
+        let detail = format!("{cur_speedup:.2}x vs baseline {base_speedup:.2}x (floor {floor:.2}x)");
+        checks.push(if cur_speedup >= floor {
+            Check::pass(metric, detail)
+        } else {
+            Check::fail(metric, detail)
+        });
+    }
+    Ok(checks)
+}
+
+/// Compares `BENCH_trace.json`: byte-identical traced/untraced reports and
+/// the absolute disabled-path overhead cap (the tier-1 "tracing stays
+/// free" guard).
+///
+/// # Errors
+/// Returns [`CompareError`] on malformed records.
+pub fn compare_trace(current: &Value, _baseline: &Value) -> Result<Vec<Check>, CompareError> {
+    let ctx = "BENCH_trace.json";
+    let identical = bool_field(current, "reports_identical", ctx)?;
+    let overhead = f64_field(current, "overhead_pct", ctx)?;
+    let mut checks = vec![if identical {
+        Check::pass("trace/reports_identical", "true")
+    } else {
+        Check::fail("trace/reports_identical", "traced run changed the report bytes")
+    }];
+    let detail = format!("{overhead:.2}% (cap {TRACE_OVERHEAD_CAP_PCT}%)");
+    checks.push(if overhead <= TRACE_OVERHEAD_CAP_PCT {
+        Check::pass("trace/overhead_pct", detail)
+    } else {
+        Check::fail("trace/overhead_pct", detail)
+    });
+    Ok(checks)
+}
+
+/// Compares `BENCH_experiments.json`: byte-identical serial/parallel
+/// reports, and the cell-parallel speedup retains [`SPEEDUP_RETENTION`] of
+/// its baseline.
+///
+/// # Errors
+/// Returns [`CompareError`] on malformed records.
+pub fn compare_experiments(current: &Value, baseline: &Value) -> Result<Vec<Check>, CompareError> {
+    let ctx = "BENCH_experiments.json";
+    let identical = bool_field(current, "reports_identical", ctx)?;
+    let cur_speedup = f64_field(current, "speedup", ctx)?;
+    let base_speedup = f64_field(baseline, "speedup", ctx)?;
+    let mut checks = vec![if identical {
+        Check::pass("experiments/reports_identical", "true")
+    } else {
+        Check::fail("experiments/reports_identical", "parallel run changed the report bytes")
+    }];
+    let floor = base_speedup * SPEEDUP_RETENTION;
+    let detail = format!("{cur_speedup:.3}x vs baseline {base_speedup:.3}x (floor {floor:.3}x)");
+    checks.push(if cur_speedup >= floor {
+        Check::pass("experiments/speedup", detail)
+    } else {
+        Check::fail("experiments/speedup", detail)
+    });
+    Ok(checks)
+}
+
+/// Compares `BENCH_faults.json`: recovery must stay byte-identical,
+/// injection must still fail rows, and recovery overhead may exceed
+/// baseline by at most [`RECOVERY_OVERHEAD_SLACK_PCT`] points.
+///
+/// # Errors
+/// Returns [`CompareError`] on malformed records.
+pub fn compare_faults(current: &Value, baseline: &Value) -> Result<Vec<Check>, CompareError> {
+    let ctx = "BENCH_faults.json";
+    let identical = bool_field(current, "recovered_identical_to_clean", ctx)?;
+    let failed_rows = f64_field(current, "failed_rows_without_retries", ctx)?;
+    let cur_overhead = f64_field(current, "recovery_overhead_pct", ctx)?;
+    let base_overhead = f64_field(baseline, "recovery_overhead_pct", ctx)?;
+    let mut checks = vec![if identical {
+        Check::pass("faults/recovered_identical_to_clean", "true")
+    } else {
+        Check::fail(
+            "faults/recovered_identical_to_clean",
+            "retried run no longer matches the clean run",
+        )
+    }];
+    checks.push(if failed_rows >= 1.0 {
+        Check::pass("faults/failed_rows_without_retries", format!("{failed_rows:.0} rows"))
+    } else {
+        Check::fail(
+            "faults/failed_rows_without_retries",
+            "fault injection produced no FAILED rows — the harness is not exercising recovery",
+        )
+    });
+    let cap = base_overhead + RECOVERY_OVERHEAD_SLACK_PCT;
+    let detail = format!("{cur_overhead:.2}% vs baseline {base_overhead:.2}% (cap {cap:.2}%)");
+    checks.push(if cur_overhead <= cap {
+        Check::pass("faults/recovery_overhead_pct", detail)
+    } else {
+        Check::fail("faults/recovery_overhead_pct", detail)
+    });
+    Ok(checks)
+}
+
+/// A per-file comparison function: `(current, baseline) -> checks`.
+pub type CompareFn = fn(&Value, &Value) -> Result<Vec<Check>, CompareError>;
+
+/// The four gated record files, paired with their comparison functions.
+pub fn gated_files() -> [(&'static str, CompareFn); 4] {
+    [
+        ("BENCH_kernels.json", compare_kernels),
+        ("BENCH_trace.json", compare_trace),
+        ("BENCH_experiments.json", compare_experiments),
+        ("BENCH_faults.json", compare_faults),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(json: &str) -> Value {
+        serde_json::from_str(json).expect("test JSON parses")
+    }
+
+    const KERNELS: &str = r#"[
+        {"op": "matmul", "shape": "64x128x96", "speedup": 4.4},
+        {"op": "conv2d", "shape": "8x8x12x12->16", "speedup": 3.1}
+    ]"#;
+
+    #[test]
+    fn identical_kernels_pass() {
+        let checks = compare_kernels(&v(KERNELS), &v(KERNELS)).expect("compares");
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.ok));
+    }
+
+    #[test]
+    fn kernel_speedup_below_half_baseline_regresses() {
+        let current = v(r#"[
+            {"op": "matmul", "shape": "64x128x96", "speedup": 2.0},
+            {"op": "conv2d", "shape": "8x8x12x12->16", "speedup": 3.1}
+        ]"#);
+        let checks = compare_kernels(&current, &v(KERNELS)).expect("compares");
+        let matmul = &checks[0];
+        assert!(!matmul.ok, "2.0x < floor 2.2x must regress: {matmul:?}");
+        assert!(checks[1].ok);
+    }
+
+    #[test]
+    fn missing_kernel_entry_regresses() {
+        let current = v(r#"[{"op": "matmul", "shape": "64x128x96", "speedup": 4.4}]"#);
+        let checks = compare_kernels(&current, &v(KERNELS)).expect("compares");
+        assert!(checks[0].ok);
+        assert!(!checks[1].ok);
+        assert!(checks[1].detail.contains("missing"));
+    }
+
+    const TRACE: &str = r#"{"overhead_pct": 0.51, "reports_identical": true}"#;
+
+    #[test]
+    fn trace_overhead_over_cap_regresses() {
+        let checks = compare_trace(&v(TRACE), &v(TRACE)).expect("compares");
+        assert!(checks.iter().all(|c| c.ok));
+        // Perturb past the 3% cap: the gate must fire.
+        let hot = v(r#"{"overhead_pct": 3.7, "reports_identical": true}"#);
+        let checks = compare_trace(&hot, &v(TRACE)).expect("compares");
+        assert!(checks[0].ok);
+        assert!(!checks[1].ok, "3.7% > 3% cap must regress");
+    }
+
+    #[test]
+    fn trace_report_divergence_regresses() {
+        let bad = v(r#"{"overhead_pct": 0.5, "reports_identical": false}"#);
+        let checks = compare_trace(&bad, &v(TRACE)).expect("compares");
+        assert!(!checks[0].ok);
+    }
+
+    const EXPERIMENTS: &str = r#"{"speedup": 1.0095, "reports_identical": true}"#;
+
+    #[test]
+    fn experiments_speedup_collapse_regresses() {
+        let checks = compare_experiments(&v(EXPERIMENTS), &v(EXPERIMENTS)).expect("compares");
+        assert!(checks.iter().all(|c| c.ok));
+        let slow = v(r#"{"speedup": 0.4, "reports_identical": true}"#);
+        let checks = compare_experiments(&slow, &v(EXPERIMENTS)).expect("compares");
+        assert!(!checks[1].ok, "0.4x < half of 1.0095x must regress");
+    }
+
+    const FAULTS: &str = r#"{
+        "failed_rows_without_retries": 15,
+        "recovery_overhead_pct": -2.09,
+        "recovered_identical_to_clean": true
+    }"#;
+
+    #[test]
+    fn faults_invariants_hold_and_perturbations_fire() {
+        let checks = compare_faults(&v(FAULTS), &v(FAULTS)).expect("compares");
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.ok));
+
+        let no_rows = v(r#"{
+            "failed_rows_without_retries": 0,
+            "recovery_overhead_pct": -2.0,
+            "recovered_identical_to_clean": true
+        }"#);
+        let checks = compare_faults(&no_rows, &v(FAULTS)).expect("compares");
+        assert!(!checks[1].ok, "zero FAILED rows must regress");
+
+        let slow = v(r#"{
+            "failed_rows_without_retries": 15,
+            "recovery_overhead_pct": 60.0,
+            "recovered_identical_to_clean": true
+        }"#);
+        let checks = compare_faults(&slow, &v(FAULTS)).expect("compares");
+        assert!(!checks[2].ok, "60% > -2.09% + 50pt cap must regress");
+    }
+
+    #[test]
+    fn malformed_records_error_instead_of_passing() {
+        let err = compare_trace(&v(r#"{"reports_identical": true}"#), &v(TRACE))
+            .expect_err("missing overhead_pct");
+        assert!(err.to_string().contains("overhead_pct"));
+        let err = compare_kernels(&v(r#"{"not": "an array"}"#), &v(KERNELS))
+            .expect_err("wrong shape");
+        assert!(err.to_string().contains("array"));
+    }
+
+    #[test]
+    fn committed_baselines_pass_against_themselves() {
+        // The baselines shipped in-tree must be internally consistent: the
+        // gate run against identical current records reports zero
+        // regressions (tier1's clean-tree invariant).
+        let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines"));
+        for (file, compare) in gated_files() {
+            let text = std::fs::read_to_string(dir.join(file))
+                .unwrap_or_else(|e| panic!("baseline {file} unreadable: {e}"));
+            let value: Value =
+                serde_json::from_str(&text).unwrap_or_else(|e| panic!("baseline {file}: {e}"));
+            let checks = compare(&value, &value).unwrap_or_else(|e| panic!("{file}: {e}"));
+            assert!(
+                checks.iter().all(|c| c.ok),
+                "{file} baseline fails its own gate: {checks:?}"
+            );
+        }
+    }
+}

@@ -19,6 +19,8 @@ use cae_core::config::ExperimentBudget;
 use cae_core::report::Report;
 use std::path::PathBuf;
 
+pub mod compare;
+
 /// Reads the experiment budget from `CAE_BUDGET` (`smoke` / `fast` /
 /// `full`), defaulting to `default_name`.
 ///

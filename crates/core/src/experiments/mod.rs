@@ -126,11 +126,19 @@ pub struct ExperimentError {
     pub id: &'static str,
     /// The runner's original panic message.
     pub message: String,
+    /// Training-health verdict over the series recorded up to the failure
+    /// ([`cae_trace::health::HealthReport::summary`]); present only when
+    /// tracing was enabled at failure time.
+    pub health: Option<String>,
 }
 
 impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "experiment '{}' failed: {}", self.id, self.message)
+        write!(f, "experiment '{}' failed: {}", self.id, self.message)?;
+        if let Some(health) = &self.health {
+            write!(f, " [health: {health}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -183,10 +191,21 @@ impl ExperimentEntry {
                 );
                 Ok(report)
             }
-            Err(payload) => Err(ExperimentError {
-                id: self.id,
-                message: scheduler::panic_message(payload.as_ref()),
-            }),
+            Err(payload) => {
+                // Snapshot (non-destructively — the caller may still want a
+                // full drain) whatever series the run recorded before dying
+                // and attach a health verdict explaining the blow-up.
+                let health = cae_trace::enabled().then(|| {
+                    cae_trace::health::HealthMonitor::default()
+                        .check_events(&cae_trace::series_snapshot())
+                        .summary()
+                });
+                Err(ExperimentError {
+                    id: self.id,
+                    message: scheduler::panic_message(payload.as_ref()),
+                    health,
+                })
+            }
         }
     }
 }
@@ -426,9 +445,16 @@ mod tests {
             artifact_stem: "broken",
             runner: broken,
         };
+        // Pin tracing off: with CAE_TRACE=1 in the environment the error
+        // would (correctly) carry a health annotation, which is covered by
+        // the scheduler/health tests. This test asserts the untraced shape.
+        let _guard = crate::trace_test_lock();
+        cae_trace::force_enabled(false);
         let err = entry.run(&ExperimentBudget::smoke()).expect_err("must fail");
+        cae_trace::reset_to_env();
         assert_eq!(err.id, "broken");
         assert_eq!(err.message, "report assembly fell over");
+        assert_eq!(err.health, None);
         assert_eq!(
             err.to_string(),
             "experiment 'broken' failed: report assembly fell over"
@@ -441,18 +467,22 @@ mod tests {
         report.push_row("ok", [1.0, 2.0]);
         push_failure_rows(
             &mut report,
-            &[CellError { cell: 4, seed: 0x2a, message: "boom".into() }],
+            &[CellError { cell: 4, seed: 0x2a, message: "boom".into(), health: None }],
         );
         push_cell_row(&mut report, "late", Err::<[f32; 2], _>(CellError {
             cell: 5,
             seed: 0x2b,
             message: "bang".into(),
+            health: Some("student.loss: non-finite at step 7".into()),
         }));
         push_cell_row(&mut report, "fine", Ok([3.0, 4.0]));
         assert_eq!(report.rows.len(), 4);
         assert_eq!(report.rows[1].label, "FAILED(cell 4 seed 0x2a: boom)");
         assert_eq!(report.rows[1].values, vec![None, None]);
-        assert_eq!(report.rows[2].label, "FAILED(late: cell 5 seed 0x2b: bang)");
+        assert_eq!(
+            report.rows[2].label,
+            "FAILED(late: cell 5 seed 0x2b: bang [health: student.loss: non-finite at step 7])"
+        );
         assert_eq!(report.cell("fine", "b"), Some(4.0));
     }
 }

@@ -82,7 +82,9 @@ fn parallelism_disabled_by(value: &str) -> bool {
 }
 
 /// One cell's failure: which cell, the exact seed it ran under (so the
-/// failure is reproducible in isolation), and the original panic message.
+/// failure is reproducible in isolation), the original panic message, and —
+/// when tracing was enabled — a training-health verdict over the series the
+/// failing attempt recorded before it died.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellError {
     /// Index of the failed cell within its runner.
@@ -91,11 +93,19 @@ pub struct CellError {
     pub seed: u64,
     /// The original panic message (not a generic re-panic).
     pub message: String,
+    /// [`cae_trace::health::HealthReport::summary`] over the failing
+    /// attempt's series, present only when tracing was enabled (so
+    /// untraced reports stay byte-identical).
+    pub health: Option<String>,
 }
 
 impl fmt::Display for CellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cell {} seed {:#x}: {}", self.cell, self.seed, self.message)
+        write!(f, "cell {} seed {:#x}: {}", self.cell, self.seed, self.message)?;
+        if let Some(health) = &self.health {
+            write!(f, " [health: {health}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -172,6 +182,11 @@ fn parse_fault_inject(value: &str) -> Option<(f32, u64)> {
 fn run_isolated<T>(policy: &FaultPolicy, cell: usize, seed: u64, body: &dyn Fn() -> T) -> Result<T, CellError> {
     let mut attempt = 0;
     loop {
+        // Marks this thread's series buffer so a failed attempt's partial
+        // training curves can be (a) removed — retries must not pollute the
+        // drained trace with duplicate steps — and (b) analyzed for a
+        // health verdict explaining the failure.
+        let series_mark = cae_trace::thread_series_mark();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if policy.injects_fault(seed, attempt) {
                 panic!("injected fault (cell {cell}, seed {seed:#x}, attempt {attempt})");
@@ -182,15 +197,22 @@ fn run_isolated<T>(policy: &FaultPolicy, cell: usize, seed: u64, body: &dyn Fn()
             Ok(value) => return Ok(value),
             Err(payload) => {
                 cae_trace::counter("cell.failed", 1);
+                let attempt_series = cae_trace::take_thread_series_since(series_mark);
                 if attempt < policy.retries {
                     attempt += 1;
                     cae_trace::counter("cell.retried", 1);
                     continue;
                 }
+                let health = cae_trace::enabled().then(|| {
+                    cae_trace::health::HealthMonitor::default()
+                        .check_events(&attempt_series)
+                        .summary()
+                });
                 return Err(CellError {
                     cell,
                     seed,
                     message: panic_message(payload.as_ref()),
+                    health,
                 });
             }
         }
@@ -426,6 +448,7 @@ mod tests {
         // Each cell reports the seed it derives for itself (exactly what
         // `distill` does); the scheduler's span tag must agree.
         let base = 0xBADC_0FFE_E0DD_F00D_u64;
+        let _guard = crate::trace_test_lock();
         cae_trace::force_enabled(true);
         let used: Vec<u64> = run_indexed_seeded(base, 6, |i| cell_seed(base, i as u64));
         let trace = cae_trace::drain();
@@ -440,6 +463,59 @@ mod tests {
                 "cell {i} has no scheduler.cell span tagged with its seed {used_seed:#x}"
             );
         }
+    }
+
+    #[test]
+    fn failed_cell_carries_a_health_verdict_and_removes_its_series() {
+        let _guard = crate::trace_test_lock();
+        cae_trace::force_enabled(true);
+        let mark_before = cae_trace::thread_series_mark();
+        let err = run_isolated::<()>(&FaultPolicy::NONE, 3, 0x77, &|| {
+            cae_trace::series("student.loss", 0, 1.0);
+            cae_trace::series("student.loss", 1, f64::NAN);
+            panic!("loss went non-finite");
+        })
+        .expect_err("cell must fail");
+        let mark_after = cae_trace::thread_series_mark();
+        cae_trace::reset_to_env();
+        assert_eq!(
+            err.health.as_deref(),
+            Some("student.loss: non-finite at step 1"),
+            "the verdict must name the pathology"
+        );
+        assert!(
+            err.to_string().ends_with("[health: student.loss: non-finite at step 1]"),
+            "Display renders the verdict: {err}"
+        );
+        assert_eq!(
+            mark_after, mark_before,
+            "the failed attempt's partial series must leave the thread buffer"
+        );
+    }
+
+    #[test]
+    fn retry_discards_only_the_failed_attempts_series() {
+        let _guard = crate::trace_test_lock();
+        cae_trace::force_enabled(true);
+        let mark_before = cae_trace::thread_series_mark();
+        let policy = FaultPolicy { retries: 1, inject: None };
+        let attempts = std::cell::Cell::new(0u32);
+        let out = run_isolated(&policy, 0, 0x9, &|| {
+            let attempt = attempts.get();
+            attempts.set(attempt + 1);
+            cae_trace::series("student.loss", 0, 2.0 + f64::from(attempt));
+            assert!(attempt > 0, "first attempt dies after recording a point");
+            attempt
+        })
+        .expect("retry succeeds");
+        let kept = cae_trace::take_thread_series_since(mark_before);
+        cae_trace::reset_to_env();
+        assert_eq!(out, 1);
+        // Only the successful attempt's point survives — retries must not
+        // pollute the drained trace with duplicate steps.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].step, 0);
+        assert_eq!(kept[0].value, 3.0);
     }
 
     #[test]
@@ -564,7 +640,7 @@ mod tests {
     fn split_failures_partitions_in_order() {
         let results: Vec<Result<u32, CellError>> = vec![
             Ok(1),
-            Err(CellError { cell: 1, seed: 0xabc, message: "x".into() }),
+            Err(CellError { cell: 1, seed: 0xabc, message: "x".into(), health: None }),
             Ok(3),
         ];
         let (values, failures) = split_failures(results);

@@ -67,6 +67,15 @@ pub mod teacher;
 pub mod trainer;
 pub mod transfer;
 
+/// Serializes unit tests that force-enable tracing and drain or consume the
+/// process-global trace state — a concurrent test would otherwise steal
+/// another's events or flip the gate mid-run.
+#[cfg(test)]
+pub(crate) fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 pub use cend::CendLayer;
 pub use cncl::CnclConfig;
 pub use config::{DfkdConfig, ExperimentBudget};

@@ -67,6 +67,7 @@ pub struct DfkdTrainer<'a> {
     opt_s: Sgd,
     schedule: CosineSchedule,
     student_step_count: usize,
+    generator_step_count: usize,
     resolution: usize,
     num_classes: usize,
     generator_width: usize,
@@ -123,6 +124,7 @@ impl<'a> DfkdTrainer<'a> {
             opt_s,
             schedule,
             student_step_count: 0,
+            generator_step_count: 0,
             resolution,
             num_classes: class_names.len(),
             generator_width,
@@ -154,6 +156,8 @@ impl<'a> DfkdTrainer<'a> {
     /// returns the final inversion teacher cross-entropy.
     pub fn generator_step(&mut self) -> f32 {
         let _sp = cae_trace::span("trainer.generator_step");
+        let step = self.generator_step_count as u64;
+        self.generator_step_count += 1;
         let labels = self.random_labels(self.config.batch_size);
         if self.spec.optimization_based {
             let _inv = cae_trace::span("trainer.inversion");
@@ -170,10 +174,15 @@ impl<'a> DfkdTrainer<'a> {
             let ce = cross_entropy(&logits, &labels).item();
             self.memory.push_batch(&images, &labels);
             self.zero_teacher_grads();
+            cae_trace::series("generator.loss", step, f64::from(ce));
             return ce;
         }
 
-        let z = Var::constant(self.provider.sample(&labels, &mut self.rng));
+        let latent = self.provider.sample(&labels, &mut self.rng);
+        if cae_trace::enabled() {
+            cae_trace::gauge("generator.embedding_norm", mean_row_l2(&latent));
+        }
+        let z = Var::constant(latent);
         let images = self.generator.generate(&z, &mut ForwardCtx::train());
         let mut t_ctx = ForwardCtx::eval_with_bn_stats();
         let t_logits = self.teacher.forward(&images, &mut t_ctx);
@@ -203,7 +212,9 @@ impl<'a> DfkdTrainer<'a> {
         // pseudo-label otherwise.
         self.memory.push_batch(&images.to_tensor(), &ce_targets);
         cae_trace::counter("memory.pushed_images", self.config.batch_size as u64);
-        loss.item()
+        let item = loss.item();
+        cae_trace::series("generator.loss", step, f64::from(item));
+        item
     }
 
     /// One student update (Eq. 6). Returns the student loss, or `None` if
@@ -221,6 +232,7 @@ impl<'a> DfkdTrainer<'a> {
 
         self.opt_s
             .set_lr(self.schedule.lr_at(self.student_step_count));
+        let step = self.student_step_count as u64;
         self.student_step_count += 1;
 
         // Image-level augmentation (baselines / Table I). Mixup is pure
@@ -258,6 +270,9 @@ impl<'a> DfkdTrainer<'a> {
                     self.spec.cncl,
                     &mut self.rng,
                 );
+                if cae_trace::enabled() {
+                    cae_trace::series("student.cncl_loss", step, f64::from(cncl.item()));
+                }
                 loss = loss.add(&cncl.scale(self.config.alpha_cncl));
             }
         }
@@ -267,7 +282,9 @@ impl<'a> DfkdTrainer<'a> {
         self.opt_s.step();
         self.opt_s.zero_grad();
         self.zero_teacher_grads();
-        Some(loss.item())
+        let item = loss.item();
+        cae_trace::series("student.loss", step, f64::from(item));
+        Some(item)
     }
 
     /// SimCLR-style two-view InfoNCE over student embeddings (image-level
@@ -288,6 +305,12 @@ impl<'a> DfkdTrainer<'a> {
         for p in &self.teacher_params {
             p.zero_grad();
         }
+    }
+
+    /// Steps taken so far by [`Self::generator_step`] — the step axis of
+    /// the `generator.loss` series.
+    pub fn generator_steps_taken(&self) -> usize {
+        self.generator_step_count
     }
 
     /// Re-initializes the generator and its optimizer (NAYER's periodic
@@ -399,6 +422,26 @@ impl<'a> DfkdTrainer<'a> {
         }
         (max_steps, start.elapsed())
     }
+}
+
+/// Mean L2 norm over the rows of a `[batch, dim]` latent batch — the
+/// `generator.embedding_norm` health gauge (CEND perturbations shift it;
+/// a collapse to ~0 or an explosion both show up here before the loss).
+fn mean_row_l2(latent: &Tensor) -> f64 {
+    let rows = latent.shape().dim(0).max(1);
+    let cols = latent.data().len() / rows;
+    if cols == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for row in latent.data().chunks_exact(cols) {
+        total += row
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+    }
+    total / rows as f64
 }
 
 /// Builds the latent provider for an embedding kind.
@@ -523,6 +566,62 @@ mod tests {
             );
             assert_eq!(stats.epoch_times.len(), budget.dfkd_epochs);
         }
+    }
+
+    #[test]
+    fn traced_run_profiles_to_full_coverage_with_training_series() {
+        let (teacher, _) = tiny_setup(); // untraced: keep teacher spans out
+        let budget = ExperimentBudget::smoke();
+        let _guard = crate::trace_test_lock();
+        cae_trace::force_enabled(true);
+        cae_trace::drain(); // discard leftovers from other tests
+        {
+            let _sp = cae_trace::span("experiment");
+            let mut t = tiny_trainer(teacher.as_ref(), &MethodSpec::cae_dfkd(3));
+            t.run(&budget);
+            assert_eq!(t.generator_steps_taken(), budget.total_generator_steps());
+        }
+        let trace = cae_trace::drain();
+        cae_trace::reset_to_env();
+
+        // Training series landed in the drained trace, one point per step.
+        let gen = &trace.series["generator.loss"];
+        assert_eq!(gen.len(), budget.total_generator_steps());
+        assert!(gen.iter().all(|p| p.value.is_finite()));
+        assert!(!trace.series["student.loss"].is_empty());
+        assert!(
+            trace.series.contains_key("student.cncl_loss"),
+            "CAE-DFKD spec must log its CNCL term"
+        );
+        let norm = &trace.gauges["generator.embedding_norm"];
+        assert_eq!(norm.count as usize, budget.total_generator_steps());
+        assert!(norm.min > 0.0, "CEND latents are never all-zero");
+
+        // No series contains a non-finite value on a healthy run.
+        let report = cae_trace::health::HealthMonitor::default().check_trace(&trace);
+        for v in &report.verdicts {
+            assert!(
+                !v.issues
+                    .iter()
+                    .any(|i| matches!(i, cae_trace::health::HealthIssue::NonFinite { .. })),
+                "{}: unexpected non-finite value",
+                v.name
+            );
+        }
+
+        // The reconstructed profile accounts for the experiment span's
+        // wall-clock: self times over its subtree sum back to the root
+        // within 1% (single-thread run => one connected tree).
+        let profile = cae_trace::profile::Profile::from_trace(&trace);
+        assert!(!profile.truncated, "smoke run must fit the event cap");
+        let (root_ns, self_sum) = profile.experiment_coverage().expect("experiment root");
+        let drift = (root_ns as f64 - self_sum as f64).abs() / root_ns as f64;
+        assert!(drift < 0.01, "coverage drift {:.4} (root {root_ns}ns, self {self_sum}ns)", drift);
+        assert!(
+            profile.derived.gemm_gflops.is_some(),
+            "gemm stats + flops counter must yield derived throughput"
+        );
+        assert_eq!(profile.critical_path()[0].0, "experiment");
     }
 
     #[test]

@@ -104,6 +104,9 @@ pub fn gemm(
         "B too short for {k}x{n} with strides ({brs},{bcs})"
     );
     cae_trace::counters(&[("gemm.calls", 1), ("gemm.flops", (2 * m * n * k) as u64)]);
+    // Stats-only span: exact per-call timing without a raw event per GEMM
+    // (millions per run would instantly hit the per-thread event cap).
+    let _gemm_span = cae_trace::span_stat("gemm");
 
     let threads = if 2 * m * n * k >= PARALLEL_FLOP_THRESHOLD {
         pool::max_parallelism()

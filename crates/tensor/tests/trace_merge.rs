@@ -1,0 +1,103 @@
+//! Cross-thread merge semantics at `cae_trace::drain()`, driven by real
+//! `cae_tensor::pool` workers: counters, gauges and series recorded from
+//! concurrent pool tasks must merge into deterministic totals regardless
+//! of which thread ran which task.
+
+use std::sync::{Mutex, Once};
+
+/// Forces a multi-worker pool before its `OnceLock` initializes — the
+/// container may expose a single core, which would otherwise run every
+/// task inline on one thread and make this test vacuous.
+fn setup() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        std::env::set_var("CAE_NUM_THREADS", "4");
+    });
+}
+
+/// Serializes the tests in this binary: `drain()` is process-global, so a
+/// concurrent test would steal this one's events.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn concurrent_counter_and_gauge_writers_merge_deterministically() {
+    setup();
+    let _guard = lock();
+    cae_trace::force_enabled(true);
+    cae_trace::drain(); // discard leftovers from other tests
+    const N: usize = 64;
+    cae_tensor::pool::parallel_for(N, |i| {
+        cae_trace::counter("merge.count", (i + 1) as u64);
+        cae_trace::gauge("merge.gauge", i as f64);
+    });
+    let trace = cae_trace::drain();
+    cae_trace::force_enabled(false);
+
+    assert!(
+        cae_tensor::pool::max_parallelism() >= 2,
+        "CAE_NUM_THREADS=4 must be set before the pool spins up"
+    );
+    // Sum 1..=64, independent of the task->thread assignment.
+    assert_eq!(trace.counters["merge.count"], (N * (N + 1) / 2) as u64);
+    let g = &trace.gauges["merge.gauge"];
+    assert_eq!(g.count, N as u64);
+    assert_eq!(g.min, 0.0);
+    assert_eq!(g.max, (N - 1) as f64);
+    assert_eq!(g.sum, (N * (N - 1) / 2) as f64);
+    // `last` depends on thread-merge order: only its membership is stable.
+    assert!(g.last >= g.min && g.last <= g.max);
+}
+
+#[test]
+fn series_from_pool_tasks_merge_sorted_by_step() {
+    setup();
+    let _guard = lock();
+    cae_trace::force_enabled(true);
+    cae_trace::drain();
+    const N: usize = 48;
+    cae_tensor::pool::parallel_for(N, |i| {
+        cae_trace::series("merge.series", i as u64, i as f64 * 0.5);
+    });
+    let trace = cae_trace::drain();
+    cae_trace::force_enabled(false);
+
+    let points = &trace.series["merge.series"];
+    assert_eq!(points.len(), N);
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.step, i as u64, "drain() must sort merged series by step");
+        assert_eq!(p.value, i as f64 * 0.5);
+    }
+    assert_eq!(trace.dropped_series, 0);
+    assert!(!trace.truncated());
+}
+
+#[test]
+fn pool_queue_depth_gauge_survives_the_merge() {
+    setup();
+    let _guard = lock();
+    cae_trace::force_enabled(true);
+    cae_trace::drain();
+    // Nested submissions from several threads force queued jobs; the
+    // outer tasks run on distinct threads and each submits its own job.
+    cae_tensor::pool::parallel_for(4, |_| {
+        cae_tensor::pool::parallel_for(8, |i| {
+            cae_trace::counter("merge.nested", i as u64);
+        });
+    });
+    let trace = cae_trace::drain();
+    cae_trace::force_enabled(false);
+
+    // 4 outer tasks x Sum 0..8 = 4 * 28.
+    assert_eq!(trace.counters["merge.nested"], 4 * 28);
+    // The outer job is a real pool submission and records its queue depth;
+    // nested inner calls run inline (no re-entrant submission).
+    let depth = trace
+        .gauges
+        .get("pool.queue_depth")
+        .expect("outer parallel_for records queue depth");
+    assert!(depth.count >= 1);
+    assert!(depth.min >= 1.0, "a submitting job sees at least itself queued");
+}

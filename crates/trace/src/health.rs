@@ -1,0 +1,377 @@
+//! Training-health analysis over recorded time series.
+//!
+//! A [`HealthMonitor`] inspects loss-like series (lower is better) drained
+//! from a trace — or captured mid-flight from a failing cell — and flags
+//! the three ways DFKD training visibly blows up:
+//!
+//! - **non-finite values** (NaN/Inf in a loss) — the classic silent
+//!   failure mode behind an eventual panic downstream;
+//! - **divergence** — the exponential moving average of the series climbs
+//!   well above the best level it ever reached;
+//! - **plateau** — the trailing window is flat but stuck above the best
+//!   EMA level, i.e. training stalled without converging (a flat tail *at*
+//!   the minimum is convergence and therefore healthy).
+//!
+//! Verdicts render as one compact line per series via
+//! [`HealthReport::summary`], which the experiment scheduler attaches to
+//! failed-cell errors so a FAILED report row says *why* training died.
+
+use crate::{SeriesEvent, SeriesPoint, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tunable thresholds for [`HealthMonitor`]. The defaults are deliberately
+/// loose: they only fire on unambiguous pathologies, never on the normal
+/// noisy descent of a healthy loss curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Smoothing factor for the exponential moving average (weight of the
+    /// newest point).
+    pub ema_alpha: f64,
+    /// Divergence fires when the final EMA exceeds the minimum EMA by more
+    /// than `|min_ema| * (divergence_ratio - 1)` (with a small absolute
+    /// floor so near-zero minima still have headroom).
+    pub divergence_ratio: f64,
+    /// Minimum number of finite points before divergence can fire.
+    pub divergence_min_points: usize,
+    /// Trailing-window length for plateau detection; a series shorter than
+    /// twice this is never flagged as plateaued.
+    pub plateau_window: usize,
+    /// Relative range (max−min over the window, against the window mean)
+    /// under which the trailing window counts as flat.
+    pub plateau_rel_eps: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ema_alpha: 0.2,
+            divergence_ratio: 2.0,
+            divergence_min_points: 8,
+            plateau_window: 16,
+            plateau_rel_eps: 1e-3,
+        }
+    }
+}
+
+/// One detected pathology in a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealthIssue {
+    /// A NaN or infinite value appeared, first at `step`.
+    NonFinite {
+        /// Step of the first non-finite value.
+        step: u64,
+    },
+    /// The smoothed series ended far above the best level it reached.
+    Diverging {
+        /// Minimum of the EMA over the series.
+        min_ema: f64,
+        /// EMA at the final point.
+        final_ema: f64,
+    },
+    /// The trailing window went flat while stuck above the best EMA level.
+    Plateau {
+        /// Window length that was inspected.
+        window: usize,
+        /// Mean value over the flat trailing window.
+        level: f64,
+    },
+}
+
+impl fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthIssue::NonFinite { step } => write!(f, "non-finite at step {step}"),
+            HealthIssue::Diverging { min_ema, final_ema } => {
+                write!(f, "diverging (ema {min_ema:.4} -> {final_ema:.4})")
+            }
+            HealthIssue::Plateau { window, level } => {
+                write!(f, "plateau over last {window} steps at {level:.4}")
+            }
+        }
+    }
+}
+
+/// The issues found in one named series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesVerdict {
+    /// Series name (e.g. `student.loss`).
+    pub name: String,
+    /// How many points were inspected.
+    pub points: usize,
+    /// Detected pathologies, empty when the series looks healthy.
+    pub issues: Vec<HealthIssue>,
+}
+
+impl SeriesVerdict {
+    /// Whether no pathology was detected.
+    pub fn is_healthy(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Verdicts for every inspected series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// One verdict per series, in name order.
+    pub verdicts: Vec<SeriesVerdict>,
+}
+
+impl HealthReport {
+    /// Whether every inspected series is issue-free.
+    pub fn is_healthy(&self) -> bool {
+        self.verdicts.iter().all(SeriesVerdict::is_healthy)
+    }
+
+    /// One compact line: unhealthy series with their issues, or an
+    /// all-clear. An empty report reads "no series recorded" — which is
+    /// itself a finding when a cell died before its first training step.
+    pub fn summary(&self) -> String {
+        if self.verdicts.is_empty() {
+            return "no series recorded".to_owned();
+        }
+        let mut parts: Vec<String> = Vec::new();
+        for v in &self.verdicts {
+            if v.is_healthy() {
+                continue;
+            }
+            let issues: Vec<String> = v.issues.iter().map(HealthIssue::to_string).collect();
+            parts.push(format!("{}: {}", v.name, issues.join(", ")));
+        }
+        if parts.is_empty() {
+            format!("{} series healthy", self.verdicts.len())
+        } else {
+            parts.join("; ")
+        }
+    }
+}
+
+/// Analyzes time series for NaN/Inf, divergence and plateaus.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HealthMonitor {
+    /// Detection thresholds.
+    pub config: HealthConfig,
+}
+
+impl HealthMonitor {
+    /// A monitor with custom thresholds.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthMonitor { config }
+    }
+
+    /// Inspects every series in a drained trace.
+    pub fn check_trace(&self, trace: &Trace) -> HealthReport {
+        let mut verdicts = Vec::new();
+        for (name, points) in &trace.series {
+            verdicts.push(SeriesVerdict {
+                name: (*name).to_owned(),
+                points: points.len(),
+                issues: self.check_points(points),
+            });
+        }
+        HealthReport { verdicts }
+    }
+
+    /// Inspects loose events (e.g. the tail captured from a failed cell's
+    /// thread buffer), grouping by name and sorting by step first.
+    pub fn check_events(&self, events: &[SeriesEvent]) -> HealthReport {
+        let mut by_name: BTreeMap<&str, Vec<SeriesPoint>> = BTreeMap::new();
+        for e in events {
+            by_name
+                .entry(e.name)
+                .or_default()
+                .push(SeriesPoint { step: e.step, value: e.value });
+        }
+        let mut verdicts = Vec::new();
+        for (name, mut points) in by_name {
+            points.sort_by_key(|p| p.step);
+            verdicts.push(SeriesVerdict {
+                name: name.to_owned(),
+                points: points.len(),
+                issues: self.check_points(&points),
+            });
+        }
+        HealthReport { verdicts }
+    }
+
+    /// Inspects one step-ordered series and returns every issue found.
+    pub fn check_points(&self, points: &[SeriesPoint]) -> Vec<HealthIssue> {
+        let cfg = &self.config;
+        let mut issues = Vec::new();
+        if let Some(p) = points.iter().find(|p| !p.value.is_finite()) {
+            issues.push(HealthIssue::NonFinite { step: p.step });
+        }
+        // EMA analysis runs over the finite points only, so one NaN does
+        // not poison the divergence/plateau signals.
+        let finite: Vec<f64> = points
+            .iter()
+            .map(|p| p.value)
+            .filter(|v| v.is_finite())
+            .collect();
+        let Some(&first) = finite.first() else {
+            return issues;
+        };
+        let mut ema = first;
+        let mut min_ema = first;
+        for &v in &finite[1..] {
+            ema = cfg.ema_alpha * v + (1.0 - cfg.ema_alpha) * ema;
+            min_ema = min_ema.min(ema);
+        }
+        if finite.len() >= cfg.divergence_min_points {
+            let headroom = (min_ema.abs() * (cfg.divergence_ratio - 1.0)).max(1e-3);
+            if ema - min_ema > headroom {
+                issues.push(HealthIssue::Diverging { min_ema, final_ema: ema });
+            }
+        }
+        let w = cfg.plateau_window;
+        if w >= 2 && finite.len() >= 2 * w {
+            let tail = &finite[finite.len() - w..];
+            let mean = tail.iter().sum::<f64>() / w as f64;
+            let (lo, hi) = tail
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let flat = hi - lo <= cfg.plateau_rel_eps * mean.abs().max(1e-12);
+            // Flat *at* the minimum is convergence; only flag a flat tail
+            // stranded above the best level the series reached.
+            let stuck_above = mean - min_ema > (0.1 * min_ema.abs()).max(1e-6);
+            if flat && stuck_above {
+                issues.push(HealthIssue::Plateau { window: w, level: mean });
+            }
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(values: &[f64]) -> Vec<SeriesPoint> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| SeriesPoint { step: i as u64, value })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_descent_raises_no_issues() {
+        let m = HealthMonitor::default();
+        let values: Vec<f64> = (0..64).map(|i| 2.0 * (-0.1 * i as f64).exp()).collect();
+        assert!(m.check_points(&pts(&values)).is_empty());
+    }
+
+    #[test]
+    fn converged_flat_tail_is_healthy() {
+        // Drops to ~0.1 then stays there: flat at the minimum, not stuck.
+        let m = HealthMonitor::default();
+        let mut values: Vec<f64> = (0..32).map(|i| 2.0 - i as f64 * 0.059).collect();
+        values.extend(std::iter::repeat_n(0.1, 32));
+        assert!(m.check_points(&pts(&values)).is_empty());
+    }
+
+    #[test]
+    fn nan_is_flagged_with_first_step() {
+        let m = HealthMonitor::default();
+        let mut values = vec![1.0, 0.9, 0.8];
+        values.push(f64::NAN);
+        values.push(f64::INFINITY);
+        let issues = m.check_points(&pts(&values));
+        assert_eq!(issues, vec![HealthIssue::NonFinite { step: 3 }]);
+        assert_eq!(issues[0].to_string(), "non-finite at step 3");
+    }
+
+    #[test]
+    fn divergence_fires_when_ema_climbs_off_its_floor() {
+        let m = HealthMonitor::default();
+        // Descend to 0.5 then explode geometrically.
+        let mut values: Vec<f64> = (0..16).map(|i| 2.0 - i as f64 * 0.1).collect();
+        values.extend((0..16).map(|i| 0.5 * 1.5f64.powi(i)));
+        let issues = m.check_points(&pts(&values));
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, HealthIssue::Diverging { .. })),
+            "expected divergence, got {issues:?}"
+        );
+    }
+
+    #[test]
+    fn divergence_needs_minimum_points() {
+        let m = HealthMonitor::default();
+        // Same explosion but too short to trust.
+        let issues = m.check_points(&pts(&[0.5, 5.0, 50.0]));
+        assert!(issues.is_empty(), "3 points must not fire: {issues:?}");
+    }
+
+    #[test]
+    fn plateau_above_the_minimum_is_flagged() {
+        let m = HealthMonitor::default();
+        // Reaches 0.2, bounces up to 1.0 and flatlines there.
+        let mut values: Vec<f64> = (0..16).map(|i| 2.0 - i as f64 * 0.12).collect();
+        values.extend(std::iter::repeat_n(1.0, 20));
+        let issues = m.check_points(&pts(&values));
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, HealthIssue::Plateau { .. })),
+            "expected plateau, got {issues:?}"
+        );
+    }
+
+    #[test]
+    fn nan_does_not_poison_divergence_detection() {
+        let m = HealthMonitor::default();
+        let mut values: Vec<f64> = (0..16).map(|i| 2.0 - i as f64 * 0.1).collect();
+        values.push(f64::NAN);
+        values.extend((0..16).map(|i| 0.5 * 1.5f64.powi(i)));
+        let issues = m.check_points(&pts(&values));
+        assert!(issues.iter().any(|i| matches!(i, HealthIssue::NonFinite { .. })));
+        assert!(issues.iter().any(|i| matches!(i, HealthIssue::Diverging { .. })));
+    }
+
+    #[test]
+    fn check_events_groups_and_sorts_by_step() {
+        let m = HealthMonitor::default();
+        // Out-of-order steps; sorted they descend cleanly -> healthy.
+        let events = vec![
+            SeriesEvent { name: "b.loss", step: 1, value: 0.9 },
+            SeriesEvent { name: "a.loss", step: 0, value: f64::NAN },
+            SeriesEvent { name: "b.loss", step: 0, value: 1.0 },
+            SeriesEvent { name: "b.loss", step: 2, value: 0.8 },
+        ];
+        let report = m.check_events(&events);
+        assert_eq!(report.verdicts.len(), 2);
+        assert_eq!(report.verdicts[0].name, "a.loss");
+        assert!(!report.verdicts[0].is_healthy());
+        assert!(report.verdicts[1].is_healthy());
+        assert_eq!(report.verdicts[1].points, 3);
+        assert!(!report.is_healthy());
+        assert_eq!(report.summary(), "a.loss: non-finite at step 0");
+    }
+
+    #[test]
+    fn summary_distinguishes_empty_from_healthy() {
+        assert_eq!(HealthReport::default().summary(), "no series recorded");
+        let report = HealthReport {
+            verdicts: vec![SeriesVerdict {
+                name: "student.loss".to_owned(),
+                points: 10,
+                issues: vec![],
+            }],
+        };
+        assert!(report.is_healthy());
+        assert_eq!(report.summary(), "1 series healthy");
+    }
+
+    #[test]
+    fn check_trace_walks_every_series() {
+        let mut trace = Trace::default();
+        trace.series.insert("x.loss", pts(&[1.0, f64::INFINITY]));
+        let report = HealthMonitor::default().check_trace(&trace);
+        assert_eq!(report.verdicts.len(), 1);
+        assert_eq!(report.summary(), "x.loss: non-finite at step 1");
+    }
+}

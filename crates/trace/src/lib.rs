@@ -31,6 +31,17 @@
 //!   (GEMM calls, FLOPs, cache hits).
 //! * **Gauges** ([`gauge`]) sample a scalar (pool task count per job);
 //!   last/min/max/mean are aggregated.
+//! * **Stat-only spans** ([`span_stat`]) time an interval into the
+//!   aggregated per-name statistics *without* recording a raw event — the
+//!   right tool for sites called millions of times per run (the GEMM
+//!   kernel), where raw events would instantly exhaust the per-thread cap.
+//! * **Series** ([`series`]) record `(step, value)` training curves
+//!   (student/generator losses) with the same thread-local buffering and
+//!   disabled-path relaxed-load gate as spans; raw points are capped per
+//!   thread (`CAE_TRACE_SERIES_CAP`, default 65536) with overflow counted.
+//!   The [`health`] module analyses drained series for NaN/Inf, divergence
+//!   and plateaus; the [`profile`] module reconstructs span trees into
+//!   self-time profiles and flamegraph-folded stacks.
 //!
 //! ## Enabling
 //!
@@ -43,6 +54,9 @@
 //! [`drain`] returns a [`Trace`]; [`Trace::save`] writes the raw span
 //! events as JSONL (`trace_<stem>.jsonl`) plus an aggregated summary
 //! (`TRACE_<stem>.json`) next to the experiment report JSONs.
+
+pub mod health;
+pub mod profile;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -242,6 +256,26 @@ impl GaugeStat {
     }
 }
 
+/// One recorded time-series point: a metric name plus `(step, value)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesEvent {
+    /// Series name (`"student.loss"`, `"generator.loss"`, …).
+    pub name: &'static str,
+    /// Training step the value was observed at.
+    pub step: u64,
+    /// Observed value (may be non-finite; the health monitor flags those).
+    pub value: f64,
+}
+
+/// One `(step, value)` point of a drained, per-name series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Training step.
+    pub step: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
 #[derive(Default)]
 struct Inner {
     spans: Vec<SpanEvent>,
@@ -249,6 +283,8 @@ struct Inner {
     span_stats: BTreeMap<&'static str, SpanStat>,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, GaugeStat>,
+    series: Vec<SeriesEvent>,
+    dropped_series: u64,
 }
 
 struct ThreadBuf {
@@ -265,6 +301,16 @@ fn max_events_per_thread() -> usize {
     static MAX: OnceLock<usize> = OnceLock::new();
     *MAX.get_or_init(|| {
         std::env::var("CAE_TRACE_MAX_EVENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(65_536)
+    })
+}
+
+fn series_cap_per_thread() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("CAE_TRACE_SERIES_CAP")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(65_536)
@@ -338,6 +384,105 @@ pub fn gauge(name: &'static str, value: f64) {
             }
         }
     });
+}
+
+/// Records one `(step, value)` point of the series `name` (a training
+/// curve). Points are buffered per thread up to `CAE_TRACE_SERIES_CAP`
+/// (default 65536); overflow is counted in [`Trace::dropped_series`]. A
+/// no-op (one relaxed atomic load) when tracing is disabled.
+#[inline]
+pub fn series(name: &'static str, step: u64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    BUF.with(|buf| {
+        let mut inner = buf.inner.lock().expect("trace thread buffer poisoned");
+        if inner.series.len() < series_cap_per_thread() {
+            inner.series.push(SeriesEvent { name, step, value });
+        } else {
+            inner.dropped_series += 1;
+        }
+    });
+}
+
+/// Number of series points currently buffered on *this* thread. Pair with
+/// [`take_thread_series_since`] to capture exactly the points a code
+/// region recorded (the scheduler uses this to attach training-health
+/// verdicts to a failing cell).
+pub fn thread_series_mark() -> usize {
+    BUF.with(|buf| {
+        buf.inner
+            .lock()
+            .expect("trace thread buffer poisoned")
+            .series
+            .len()
+    })
+}
+
+/// Removes and returns this thread's series points recorded after `mark`
+/// (as returned by [`thread_series_mark`]). A concurrent [`drain`] may
+/// have cleared the buffer already, in which case fewer (possibly zero)
+/// points come back. Failed-and-retried work uses this to keep its partial
+/// curves out of the globally drained series.
+pub fn take_thread_series_since(mark: usize) -> Vec<SeriesEvent> {
+    BUF.with(|buf| {
+        let mut inner = buf.inner.lock().expect("trace thread buffer poisoned");
+        if mark >= inner.series.len() {
+            return Vec::new();
+        }
+        inner.series.split_off(mark)
+    })
+}
+
+/// Clones every thread's currently buffered series points without clearing
+/// anything (unlike [`drain`]). Lets error paths inspect training curves
+/// while the trace keeps accumulating for the final drain.
+pub fn series_snapshot() -> Vec<SeriesEvent> {
+    let buffers: Vec<Arc<ThreadBuf>> = buffers()
+        .lock()
+        .expect("trace buffer registry poisoned")
+        .clone();
+    let mut out = Vec::new();
+    for buf in buffers {
+        out.extend_from_slice(
+            &buf.inner.lock().expect("trace thread buffer poisoned").series,
+        );
+    }
+    out
+}
+
+/// Guard returned by [`span_stat`]; on drop it records the interval into
+/// the aggregated per-name span statistics only — no raw event, no parent
+/// stack. Safe for sites called millions of times per run.
+pub struct StatSpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a stat-only span: the interval lands in [`Trace::span_stats`]
+/// under `name` (count/total/min/max stay exact) but no raw [`SpanEvent`]
+/// is recorded, so the per-thread event cap is never consumed. Use for
+/// hot kernels (the GEMM micro-kernel) where raw per-call events are
+/// unaffordable. A no-op when tracing is disabled.
+#[inline]
+pub fn span_stat(name: &'static str) -> StatSpanGuard {
+    StatSpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for StatSpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        BUF.with(|buf| {
+            let mut inner = buf.inner.lock().expect("trace thread buffer poisoned");
+            inner.span_stats.entry(self.name).or_default().record(dur_ns);
+        });
+    }
 }
 
 struct ActiveSpan {
@@ -451,6 +596,10 @@ pub struct Trace {
     pub counters: BTreeMap<&'static str, u64>,
     /// Gauge statistics.
     pub gauges: BTreeMap<&'static str, GaugeStat>,
+    /// Per-name time series, merged across threads and sorted by step.
+    pub series: BTreeMap<&'static str, Vec<SeriesPoint>>,
+    /// Series points dropped to the per-thread cap (`CAE_TRACE_SERIES_CAP`).
+    pub dropped_series: u64,
 }
 
 /// Collects and clears every thread's buffer. Threads keep recording
@@ -479,8 +628,19 @@ pub fn drain() -> Trace {
                 }
             }
         }
+        for ev in inner.series {
+            trace
+                .series
+                .entry(ev.name)
+                .or_default()
+                .push(SeriesPoint { step: ev.step, value: ev.value });
+        }
+        trace.dropped_series += inner.dropped_series;
     }
     trace.spans.sort_by_key(|s| (s.start_ns, s.id));
+    for points in trace.series.values_mut() {
+        points.sort_by_key(|p| p.step);
+    }
     trace
 }
 
@@ -513,6 +673,16 @@ fn tag_value_json(v: &TagValue, out: &mut String) {
     }
 }
 
+/// Writes an `f64` as JSON: `null` for non-finite values (NaN/Inf have no
+/// JSON representation), the shortest round-trip form otherwise.
+fn json_f64(value: f64, out: &mut String) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
 impl Trace {
     /// Whether nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
@@ -520,6 +690,14 @@ impl Trace {
             && self.span_stats.is_empty()
             && self.counters.is_empty()
             && self.gauges.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Whether any raw span events or series points were dropped to a
+    /// per-thread cap. A truncated trace still has exact aggregated
+    /// statistics, but profiles built from its raw events are partial.
+    pub fn truncated(&self) -> bool {
+        self.dropped_spans > 0 || self.dropped_series > 0
     }
 
     /// Raw span events named `name`.
@@ -528,7 +706,8 @@ impl Trace {
         self.spans.iter().filter(move |s| s.name == name)
     }
 
-    /// One JSON object per span event, newline-separated.
+    /// One JSON object per line: every span event (start-time order), then
+    /// every series point (`{"series":...,"step":...,"value":...}`).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in &self.spans {
@@ -561,6 +740,15 @@ impl Trace {
             }
             out.push_str("}\n");
         }
+        for (name, points) in &self.series {
+            for p in points {
+                out.push_str("{\"series\":\"");
+                json_escape(name, &mut out);
+                let _ = write!(out, "\",\"step\":{},\"value\":", p.step);
+                json_f64(p.value, &mut out);
+                out.push_str("}\n");
+            }
+        }
         out
     }
 
@@ -592,17 +780,50 @@ impl Trace {
                 out.push_str(",\n");
             }
             let mean = if g.count > 0 { g.sum / g.count as f64 } else { 0.0 };
+            let _ = write!(out, "    \"{name}\": {{\"count\": {}, \"last\": ", g.count);
+            json_f64(g.last, &mut out);
+            out.push_str(", \"mean\": ");
+            json_f64(mean, &mut out);
+            out.push_str(", \"min\": ");
+            json_f64(g.min, &mut out);
+            out.push_str(", \"max\": ");
+            json_f64(g.max, &mut out);
+            out.push('}');
+        }
+        out.push_str("\n  },\n  \"series\": {\n");
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let non_finite = points.iter().filter(|p| !p.value.is_finite()).count();
+            let finite = points.iter().map(|p| p.value).filter(|v| v.is_finite());
+            let min = finite.clone().fold(f64::INFINITY, f64::min);
+            let max = finite.fold(f64::NEG_INFINITY, f64::max);
             let _ = write!(
                 out,
-                "    \"{name}\": {{\"count\": {}, \"last\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
-                g.count, g.last, mean, g.min, g.max
+                "    \"{name}\": {{\"points\": {}, \"first_step\": {}, \"last_step\": {}, \"last\": ",
+                points.len(),
+                points.first().map_or(0, |p| p.step),
+                points.last().map_or(0, |p| p.step),
             );
+            json_f64(points.last().map_or(f64::NAN, |p| p.value), &mut out);
+            out.push_str(", \"min\": ");
+            json_f64(if min.is_finite() { min } else { f64::NAN }, &mut out);
+            out.push_str(", \"max\": ");
+            json_f64(if max.is_finite() { max } else { f64::NAN }, &mut out);
+            let _ = write!(out, ", \"non_finite\": {non_finite}}}");
         }
+        // `truncated` is loud and first-class: a capped trace must never be
+        // silently read as a complete profile (aggregated stats stay exact;
+        // raw events/points are what is partial).
         let _ = write!(
             out,
-            "\n  }},\n  \"span_events\": {},\n  \"dropped_span_events\": {}\n}}\n",
+            "\n  }},\n  \"span_events\": {},\n  \"dropped_span_events\": {},\n  \"series_points\": {},\n  \"dropped_series_points\": {},\n  \"truncated\": {}\n}}\n",
             self.spans.len(),
-            self.dropped_spans
+            self.dropped_spans,
+            self.series.values().map(Vec::len).sum::<usize>(),
+            self.dropped_series,
+            self.truncated(),
         );
         out
     }
@@ -743,6 +964,97 @@ mod tests {
         assert!(jl.ends_with("trace_demo.jsonl") && jl.exists());
         assert!(sm.ends_with("TRACE_demo.json") && sm.exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_record_merge_and_capture() {
+        let _l = lock();
+        force_enabled(true);
+        let _ = drain();
+        series("t.loss", 0, 2.0);
+        let mark = thread_series_mark();
+        series("t.loss", 1, 1.5);
+        series("t.other", 0, 7.0);
+        let handle = std::thread::spawn(|| {
+            series("t.loss", 2, 1.0);
+        });
+        handle.join().expect("worker panicked");
+        // Capture (and remove) only this thread's points after the mark.
+        let captured = take_thread_series_since(mark);
+        assert_eq!(
+            captured,
+            vec![
+                SeriesEvent { name: "t.loss", step: 1, value: 1.5 },
+                SeriesEvent { name: "t.other", step: 0, value: 7.0 },
+            ]
+        );
+        assert!(take_thread_series_since(999).is_empty(), "stale marks saturate");
+        let snapshot = series_snapshot();
+        assert_eq!(snapshot.len(), 2, "snapshot sees remaining points, uncleared");
+        let t = drain();
+        force_enabled(false);
+        reset_to_env();
+        // The captured points must not reappear in the drained trace; the
+        // cross-thread point merges in, sorted by step.
+        assert_eq!(
+            t.series["t.loss"],
+            vec![
+                SeriesPoint { step: 0, value: 2.0 },
+                SeriesPoint { step: 2, value: 1.0 },
+            ]
+        );
+        assert!(!t.series.contains_key("t.other"));
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn disabled_series_and_stat_spans_record_nothing() {
+        let _l = lock();
+        force_enabled(false);
+        let _ = drain();
+        series("never.series", 0, 1.0);
+        {
+            let _g = span_stat("never.stat");
+        }
+        let t = drain();
+        assert!(!t.series.contains_key("never.series"));
+        assert!(!t.span_stats.contains_key("never.stat"));
+        reset_to_env();
+    }
+
+    #[test]
+    fn stat_spans_aggregate_without_raw_events() {
+        let _l = lock();
+        force_enabled(true);
+        let _ = drain();
+        for _ in 0..100 {
+            let _g = span_stat("stat.only");
+        }
+        let t = drain();
+        force_enabled(false);
+        reset_to_env();
+        assert_eq!(t.span_stats["stat.only"].count, 100);
+        assert_eq!(t.spans_named("stat.only").count(), 0, "no raw events recorded");
+        assert_eq!(t.dropped_spans, 0, "stat spans never consume the event cap");
+    }
+
+    #[test]
+    fn series_export_formats_flag_non_finite_values() {
+        let _l = lock();
+        force_enabled(true);
+        let _ = drain();
+        series("fmt.series", 0, 1.25);
+        series("fmt.series", 1, f64::NAN);
+        let t = drain();
+        force_enabled(false);
+        reset_to_env();
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains("{\"series\":\"fmt.series\",\"step\":0,\"value\":1.25}"));
+        assert!(jsonl.contains("{\"series\":\"fmt.series\",\"step\":1,\"value\":null}"));
+        let summary = t.summary_json();
+        assert!(summary.contains("\"fmt.series\""));
+        assert!(summary.contains("\"non_finite\": 1"));
+        assert!(summary.contains("\"truncated\": false"));
     }
 
     #[test]

@@ -25,12 +25,14 @@ CAE_BUDGET=smoke CAE_TRACE=1 CAE_RESULTS_DIR="$trace_tmp/on" \
 cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/on/table_ii.json"
 test -s "$trace_tmp/on/TRACE_table_ii.json"
 # Fault isolation: with deterministic injection and no retries the table
-# must still complete, rendering the injected failures as FAILED rows ...
-CAE_BUDGET=smoke CAE_TRACE=0 CAE_FAULT_INJECT=0.2:7 CAE_CELL_RETRIES=0 \
+# must still complete, rendering the injected failures as FAILED rows —
+# annotated (the run is traced) with a training-health verdict saying why.
+CAE_BUDGET=smoke CAE_TRACE=1 CAE_FAULT_INJECT=0.2:7 CAE_CELL_RETRIES=0 \
   CAE_RESULTS_DIR="$trace_tmp/fault" \
   cargo run --release --offline -p cae-bench --bin table02 >/dev/null
 grep -q 'FAILED(' "$trace_tmp/fault/table_ii.json"
 grep -q 'injected fault' "$trace_tmp/fault/table_ii.json"
+grep -q 'health:' "$trace_tmp/fault/table_ii.json"
 # ... and with retries enough to absorb every injected fault, the report
 # must be byte-identical to the uninjected baseline (retries re-run the
 # identical cell seed).
@@ -38,4 +40,14 @@ CAE_BUDGET=smoke CAE_TRACE=0 CAE_FAULT_INJECT=0.2:7 CAE_CELL_RETRIES=20 \
   CAE_RESULTS_DIR="$trace_tmp/retry" \
   cargo run --release --offline -p cae-bench --bin table02 >/dev/null
 cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/retry/table_ii.json"
+# Profiler smoke: `profile <id>` must produce flamegraph-folded stacks and
+# a self-time table that accounts for the experiment span's wall-clock.
+cargo run --release --offline -- profile table02 --budget smoke \
+  --out "$trace_tmp/profile" | tee "$trace_tmp/profile_out.txt" >/dev/null
+test -s "$trace_tmp/profile/PROFILE_table02.txt"
+grep -q 'self-time coverage' "$trace_tmp/profile_out.txt"
+# Regression gate: current BENCH_*.json records vs the committed baselines
+# (tolerance bands in crates/bench/src/compare.rs). Also asserts the
+# disabled-path tracing overhead stays under its 3% cap.
+cargo run --release --offline -p cae-bench --bin bench_compare
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -11,12 +11,16 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-/// A parsed command line: subcommand plus `--key value` options.
+/// A parsed command line: subcommand, an optional leading positional
+/// argument (`cae-dfkd profile table02`) and `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Command {
-    /// The subcommand (`distill`, `evaluate`, `transfer`, `table`, `list`,
-    /// `help`).
+    /// The subcommand (`distill`, `evaluate`, `transfer`, `table`,
+    /// `profile`, `health`, `list`, `help`).
     pub name: String,
+    /// A single positional argument directly after the subcommand, if any
+    /// (`profile`/`health`/`table` accept the experiment id this way).
+    pub positional: Option<String>,
     /// Flag map.
     pub options: BTreeMap<String, String>,
 }
@@ -42,10 +46,15 @@ impl Command {
     ///
     /// # Errors
     /// Returns an error when no subcommand is given, a flag is missing its
-    /// value, or a positional argument appears after flags.
+    /// value, or more than one positional argument appears (a single
+    /// positional is accepted, directly after the subcommand only).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseArgsError> {
-        let mut iter = args.into_iter();
+        let mut iter = args.into_iter().peekable();
         let name = iter.next().ok_or_else(|| err("missing subcommand; try `help`"))?;
+        let positional = match iter.peek() {
+            Some(arg) if !arg.starts_with("--") => iter.next(),
+            _ => None,
+        };
         let mut options = BTreeMap::new();
         while let Some(arg) = iter.next() {
             let key = arg
@@ -56,7 +65,7 @@ impl Command {
                 .ok_or_else(|| err(format!("flag --{key} is missing its value")))?;
             options.insert(key.to_owned(), value);
         }
-        Ok(Command { name, options })
+        Ok(Command { name, positional, options })
     }
 
     /// String option with a default.
@@ -122,12 +131,35 @@ impl Command {
     /// # Errors
     /// Returns an error for unknown budget names.
     pub fn budget(&self) -> Result<ExperimentBudget, ParseArgsError> {
-        match self.str_or("budget", "fast") {
+        self.budget_or("fast")
+    }
+
+    /// Budget option with a caller-chosen default (`profile`/`health`
+    /// default to `smoke`: they exist to inspect a run, not to reproduce
+    /// paper numbers).
+    ///
+    /// # Errors
+    /// Returns an error for unknown budget names.
+    pub fn budget_or(&self, default: &str) -> Result<ExperimentBudget, ParseArgsError> {
+        match self.str_or("budget", default) {
             "smoke" => Ok(ExperimentBudget::smoke()),
             "fast" => Ok(ExperimentBudget::fast()),
             "full" => Ok(ExperimentBudget::full()),
             other => Err(err(format!("unknown budget '{other}' (smoke|fast|full)"))),
         }
+    }
+
+    /// The experiment id for id-taking subcommands: the positional argument
+    /// (`cae-dfkd profile table02`) or the `--id` flag.
+    ///
+    /// # Errors
+    /// Returns an error when neither is given.
+    pub fn id_arg(&self) -> Result<&str, ParseArgsError> {
+        if let Some(id) = &self.positional {
+            return Ok(id);
+        }
+        self.required("id")
+            .map_err(|_| err("missing experiment id (positional or --id; see `list`)"))
     }
 
     /// Method option (default `cae`).
@@ -197,13 +229,27 @@ USAGE:
   cae-dfkd evaluate --weights FILE.json [--dataset c10] [--arch resnet18] [--budget fast]
   cae-dfkd transfer --weights FILE.json [--task nyu|ade|coco] [--arch resnet18]
                     [--dataset c10] [--budget fast]
-  cae-dfkd table    --id table02 [--budget smoke|fast|full] [--out results]
+  cae-dfkd table    <id> [--budget smoke|fast|full] [--out results]
+  cae-dfkd profile  <id> [--budget smoke|fast|full] [--out .]
+  cae-dfkd profile  --trace trace_table_ii.jsonl [--out .]
+  cae-dfkd health   <id> [--budget smoke|fast|full]
   cae-dfkd list
   cae-dfkd help
 
 `table` runs one registered experiment by id (see `list` for the ids) and
 writes its JSON artifact under --out. Set CAE_TRACE=1 to also write the
-run's trace (trace_<id>.jsonl + TRACE_<id>.json) next to the report.
+run's trace (trace_<stem>.jsonl + TRACE_<stem>.json) next to the report.
+Id-taking subcommands accept the id positionally or as --id.
+
+`profile` runs the experiment with tracing forced on (serial cells, so the
+span forest is one tree), prints a per-span self-time table with the
+critical path and derived throughput, and writes flamegraph-folded stacks
+to PROFILE_<id>.txt under --out. With --trace it instead profiles an
+existing trace_<stem>.jsonl, no run needed.
+
+`health` runs the experiment with tracing forced on and prints a
+training-health verdict (NaN/Inf, divergence, plateau) per recorded series
+(generator.loss, student.loss, student.cncl_loss, ...).
 
 Architectures: resnet18 resnet34 resnet50 wrn40-2 wrn40-1 wrn16-2 wrn16-1 vgg11
 ";
@@ -228,10 +274,40 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(Command::parse(args("")).is_err());
-        assert!(Command::parse(args("distill stray")).is_err());
+        assert!(
+            Command::parse(args("distill one two")).is_err(),
+            "only a single leading positional is accepted"
+        );
+        assert!(
+            Command::parse(args("table --budget smoke table02")).is_err(),
+            "positionals after flags are rejected"
+        );
         assert!(Command::parse(args("distill --n")).is_err());
         let c = Command::parse(args("distill --n x")).expect("parses");
         assert!(c.usize_or("n", 4).is_err());
+    }
+
+    #[test]
+    fn leading_positional_feeds_id_arg() {
+        let c = Command::parse(args("profile table02 --budget smoke")).expect("parses");
+        assert_eq!(c.positional.as_deref(), Some("table02"));
+        assert_eq!(c.id_arg().expect("id"), "table02");
+        assert_eq!(c.budget_or("smoke").expect("budget"), ExperimentBudget::smoke());
+
+        let c = Command::parse(args("table --id table05")).expect("parses");
+        assert_eq!(c.positional, None);
+        assert_eq!(c.id_arg().expect("id"), "table05");
+
+        let c = Command::parse(args("health")).expect("parses");
+        let e = c.id_arg().expect_err("no id anywhere");
+        assert!(e.to_string().contains("positional or --id"));
+    }
+
+    #[test]
+    fn help_documents_the_observability_subcommands() {
+        assert!(HELP.contains("cae-dfkd profile"));
+        assert!(HELP.contains("cae-dfkd health"));
+        assert!(HELP.contains("PROFILE_<id>.txt"));
     }
 
     #[test]

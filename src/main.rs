@@ -43,6 +43,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error + Send + Sync>> {
         "evaluate" => evaluate(&cmd),
         "transfer" => transfer(&cmd),
         "table" => table(&cmd),
+        "profile" => profile(&cmd),
+        "health" => health(&cmd),
         "list" => {
             list();
             Ok(())
@@ -55,13 +57,27 @@ fn list() {
     println!("registered experiments (paper order):");
     for entry in experiments::registry() {
         let marker = if entry.in_paper { " " } else { "+" };
-        println!("  {marker} {:<10} {}", entry.id, entry.title);
+        println!(
+            "  {marker} {:<10} {:<14} {}",
+            entry.id, entry.artifact_stem, entry.title
+        );
     }
-    println!("(+ = extra suite beyond the paper's tables/figures)");
+    println!("(+ = extra suite beyond the paper's tables/figures; middle column = artifact stem)");
+}
+
+/// Looks an experiment up by id, listing the known ids on a miss.
+fn entry_by_id(id: &str) -> Result<&'static experiments::ExperimentEntry, Box<dyn Error + Send + Sync>> {
+    experiments::registry()
+        .iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| {
+            let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
+            format!("unknown experiment '{id}' (known: {})", known.join("|")).into()
+        })
 }
 
 fn table(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
-    let id = cmd.required("id")?;
+    let id = cmd.id_arg()?;
     let budget = cmd.budget()?;
     let Some(outcome) = experiments::run_by_id(id, &budget) else {
         let known: Vec<&str> = experiments::registry().iter().map(|e| e.id).collect();
@@ -79,6 +95,76 @@ fn table(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
             println!("trace: {} + {}", jsonl.display(), summary.display());
         }
     }
+    Ok(())
+}
+
+/// `cae-dfkd profile <id>`: run with tracing forced on and profile the
+/// resulting span tree; or `--trace FILE.jsonl` to profile a saved trace.
+fn profile(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let out = std::path::PathBuf::from(cmd.str_or("out", "."));
+    if let Some(path) = cmd.options.get("trace") {
+        let text = std::fs::read_to_string(path)?;
+        let profile = cae_dfkd::trace::profile::Profile::from_jsonl(&text)?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(|s| s.strip_prefix("trace_").unwrap_or(s))
+            .unwrap_or("trace")
+            .to_owned();
+        print!("{}", profile.self_time_table());
+        let saved = profile.save(&out, &stem)?;
+        println!("profile: {}", saved.display());
+        return Ok(());
+    }
+
+    let id = cmd.id_arg()?;
+    let budget = cmd.budget_or("smoke")?;
+    let entry = entry_by_id(id)?;
+    // Serial cells keep every span on one thread-rooted tree, so the
+    // self-time table provably sums back to the `experiment` root; the
+    // raised event cap keeps a fast-budget profile from truncating.
+    std::env::set_var("CAE_CELL_PARALLEL", "0");
+    if std::env::var("CAE_TRACE_MAX_EVENTS").is_err() {
+        std::env::set_var("CAE_TRACE_MAX_EVENTS", "1048576");
+    }
+    cae_dfkd::trace::force_enabled(true);
+    cae_dfkd::trace::drain(); // profile this run only
+    let run_outcome = entry.run(&budget);
+    let trace = cae_dfkd::trace::drain();
+    cae_dfkd::trace::reset_to_env();
+    run_outcome?;
+
+    let profile = cae_dfkd::trace::profile::Profile::from_trace(&trace);
+    print!("{}", profile.self_time_table());
+    let saved = profile.save(&out, id)?;
+    println!("profile: {}", saved.display());
+    Ok(())
+}
+
+/// `cae-dfkd health <id>`: run with tracing forced on and print a
+/// training-health verdict per recorded series.
+fn health(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let id = cmd.id_arg()?;
+    let budget = cmd.budget_or("smoke")?;
+    let entry = entry_by_id(id)?;
+    cae_dfkd::trace::force_enabled(true);
+    cae_dfkd::trace::drain();
+    let run_outcome = entry.run(&budget);
+    let trace = cae_dfkd::trace::drain();
+    cae_dfkd::trace::reset_to_env();
+
+    let report = cae_dfkd::trace::health::HealthMonitor::default().check_trace(&trace);
+    println!("training health for '{id}' ({} series):", report.verdicts.len());
+    for v in &report.verdicts {
+        if v.is_healthy() {
+            println!("  {:<22} {:>6} points  healthy", v.name, v.points);
+        } else {
+            let issues: Vec<String> = v.issues.iter().map(ToString::to_string).collect();
+            println!("  {:<22} {:>6} points  {}", v.name, v.points, issues.join(", "));
+        }
+    }
+    println!("verdict: {}", report.summary());
+    run_outcome?;
     Ok(())
 }
 
