@@ -2,19 +2,21 @@
 //! naive baselines they replaced and writes `BENCH_kernels.json` at the
 //! repository root.
 //!
-//! Each record carries `op`, `shape`, `ns_per_iter` and `gflops` for the
-//! current (blocked) kernel; ops with a naive counterpart also record
-//! `naive_ns_per_iter` and `speedup`. The naive baselines reproduce the
-//! seed implementation faithfully — i-k-j saxpy / dot-product loop nests
+//! Each record carries `op`, `shape`, `ns_per_iter`, `gflops` and the active
+//! SIMD `backend` for the current kernel; ops with a naive counterpart also
+//! record `naive_ns_per_iter` and `speedup`. The naive baselines reproduce
+//! the seed implementation faithfully — i-k-j saxpy / dot-product loop nests
 //! plus the per-call scratch allocations the old conv passes performed —
 //! minus the NaN-swallowing `== 0.0` skip branches, which almost never fire
 //! on random data.
 //!
-//! Run with `cargo run --release -p cae-bench --bin bench_kernels`.
+//! Run with `cargo run --release -p cae-bench --bin bench_kernels`. Set
+//! `CAE_SIMD=scalar` to measure the scalar fallback.
 
 use cae_tensor::conv::{self, Conv2dSpec};
 use cae_tensor::gemm::{gemm, gemm_reference};
 use cae_tensor::rng::TensorRng;
+use cae_tensor::simd::vecmath;
 use cae_tensor::Tensor;
 use criterion::{black_box, measure};
 use serde::Value;
@@ -35,9 +37,11 @@ struct Record {
 
 impl Record {
     fn to_value(&self) -> Value {
+        let backend = cae_tensor::simd::active_backend().name();
         let mut fields = vec![
             ("op".to_string(), Value::String(self.op.to_string())),
             ("shape".to_string(), Value::String(self.shape.clone())),
+            ("backend".to_string(), Value::String(backend.to_string())),
             ("ns_per_iter".to_string(), Value::Number(self.ns_per_iter)),
             ("gflops".to_string(), Value::Number(self.gflops)),
         ];
@@ -295,6 +299,53 @@ fn main() {
         sflops,
         || black_box(conv::conv2d(&xs, &ws, None, spec2)),
         Some(&mut || black_box(conv2d_naive(&xs, &ws, spec2))),
+    ));
+
+    // -- Vectorized transcendentals and softmax. ---------------------------
+    let logits = rng.normal_tensor(&[256, 100], 0.0, 2.0);
+    // ~5 flops/element for the reduction passes; exp itself is uncounted so
+    // the GFLOP/s column stays comparable across math-library versions.
+    records.push(bench_pair(
+        "softmax_rows",
+        "256x100".to_string(),
+        5 * 256 * 100,
+        || black_box(logits.softmax_rows()),
+        Some(&mut || {
+            let (rows, k) = (256usize, 100usize);
+            let mut out = vec![0.0f32; rows * k];
+            for i in 0..rows {
+                let row = &logits.data()[i * k..(i + 1) * k];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0f32;
+                for (o, &v) in out[i * k..(i + 1) * k].iter_mut().zip(row) {
+                    *o = (v - m).exp();
+                    z += *o;
+                }
+                for o in &mut out[i * k..(i + 1) * k] {
+                    *o /= z;
+                }
+            }
+            black_box(out[0])
+        }),
+    ));
+
+    let xv: Vec<f32> = (0..4096).map(|_| rng.normal() * 4.0).collect();
+    let mut yv = vec![0.0f32; xv.len()];
+    let mut yn = vec![0.0f32; xv.len()];
+    records.push(bench_pair(
+        "vec_exp",
+        "4096".to_string(),
+        xv.len(),
+        || {
+            vecmath::vec_exp(&xv, &mut yv);
+            black_box(yv[0])
+        },
+        Some(&mut || {
+            for (y, &x) in yn.iter_mut().zip(&xv) {
+                *y = x.exp();
+            }
+            black_box(yn[0])
+        }),
     ));
 
     // -- Report. -----------------------------------------------------------

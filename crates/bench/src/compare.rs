@@ -87,9 +87,23 @@ fn str_field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v str, CompareE
     }
 }
 
+/// Reads an optional string field (absent or non-string returns `None`).
+fn opt_str_field<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    match v.get(key) {
+        Some(Value::String(s)) => Some(s),
+        _ => None,
+    }
+}
+
 /// Compares `BENCH_kernels.json` records (arrays of per-op entries): every
 /// baselined `(op, shape)` must still exist and retain at least
 /// [`SPEEDUP_RETENTION`] of its baseline speedup.
+///
+/// Records carry the SIMD `backend` they were measured under. When the
+/// baseline and current rows name *different* backends (e.g. an `avx2`
+/// baseline checked on a `scalar`-forced or aarch64 host) the speedup band
+/// is skipped rather than reported as a regression — the comparison would
+/// measure the host's instruction set, not the kernel.
 ///
 /// # Errors
 /// Returns [`CompareError`] on malformed records.
@@ -105,19 +119,23 @@ pub fn compare_kernels(current: &Value, baseline: &Value) -> Result<Vec<Check>, 
         let metric = format!("kernels/{op} {shape}/speedup");
         let base_speedup = f64_field(entry, "speedup", ctx)?;
         let found = cur.iter().find(|e| {
-            e.get("op").and_then(|v| match v {
-                Value::String(s) => Some(s.as_str()),
-                _ => None,
-            }) == Some(op)
-                && e.get("shape").and_then(|v| match v {
-                    Value::String(s) => Some(s.as_str()),
-                    _ => None,
-                }) == Some(shape)
+            opt_str_field(e, "op") == Some(op) && opt_str_field(e, "shape") == Some(shape)
         });
         let Some(found) = found else {
             checks.push(Check::fail(metric, "entry missing from current record"));
             continue;
         };
+        let base_backend = opt_str_field(entry, "backend");
+        let cur_backend = opt_str_field(found, "backend");
+        if let (Some(bb), Some(cb)) = (base_backend, cur_backend) {
+            if bb != cb {
+                checks.push(Check::pass(
+                    metric,
+                    format!("skipped: baseline backend '{bb}', current '{cb}'"),
+                ));
+                continue;
+            }
+        }
         let cur_speedup = f64_field(found, "speedup", ctx)?;
         let floor = base_speedup * SPEEDUP_RETENTION;
         let detail = format!("{cur_speedup:.2}x vs baseline {base_speedup:.2}x (floor {floor:.2}x)");
@@ -261,6 +279,28 @@ mod tests {
         let matmul = &checks[0];
         assert!(!matmul.ok, "2.0x < floor 2.2x must regress: {matmul:?}");
         assert!(checks[1].ok);
+    }
+
+    #[test]
+    fn cross_backend_comparison_is_skipped_not_regressed() {
+        let baseline = v(r#"[
+            {"op": "matmul", "shape": "64x128x96", "backend": "avx2", "speedup": 9.0}
+        ]"#);
+        // Same op measured on a scalar-forced host at a fraction of the
+        // speedup: must skip, not fail.
+        let current = v(r#"[
+            {"op": "matmul", "shape": "64x128x96", "backend": "scalar", "speedup": 1.1}
+        ]"#);
+        let checks = compare_kernels(&current, &baseline).expect("compares");
+        assert!(checks[0].ok, "cross-backend must not regress: {:?}", checks[0]);
+        assert!(checks[0].detail.contains("skipped"));
+
+        // Same backend on both sides: the band applies again.
+        let same = v(r#"[
+            {"op": "matmul", "shape": "64x128x96", "backend": "avx2", "speedup": 1.1}
+        ]"#);
+        let checks = compare_kernels(&same, &baseline).expect("compares");
+        assert!(!checks[0].ok, "same-backend collapse must regress");
     }
 
     #[test]

@@ -133,16 +133,16 @@ impl Optimizer for Adam {
             let lr = self.lr;
             let eps = self.eps;
             p.update_value(|w| {
-                for ((wi, &mi), &vi) in w
-                    .data_mut()
-                    .iter_mut()
-                    .zip(new_m.data())
-                    .zip(new_v.data())
-                {
-                    let mhat = mi / bc1;
-                    let vhat = vi / bc2;
-                    *wi -= lr * mhat / (vhat.sqrt() + eps);
-                }
+                // w -= lr * (m/bc1) / (sqrt(v/bc2) + eps), vectorized.
+                cae_tensor::simd::vecmath::vec_adam(
+                    w.data_mut(),
+                    new_m.data(),
+                    new_v.data(),
+                    lr,
+                    bc1,
+                    bc2,
+                    eps,
+                );
             });
         }
     }

@@ -1,7 +1,19 @@
 //! Elementwise differentiable operations on [`Var`].
+//!
+//! The activation forward/backward pairs (`relu`, `leaky_relu`, `tanh`,
+//! `sigmoid`, `exp`) run on the SIMD layer's fused kernels
+//! ([`crate::simd::vecmath`]); the backward kernels compute the derivative
+//! and multiply by the incoming gradient in one pass instead of
+//! materializing a mask tensor first.
 
 use super::Var;
+use crate::simd::vecmath;
 use crate::tensor::Tensor;
+
+/// Builds a tensor with `template`'s shape around a freshly computed buffer.
+fn like(template: &Tensor, data: Vec<f32>) -> Tensor {
+    Tensor::from_vec(data, template.shape().dims()).expect("kernel preserves length")
+}
 
 impl Var {
     /// Elementwise addition of two same-shape variables.
@@ -81,7 +93,8 @@ impl Var {
 
     /// Elementwise square.
     pub fn square(&self) -> Var {
-        let value = self.value().map(|v| v * v);
+        let x = self.value();
+        let value = x.mul(&x);
         Var::from_op(
             value,
             vec![self.clone()],
@@ -111,56 +124,70 @@ impl Var {
 
     /// Elementwise ReLU.
     pub fn relu(&self) -> Var {
-        let value = self.value().map(|v| v.max(0.0));
+        let x = self.value();
+        let mut out = vec![0.0f32; x.data().len()];
+        vecmath::vec_relu(x.data(), &mut out);
         Var::from_op(
-            value,
+            like(&x, out),
             vec![self.clone()],
             Box::new(|g, parents| {
                 let x = parents[0].to_tensor();
-                let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                parents[0].accum(&g.mul(&mask));
+                let mut dx = vec![0.0f32; x.data().len()];
+                vecmath::vec_relu_grad(x.data(), g.data(), &mut dx);
+                parents[0].accum(&like(&x, dx));
             }),
         )
     }
 
     /// Elementwise leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&self, slope: f32) -> Var {
-        let value = self.value().map(|v| if v > 0.0 { v } else { slope * v });
+        let x = self.value();
+        let mut out = vec![0.0f32; x.data().len()];
+        vecmath::vec_leaky_relu(x.data(), slope, &mut out);
         Var::from_op(
-            value,
+            like(&x, out),
             vec![self.clone()],
             Box::new(move |g, parents| {
                 let x = parents[0].to_tensor();
-                let mask = x.map(|v| if v > 0.0 { 1.0 } else { slope });
-                parents[0].accum(&g.mul(&mask));
+                let mut dx = vec![0.0f32; x.data().len()];
+                vecmath::vec_leaky_relu_grad(x.data(), g.data(), slope, &mut dx);
+                parents[0].accum(&like(&x, dx));
             }),
         )
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&self) -> Var {
-        let value = self.value().map(f32::tanh);
+        let x = self.value();
+        let mut out = vec![0.0f32; x.data().len()];
+        vecmath::vec_tanh(x.data(), &mut out);
+        let value = like(&x, out);
         let saved = value.clone();
         Var::from_op(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let d = saved.map(|y| 1.0 - y * y);
-                parents[0].accum(&g.mul(&d));
+                let mut dx = vec![0.0f32; saved.data().len()];
+                vecmath::vec_tanh_grad(saved.data(), g.data(), &mut dx);
+                parents[0].accum(&like(&saved, dx));
             }),
         )
     }
 
     /// Elementwise sigmoid.
     pub fn sigmoid(&self) -> Var {
-        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let x = self.value();
+        let mut out = vec![0.0f32; x.data().len()];
+        vecmath::vec_sigmoid(x.data(), &mut out);
+        let value = like(&x, out);
         let saved = value.clone();
         Var::from_op(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let d = saved.map(|y| y * (1.0 - y));
-                parents[0].accum(&g.mul(&d));
+                let mut dx = vec![0.0f32; saved.data().len()];
+                vecmath::vec_sigmoid_grad(saved.data(), g.data(), &mut dx);
+                parents[0].accum(&like(&saved, dx));
             }),
         )
     }
@@ -189,7 +216,10 @@ impl Var {
 
     /// Elementwise natural exponential.
     pub fn exp(&self) -> Var {
-        let value = self.value().map(f32::exp);
+        let x = self.value();
+        let mut out = vec![0.0f32; x.data().len()];
+        vecmath::vec_exp(x.data(), &mut out);
+        let value = like(&x, out);
         let saved = value.clone();
         Var::from_op(
             value,

@@ -1,6 +1,11 @@
 //! Differentiable reductions, softmax and per-channel statistics on [`Var`].
+//!
+//! Row and channel loops run on the SIMD layer ([`crate::simd::vecmath`]);
+//! per-row/per-channel reductions use its fixed 8-lane accumulation order,
+//! so results are identical across backends.
 
 use super::Var;
+use crate::simd::vecmath;
 use crate::tensor::Tensor;
 
 impl Var {
@@ -31,13 +36,13 @@ impl Var {
         let (n, k) = self.value().shape().matrix();
         let x = self.to_tensor();
         let mut out = vec![0.0f32; n * k];
+        let mut exps = vec![0.0f32; k];
         for i in 0..n {
             let row = &x.data()[i * k..(i + 1) * k];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
-            for (j, &v) in row.iter().enumerate() {
-                out[i * k + j] = v - lse;
-            }
+            let m = vecmath::vec_max(row);
+            vecmath::vec_exp_shift(row, -m, &mut exps);
+            let lse = vecmath::vec_sum(&exps).ln() + m;
+            vecmath::vec_add_scalar(row, -lse, &mut out[i * k..(i + 1) * k]);
         }
         let value = Tensor::from_vec(out, &[n, k]).expect("shape consistent");
         let logp = value.clone();
@@ -45,14 +50,15 @@ impl Var {
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                // dx = g - softmax * row_sum(g); built directly, no
-                // zero-init pass.
-                let mut dx = Vec::with_capacity(n * k);
+                // dx = g - softmax * row_sum(g), one exp + fused
+                // multiply-add pass per row.
+                let mut dx = vec![0.0f32; n * k];
                 for i in 0..n {
                     let grow = &g.data()[i * k..(i + 1) * k];
-                    let gsum: f32 = grow.iter().sum();
-                    let lrow = &logp.data()[i * k..(i + 1) * k];
-                    dx.extend((0..k).map(|j| grow[j] - lrow[j].exp() * gsum));
+                    let gsum = vecmath::vec_sum(grow);
+                    let dxrow = &mut dx[i * k..(i + 1) * k];
+                    vecmath::vec_exp(&logp.data()[i * k..(i + 1) * k], dxrow);
+                    vecmath::vec_scale_add_inplace(dxrow, -gsum, grow);
                 }
                 parents[0].accum(&Tensor::from_vec(dx, &[n, k]).expect("shape consistent"));
             }),
@@ -107,7 +113,7 @@ impl Var {
         for ni in 0..n {
             for (ci, m) in means.iter_mut().enumerate() {
                 let off = (ni * c + ci) * hw;
-                *m += x.data()[off..off + hw].iter().sum::<f32>();
+                *m += vecmath::vec_sum(&x.data()[off..off + hw]);
             }
         }
         for m in &mut means {
@@ -157,9 +163,7 @@ impl Var {
                 for ci in 0..c {
                     let sv = s.data()[ci];
                     let off = (ni * c + ci) * hw;
-                    for v in &mut value.data_mut()[off..off + hw] {
-                        *v *= sv;
-                    }
+                    vecmath::vec_scale_inplace(&mut value.data_mut()[off..off + hw], sv);
                 }
             }
         }
@@ -170,12 +174,16 @@ impl Var {
                 let x = parents[0].to_tensor();
                 let s = parents[1].to_tensor();
                 if parents[0].requires_grad() {
-                    let mut dx = Vec::with_capacity(n * c * hw);
+                    let mut dx = vec![0.0f32; n * c * hw];
                     for ni in 0..n {
                         for ci in 0..c {
                             let sv = s.data()[ci];
                             let off = (ni * c + ci) * hw;
-                            dx.extend(g.data()[off..off + hw].iter().map(|&gv| gv * sv));
+                            vecmath::vec_scale(
+                                &g.data()[off..off + hw],
+                                sv,
+                                &mut dx[off..off + hw],
+                            );
                         }
                     }
                     parents[0].accum(
@@ -187,11 +195,10 @@ impl Var {
                     for ni in 0..n {
                         for ci in 0..c {
                             let off = (ni * c + ci) * hw;
-                            let mut acc = 0.0f32;
-                            for (xv, gv) in x.data()[off..off + hw].iter().zip(&g.data()[off..off + hw]) {
-                                acc += xv * gv;
-                            }
-                            ds.data_mut()[ci] += acc;
+                            ds.data_mut()[ci] += vecmath::vec_dot(
+                                &x.data()[off..off + hw],
+                                &g.data()[off..off + hw],
+                            );
                         }
                     }
                     parents[1].accum(&ds);
@@ -223,9 +230,7 @@ impl Var {
                 for ci in 0..c {
                     let sv = s.data()[ci];
                     let off = (ni * c + ci) * hw;
-                    for v in &mut value.data_mut()[off..off + hw] {
-                        *v += sv;
-                    }
+                    vecmath::vec_add_scalar_inplace(&mut value.data_mut()[off..off + hw], sv);
                 }
             }
         }
@@ -239,7 +244,7 @@ impl Var {
                     for ni in 0..n {
                         for ci in 0..c {
                             let off = (ni * c + ci) * hw;
-                            ds.data_mut()[ci] += g.data()[off..off + hw].iter().sum::<f32>();
+                            ds.data_mut()[ci] += vecmath::vec_sum(&g.data()[off..off + hw]);
                         }
                     }
                     parents[1].accum(&ds);

@@ -19,6 +19,7 @@
 
 use crate::gemm::gemm;
 use crate::pool;
+use crate::simd::vecmath;
 use crate::tensor::Tensor;
 use crate::workspace::{self, Slot};
 
@@ -258,9 +259,7 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSp
             if let Some(b) = bias {
                 for oi in 0..o {
                     let bv = b.data()[oi];
-                    for v in &mut dst[oi * ncols..(oi + 1) * ncols] {
-                        *v += bv;
-                    }
+                    vecmath::vec_add_scalar_inplace(&mut dst[oi * ncols..(oi + 1) * ncols], bv);
                 }
             }
         }
@@ -327,7 +326,7 @@ pub fn conv2d_backward(
         for ni in t * per_chunk..n.min((t + 1) * per_chunk) {
             let go = &god[ni * o * ncols..(ni + 1) * o * ncols];
             for oi in 0..o {
-                db_part[oi] += go[oi * ncols..(oi + 1) * ncols].iter().sum::<f32>();
+                db_part[oi] += vecmath::vec_sum(&go[oi * ncols..(oi + 1) * ncols]);
             }
             im2col_single(&xd[ni * chw..(ni + 1) * chw], c, h, w, spec, &mut col);
             // dw += go[o, ncols] · col[krows, ncols]ᵀ  (NT product).

@@ -14,10 +14,13 @@
 //!   panels, both contiguous in the micro-kernel's access order and
 //!   zero-padded to tile multiples, so the inner loop is branch-free and
 //!   sequential regardless of the original layout.
-//! * **Register micro-kernel** — an `MR × NR = 4 × 8` f32 accumulator block
-//!   ([`microkernel`]) whose inner loop is fixed-trip-count over
-//!   contiguous panels; LLVM unrolls and auto-vectorizes it at the
-//!   baseline SSE2 target.
+//! * **Register micro-kernel** — an `MR × NR = 4 × 16` f32 accumulator
+//!   block ([`microkernel`]) written over the [`crate::simd::SimdF32`]
+//!   trait: each output row is two 8-lane vectors updated with fused
+//!   multiply-adds, dispatched at runtime to AVX2+FMA / NEON / the scalar
+//!   fallback. Per output element the k-loop is one sequential FMA chain,
+//!   so the result is bit-identical across backends and tile shapes (see
+//!   the determinism policy in [`crate::simd`]).
 //! * **Cache blocking** — `MC/KC/NC` outer loops keep the packed A block in
 //!   L2 and the packed B panel streaming through L1.
 //! * **Adaptive parallelism** — row blocks go through
@@ -28,12 +31,14 @@
 //! allocate nothing.
 
 use crate::pool;
+use crate::simd::{self, simd_dispatch, SimdF32, LANES};
 use crate::workspace::{self, Slot};
 
 /// Micro-kernel rows: C is updated in `MR x NR` register tiles.
 const MR: usize = 4;
-/// Micro-kernel columns. 8 f32 lanes = two SSE registers per row.
-const NR: usize = 8;
+/// Micro-kernel columns: two 8-lane SIMD vectors per row (8 accumulator
+/// registers total on AVX2, half the register file).
+const NR: usize = 2 * LANES;
 /// Row-block size: one packed `MC x KC` A block (64 KiB) stays L2-resident.
 const MC: usize = 64;
 /// Depth-block size.
@@ -103,7 +108,13 @@ pub fn gemm(
         b.len() > (k - 1) * brs + (n - 1) * bcs,
         "B too short for {k}x{n} with strides ({brs},{bcs})"
     );
-    cae_trace::counters(&[("gemm.calls", 1), ("gemm.flops", (2 * m * n * k) as u64)]);
+    cae_trace::counters(&[
+        ("gemm.calls", 1),
+        ("gemm.flops", (2 * m * n * k) as u64),
+        // Lets `cae_trace::profile` report which SIMD backend produced the
+        // run's GEMM throughput.
+        (simd::active_backend().counter_key(), 1),
+    ]);
     // Stats-only span: exact per-call timing without a raw event per GEMM
     // (millions per run would instantly hit the per-thread event cap).
     let _gemm_span = cae_trace::span_stat("gemm");
@@ -114,7 +125,9 @@ pub fn gemm(
         1
     };
 
-    let mut bbuf = workspace::take(Slot::PackB, n.min(NC).div_ceil(NR) * NR * k.min(KC));
+    // Unzeroed: `pack_b` overwrites every element of the region the
+    // micro-kernel reads (padding included).
+    let mut bbuf = workspace::take_unzeroed(Slot::PackB, n.min(NC).div_ceil(NR) * NR * k.min(KC));
     let cptr = SendPtr(c.as_mut_ptr());
 
     for jc in (0..n).step_by(NC) {
@@ -196,6 +209,10 @@ pub fn gemm_reference(
 /// Packs `A[ic..ic+mc, pc..pc+kc]` into MR-row panels: panel `p` holds rows
 /// `ic + p*MR ..`, stored k-major so the micro-kernel reads `MR` values per
 /// step contiguously. Rows past `mc` are zero-filled.
+///
+/// When `ars == 1` (a transposed-A view, the `matmul_tn` backward path) the
+/// `MR` values of one k-step are already contiguous in the source, so each
+/// step is a `memcpy` instead of a strided gather.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 fn pack_a(
     dst: &mut [f32],
@@ -208,6 +225,54 @@ fn pack_a(
     kc: usize,
 ) {
     let panels = mc.div_ceil(MR);
+    if ars == 1 {
+        for p in 0..panels {
+            let panel = &mut dst[p * kc * MR..(p + 1) * kc * MR];
+            let row0 = p * MR;
+            let rows = MR.min(mc - row0);
+            if rows == MR {
+                // Full panel: a fixed `MR`-length copy per k-step compiles
+                // to plain vector moves (a runtime-length copy_from_slice
+                // is an outlined memcpy call, which dominates small
+                // products).
+                for (kk, step) in panel.chunks_exact_mut(MR).enumerate() {
+                    let src = ic + row0 + (pc + kk) * acs;
+                    step.copy_from_slice(&a[src..src + MR]);
+                }
+            } else {
+                for kk in 0..kc {
+                    let src = ic + row0 + (pc + kk) * acs;
+                    let step = &mut panel[kk * MR..(kk + 1) * MR];
+                    step[..rows].copy_from_slice(&a[src..src + rows]);
+                    step[rows..].fill(0.0);
+                }
+            }
+        }
+        return;
+    }
+    if acs == 1 {
+        // Row-major A (every forward matmul and the NT backward path): each
+        // source row is contiguous in k, so fill the panel one row-lane at a
+        // time with contiguous reads and a fixed write stride of `MR`.
+        for p in 0..panels {
+            let panel = &mut dst[p * kc * MR..(p + 1) * kc * MR];
+            let row0 = p * MR;
+            let rows = MR.min(mc - row0);
+            for r in 0..MR {
+                if r < rows {
+                    let src = &a[(ic + row0 + r) * ars + pc..][..kc];
+                    for (step, &v) in panel.chunks_exact_mut(MR).zip(src) {
+                        step[r] = v;
+                    }
+                } else {
+                    for step in panel.chunks_exact_mut(MR) {
+                        step[r] = 0.0;
+                    }
+                }
+            }
+        }
+        return;
+    }
     for p in 0..panels {
         let panel = &mut dst[p * kc * MR..(p + 1) * kc * MR];
         for kk in 0..kc {
@@ -225,6 +290,10 @@ fn pack_a(
 
 /// Packs `B[pc..pc+kc, jc..jc+nc]` into NR-column panels, k-major, columns
 /// past `nc` zero-filled.
+///
+/// When `bcs == 1` (row-major B — every forward matmul and the im2col conv
+/// product) each k-step of a panel is a contiguous `NR`-wide run of the
+/// source row, so packing degenerates to `memcpy` + zero-pad.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 fn pack_b(
     dst: &mut [f32],
@@ -237,6 +306,79 @@ fn pack_b(
     nc: usize,
 ) {
     let panels = nc.div_ceil(NR);
+    if bcs == 1 {
+        for q in 0..panels {
+            let panel = &mut dst[q * kc * NR..(q + 1) * kc * NR];
+            let col0 = q * NR;
+            let cols = NR.min(nc - col0);
+            if cols == NR {
+                // Full panel: fixed `NR`-length copies, same rationale as
+                // the full-panel path in `pack_a`.
+                for (kk, step) in panel.chunks_exact_mut(NR).enumerate() {
+                    let src = (pc + kk) * brs + jc + col0;
+                    step.copy_from_slice(&b[src..src + NR]);
+                }
+            } else {
+                for kk in 0..kc {
+                    let src = (pc + kk) * brs + jc + col0;
+                    let step = &mut panel[kk * NR..(kk + 1) * NR];
+                    step[..cols].copy_from_slice(&b[src..src + cols]);
+                    step[cols..].fill(0.0);
+                }
+            }
+        }
+        return;
+    }
+    if brs == 1 {
+        // Transposed-B view (the NT product): each source column is
+        // contiguous in k, so packing is a pure transpose. Full panels go
+        // through the 8x8 in-register transpose when AVX2 is active (pure
+        // data movement, so the packed bytes are identical to the scalar
+        // path); everything else falls back to one column-lane at a time
+        // with contiguous reads and a fixed write stride of `NR`.
+        for q in 0..panels {
+            let panel = &mut dst[q * kc * NR..(q + 1) * kc * NR];
+            let col0 = q * NR;
+            let cols = NR.min(nc - col0);
+            let mut k_done = 0;
+            #[cfg(target_arch = "x86_64")]
+            if cols == NR && simd::active_backend() == simd::Backend::Avx2 {
+                let blocks = kc / 8;
+                for g in 0..NR / 8 {
+                    for blk in 0..blocks {
+                        let kk = blk * 8;
+                        // SAFETY: AVX2 was runtime-detected; the deepest
+                        // load reads b[pc+kk+7 + (jc+col0+g*8+7)*bcs],
+                        // inside the `(k-1)*brs + (n-1)*bcs` extent asserted
+                        // by `gemm`; the deepest store is within `panel`.
+                        unsafe {
+                            transpose8x8_avx2(
+                                b.as_ptr().add(pc + kk + (jc + col0 + g * 8) * bcs),
+                                bcs,
+                                panel.as_mut_ptr().add(kk * NR + g * 8),
+                                NR,
+                            );
+                        }
+                    }
+                }
+                k_done = blocks * 8;
+            }
+            for j in 0..NR {
+                if j < cols {
+                    let src = &b[pc + (jc + col0 + j) * bcs..][..kc];
+                    for (step, &v) in panel[k_done * NR..].chunks_exact_mut(NR).zip(&src[k_done..])
+                    {
+                        step[j] = v;
+                    }
+                } else {
+                    for step in panel.chunks_exact_mut(NR) {
+                        step[j] = 0.0;
+                    }
+                }
+            }
+        }
+        return;
+    }
     for q in 0..panels {
         let panel = &mut dst[q * kc * NR..(q + 1) * kc * NR];
         for kk in 0..kc {
@@ -252,23 +394,118 @@ fn pack_b(
     }
 }
 
-/// The register block: `acc[i][j] += sum_k ap[k][i] * bp[k][j]` over one
-/// packed A panel and one packed B panel. Fixed `MR x NR` trip counts and
-/// contiguous panel reads let LLVM keep `acc` in registers and vectorize
-/// the j-loop.
+/// Transposes an 8x8 f32 block: reads 8 rows of 8 at `src + i*src_stride`,
+/// writes 8 rows of 8 at `dst + i*dst_stride` with rows and columns swapped.
+/// Standard unpack/shuffle/permute ladder; used by [`pack_b`] for
+/// transposed-B (NT) packing, where it replaces 64 strided scalar moves
+/// with 8 vector loads and stores.
+///
+/// # Safety
+/// Requires AVX2 (runtime-detected by the caller) and `src`/`dst` valid for
+/// the strided 8x8 reads/writes described above.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose8x8_avx2(src: *const f32, src_stride: usize, dst: *mut f32, dst_stride: usize) {
+    use std::arch::x86_64::*;
+    unsafe {
+        let r0 = _mm256_loadu_ps(src);
+        let r1 = _mm256_loadu_ps(src.add(src_stride));
+        let r2 = _mm256_loadu_ps(src.add(2 * src_stride));
+        let r3 = _mm256_loadu_ps(src.add(3 * src_stride));
+        let r4 = _mm256_loadu_ps(src.add(4 * src_stride));
+        let r5 = _mm256_loadu_ps(src.add(5 * src_stride));
+        let r6 = _mm256_loadu_ps(src.add(6 * src_stride));
+        let r7 = _mm256_loadu_ps(src.add(7 * src_stride));
+        let t0 = _mm256_unpacklo_ps(r0, r1);
+        let t1 = _mm256_unpackhi_ps(r0, r1);
+        let t2 = _mm256_unpacklo_ps(r2, r3);
+        let t3 = _mm256_unpackhi_ps(r2, r3);
+        let t4 = _mm256_unpacklo_ps(r4, r5);
+        let t5 = _mm256_unpackhi_ps(r4, r5);
+        let t6 = _mm256_unpacklo_ps(r6, r7);
+        let t7 = _mm256_unpackhi_ps(r6, r7);
+        let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+        let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+        let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+        let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+        let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+        let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+        let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+        let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+        _mm256_storeu_ps(dst, _mm256_permute2f128_ps::<0x20>(s0, s4));
+        _mm256_storeu_ps(
+            dst.add(dst_stride),
+            _mm256_permute2f128_ps::<0x20>(s1, s5),
+        );
+        _mm256_storeu_ps(
+            dst.add(2 * dst_stride),
+            _mm256_permute2f128_ps::<0x20>(s2, s6),
+        );
+        _mm256_storeu_ps(
+            dst.add(3 * dst_stride),
+            _mm256_permute2f128_ps::<0x20>(s3, s7),
+        );
+        _mm256_storeu_ps(
+            dst.add(4 * dst_stride),
+            _mm256_permute2f128_ps::<0x31>(s0, s4),
+        );
+        _mm256_storeu_ps(
+            dst.add(5 * dst_stride),
+            _mm256_permute2f128_ps::<0x31>(s1, s5),
+        );
+        _mm256_storeu_ps(
+            dst.add(6 * dst_stride),
+            _mm256_permute2f128_ps::<0x31>(s2, s6),
+        );
+        _mm256_storeu_ps(
+            dst.add(7 * dst_stride),
+            _mm256_permute2f128_ps::<0x31>(s3, s7),
+        );
+    }
+}
+
+/// The register block, generic over the SIMD backend:
+/// `acc[i][j] += sum_k ap[k][i] * bp[k][j]` over one packed A panel and one
+/// packed B panel. Each of the `MR` output rows is two 8-lane vectors
+/// updated with one fused multiply-add per k-step, so per output element
+/// the whole k-loop is a single sequential FMA chain — the accumulation
+/// order (and therefore the bits) is independent of backend and blocking.
 #[inline(always)]
-fn microkernel(kc: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
-        for i in 0..MR {
-            let ai = av[i];
-            for j in 0..NR {
-                acc[i][j] += ai * bv[j];
+unsafe fn microkernel_impl<S: SimdF32>(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    unsafe {
+        let mut accv = [[S::zero(); 2]; MR];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kc {
+            let b0 = S::load(b);
+            let b1 = S::load(b.add(LANES));
+            for (i, row) in accv.iter_mut().enumerate() {
+                let ai = S::splat(*a.add(i));
+                row[0] = ai.mul_add(b0, row[0]);
+                row[1] = ai.mul_add(b1, row[1]);
             }
+            a = a.add(MR);
+            b = b.add(NR);
+        }
+        for (vrow, out) in accv.iter().zip(acc.iter_mut()) {
+            vrow[0].store(out.as_mut_ptr());
+            vrow[1].store(out.as_mut_ptr().add(LANES));
         }
     }
-    acc
 }
+
+simd_dispatch!(
+    /// Runtime-dispatched entry to [`microkernel_impl`]: one call per
+    /// `MR x NR` tile, compiled under the active backend's target features.
+    fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) =
+        microkernel_impl
+);
 
 /// Runs one `mc x nc` row block: packs A once, then sweeps the micro-kernel
 /// over all `MR x NR` tiles, writing (or adding) the valid region of each
@@ -293,7 +530,8 @@ unsafe fn process_row_block(
     ldc: usize,
     add: bool,
 ) {
-    let mut abuf = workspace::take(Slot::PackA, mc.div_ceil(MR) * MR * kc);
+    // Unzeroed: `pack_a` overwrites the whole buffer (padding included).
+    let mut abuf = workspace::take_unzeroed(Slot::PackA, mc.div_ceil(MR) * MR * kc);
     pack_a(&mut abuf, a, ars, acs, ic, mc, pc, kc);
 
     for q in 0..nc.div_ceil(NR) {
@@ -302,19 +540,23 @@ unsafe fn process_row_block(
         for p in 0..mc.div_ceil(MR) {
             let ap = &abuf[p * kc * MR..(p + 1) * kc * MR];
             let rows = MR.min(mc - p * MR);
-            let acc = microkernel(kc, ap, bp);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kc, ap, bp, &mut acc);
             let row0 = ic + p * MR;
             let col0 = jc + q * NR;
             for (i, acc_row) in acc.iter().enumerate().take(rows) {
-                let dst = unsafe { c.add((row0 + i) * ldc + col0) };
-                for (j, &v) in acc_row.iter().enumerate().take(cols) {
-                    unsafe {
-                        if add {
-                            *dst.add(j) += v;
-                        } else {
-                            *dst.add(j) = v;
-                        }
+                // SAFETY: rows [ic, ic+mc) of C are exclusively this
+                // block's (see the function contract), and `cols` stays
+                // inside the row.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(c.add((row0 + i) * ldc + col0), cols)
+                };
+                if add {
+                    for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                        *d += v;
                     }
+                } else {
+                    dst.copy_from_slice(&acc_row[..cols]);
                 }
             }
         }

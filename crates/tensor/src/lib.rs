@@ -43,6 +43,7 @@ pub mod linalg;
 pub mod pool;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 

@@ -1,0 +1,189 @@
+//! NEON backend for aarch64: two `float32x4_t` halves per 8-lane vector.
+//!
+//! NEON registers are 128-bit, so the uniform 8-lane vector is a `(lo, hi)`
+//! pair; LLVM schedules the two halves independently. Two ops deliberately
+//! avoid the "native" NEON instruction to preserve the cross-backend bit
+//! contract (see the module docs in `simd`):
+//!
+//! * `max`/`min` use compare+select instead of `vmaxq_f32`/`vminq_f32`,
+//!   because the NEON instructions propagate NaN from either operand while
+//!   the portable contract is the x86 `maxps` rule (`a > b ? a : b`).
+//! * `mul_add` uses `vfmaq_f32` (a true fused multiply-add), matching the
+//!   single-rounding contract.
+//!
+//! This file is compiled only on `aarch64` targets; the x86-64 CI hosts
+//! exercise the identical generic kernels through the scalar and AVX2
+//! backends, and the parity suite re-validates the bit contract on any
+//! aarch64 host that runs it.
+
+use super::SimdF32;
+use std::arch::aarch64::*;
+
+/// Eight f32 lanes as two NEON quadword halves.
+#[derive(Clone, Copy)]
+pub struct NeonF32 {
+    lo: float32x4_t,
+    hi: float32x4_t,
+}
+
+/// Applies a quadword op to both halves.
+macro_rules! per_half {
+    ($a:expr, $f:expr) => {{
+        let a = $a;
+        NeonF32 { lo: $f(a.lo), hi: $f(a.hi) }
+    }};
+    ($a:expr, $b:expr, $f:expr) => {{
+        let (a, b) = ($a, $b);
+        NeonF32 { lo: $f(a.lo, b.lo), hi: $f(a.hi, b.hi) }
+    }};
+}
+
+/// `maxps`-rule select: `cmp ? a : b` with full-width masks.
+#[inline(always)]
+unsafe fn bsl(mask: float32x4_t, t: float32x4_t, f: float32x4_t) -> float32x4_t {
+    unsafe { vbslq_f32(vreinterpretq_u32_f32(mask), t, f) }
+}
+
+impl SimdF32 for NeonF32 {
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        let q = unsafe { vdupq_n_f32(v) };
+        NeonF32 { lo: q, hi: q }
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        unsafe {
+            NeonF32 {
+                lo: vld1q_f32(ptr),
+                hi: vld1q_f32(ptr.add(4)),
+            }
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        unsafe {
+            vst1q_f32(ptr, self.lo);
+            vst1q_f32(ptr.add(4), self.hi);
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, other: Self) -> Self {
+        unsafe { per_half!(self, other, |a, b| vaddq_f32(a, b)) }
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, other: Self) -> Self {
+        unsafe { per_half!(self, other, |a, b| vsubq_f32(a, b)) }
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, other: Self) -> Self {
+        unsafe { per_half!(self, other, |a, b| vmulq_f32(a, b)) }
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, other: Self) -> Self {
+        unsafe { per_half!(self, other, |a, b| vdivq_f32(a, b)) }
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, m: Self, a: Self) -> Self {
+        // vfmaq_f32(acc, x, y) = acc + x*y, fused.
+        unsafe {
+            NeonF32 {
+                lo: vfmaq_f32(a.lo, self.lo, m.lo),
+                hi: vfmaq_f32(a.hi, self.hi, m.hi),
+            }
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, other: Self) -> Self {
+        unsafe {
+            per_half!(self, other, |a, b| bsl(
+                vreinterpretq_f32_u32(vcgtq_f32(a, b)),
+                a,
+                b
+            ))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, other: Self) -> Self {
+        unsafe {
+            per_half!(self, other, |a, b| bsl(
+                vreinterpretq_f32_u32(vcltq_f32(a, b)),
+                a,
+                b
+            ))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn neg(self) -> Self {
+        unsafe { per_half!(self, |a| vnegq_f32(a)) }
+    }
+
+    #[inline(always)]
+    unsafe fn abs(self) -> Self {
+        unsafe { per_half!(self, |a| vabsq_f32(a)) }
+    }
+
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        unsafe { per_half!(self, |a| vsqrtq_f32(a)) }
+    }
+
+    #[inline(always)]
+    unsafe fn round_ties_even(self) -> Self {
+        unsafe { per_half!(self, |a| vrndnq_f32(a)) }
+    }
+
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        #[inline(always)]
+        unsafe fn half(a: float32x4_t) -> float32x4_t {
+            unsafe {
+                let n = vcvtnq_s32_f32(a);
+                let e = vaddq_s32(n, vdupq_n_s32(127));
+                vreinterpretq_f32_s32(vshlq_n_s32::<23>(e))
+            }
+        }
+        unsafe { per_half!(self, |a| half(a)) }
+    }
+
+    #[inline(always)]
+    unsafe fn gt(self, other: Self) -> Self {
+        unsafe {
+            per_half!(self, other, |a, b| vreinterpretq_f32_u32(vcgtq_f32(a, b)))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn lt(self, other: Self) -> Self {
+        unsafe {
+            per_half!(self, other, |a, b| vreinterpretq_f32_u32(vcltq_f32(a, b)))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn nan_mask(self) -> Self {
+        // NaN lanes fail a == a; vceqq yields all-ones where equal.
+        unsafe {
+            per_half!(self, |a| vreinterpretq_f32_u32(vmvnq_u32(vceqq_f32(a, a))))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn select(mask: Self, t: Self, f: Self) -> Self {
+        unsafe {
+            NeonF32 {
+                lo: bsl(mask.lo, t.lo, f.lo),
+                hi: bsl(mask.hi, t.hi, f.hi),
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Portable `[f32; 8]` backend: the semantic reference for every other
+//! backend, and the runtime fallback on CPUs without AVX2/NEON.
+//!
+//! Each method is a straight 8-lane loop; at the baseline x86-64 target LLVM
+//! auto-vectorizes most of them to SSE2 pairs, so this backend doubles as
+//! the SSE2 path. The one deliberately slow spot is [`SimdF32::mul_add`]: it
+//! must be a *fused* multiply-add to stay bit-identical with the FMA
+//! hardware backends, so it calls [`f32::mul_add`] (a correctly-rounded
+//! `fmaf` libcall when the compile target lacks FMA).
+
+use super::{SimdF32, LANES};
+
+/// Eight f32 lanes in a plain array.
+#[derive(Clone, Copy)]
+pub struct ScalarF32([f32; LANES]);
+
+/// Applies `f` lane-wise over one vector.
+#[inline(always)]
+fn map(a: ScalarF32, f: impl Fn(f32) -> f32) -> ScalarF32 {
+    let mut out = [0.0f32; LANES];
+    for (o, &x) in out.iter_mut().zip(&a.0) {
+        *o = f(x);
+    }
+    ScalarF32(out)
+}
+
+/// Applies `f` lane-wise over two vectors.
+#[inline(always)]
+fn zip(a: ScalarF32, b: ScalarF32, f: impl Fn(f32, f32) -> f32) -> ScalarF32 {
+    let mut out = [0.0f32; LANES];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = f(a.0[i], b.0[i]);
+    }
+    ScalarF32(out)
+}
+
+/// All-ones bits when `c`, all-zeros otherwise — the mask encoding shared
+/// with the hardware compare instructions.
+#[inline(always)]
+fn mask(c: bool) -> f32 {
+    if c {
+        f32::from_bits(u32::MAX)
+    } else {
+        0.0
+    }
+}
+
+impl SimdF32 for ScalarF32 {
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        ScalarF32([v; LANES])
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        let mut out = [0.0f32; LANES];
+        unsafe { std::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), LANES) };
+        ScalarF32(out)
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        unsafe { std::ptr::copy_nonoverlapping(self.0.as_ptr(), ptr, LANES) };
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, other: Self) -> Self {
+        zip(self, other, |a, b| a + b)
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, other: Self) -> Self {
+        zip(self, other, |a, b| a - b)
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, other: Self) -> Self {
+        zip(self, other, |a, b| a * b)
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, other: Self) -> Self {
+        zip(self, other, |a, b| a / b)
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, m: Self, a: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i].mul_add(m.0[i], a.0[i]);
+        }
+        ScalarF32(out)
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, other: Self) -> Self {
+        // maxps rule, not f32::max: NaN in the first operand picks the second.
+        zip(self, other, |a, b| if a > b { a } else { b })
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, other: Self) -> Self {
+        zip(self, other, |a, b| if a < b { a } else { b })
+    }
+
+    #[inline(always)]
+    unsafe fn neg(self) -> Self {
+        map(self, |a| -a)
+    }
+
+    #[inline(always)]
+    unsafe fn abs(self) -> Self {
+        map(self, f32::abs)
+    }
+
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        map(self, f32::sqrt)
+    }
+
+    #[inline(always)]
+    unsafe fn round_ties_even(self) -> Self {
+        map(self, f32::round_ties_even)
+    }
+
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        map(self, |a| f32::from_bits(((a as i32 + 127) << 23) as u32))
+    }
+
+    #[inline(always)]
+    unsafe fn gt(self, other: Self) -> Self {
+        zip(self, other, |a, b| mask(a > b))
+    }
+
+    #[inline(always)]
+    unsafe fn lt(self, other: Self) -> Self {
+        zip(self, other, |a, b| mask(a < b))
+    }
+
+    #[inline(always)]
+    unsafe fn nan_mask(self) -> Self {
+        map(self, |a| mask(a.is_nan()))
+    }
+
+    #[inline(always)]
+    unsafe fn select(mask: Self, t: Self, f: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if mask.0[i].to_bits() != 0 { t.0[i] } else { f.0[i] };
+        }
+        ScalarF32(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: [f32; LANES]) -> ScalarF32 {
+        unsafe { ScalarF32::load(vals.as_ptr()) }
+    }
+
+    #[test]
+    fn maxps_rule_on_nan_and_negative_zero() {
+        unsafe {
+            // NaN in the first operand yields the second (maxps semantics).
+            let nan = ScalarF32::splat(f32::NAN);
+            let one = ScalarF32::splat(1.0);
+            assert_eq!(nan.max(one).to_array()[0], 1.0);
+            // max(-0.0, +0.0): -0.0 > +0.0 is false, so the second wins.
+            let nz = ScalarF32::splat(-0.0);
+            let pz = ScalarF32::splat(0.0);
+            assert_eq!(nz.max(pz).to_array()[0].to_bits(), 0.0f32.to_bits());
+        }
+    }
+
+    #[test]
+    fn pow2i_matches_exp2() {
+        unsafe {
+            for n in [-126.0f32, -10.0, 0.0, 1.0, 64.0, 127.0] {
+                let got = ScalarF32::splat(n).pow2i().to_array()[0];
+                assert_eq!(got, n.exp2(), "2^{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_uses_full_lane_masks() {
+        unsafe {
+            let a = v([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+            let b = ScalarF32::splat(4.5);
+            let picked = ScalarF32::select(a.gt(b), a, ScalarF32::zero()).to_array();
+            assert_eq!(picked, [0.0, 0.0, 0.0, 0.0, 5.0, 6.0, 7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn fused_mul_add_is_single_rounding() {
+        unsafe {
+            // For a = 1 + 2^-22, a² - 1 = 2^-21 + 2^-44: the tail survives
+            // only when the multiply-add is fused (a*a alone rounds it off).
+            let a = 1.0 + f32::powi(2.0, -22);
+            let av = ScalarF32::splat(a);
+            let fused = av.mul_add(av, ScalarF32::splat(-1.0)).to_array()[0];
+            assert_eq!(fused, f32::powi(2.0, -21) + f32::powi(2.0, -44));
+            assert_ne!(fused, a * a - 1.0, "unfused path would round the tail");
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::error::TensorError;
 use crate::shape::Shape;
+use crate::simd::vecmath;
 
 /// An n-dimensional, row-major `f32` array.
 ///
@@ -147,29 +148,74 @@ impl Tensor {
         }
     }
 
-    /// Elementwise addition. See [`Tensor::zip`] for panics.
+    /// Checks shapes and allocates an output buffer for a vectorized binary
+    /// op; the caller fills it with one of the `vecmath` kernels.
+    fn binary_out(&self, other: &Tensor, op: &str) -> Vec<f32> {
+        assert_eq!(
+            self.shape, other.shape,
+            "{op} requires equal shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        vec![0.0f32; self.data.len()]
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
     pub fn add(&self, other: &Tensor) -> Self {
-        self.zip(other, |a, b| a + b)
+        let mut out = self.binary_out(other, "add");
+        vecmath::vec_add(&self.data, &other.data, &mut out);
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
-    /// Elementwise subtraction. See [`Tensor::zip`] for panics.
+    /// Elementwise subtraction.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
     pub fn sub(&self, other: &Tensor) -> Self {
-        self.zip(other, |a, b| a - b)
+        let mut out = self.binary_out(other, "sub");
+        vecmath::vec_sub(&self.data, &other.data, &mut out);
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
-    /// Elementwise multiplication. See [`Tensor::zip`] for panics.
+    /// Elementwise multiplication.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
     pub fn mul(&self, other: &Tensor) -> Self {
-        self.zip(other, |a, b| a * b)
+        let mut out = self.binary_out(other, "mul");
+        vecmath::vec_mul(&self.data, &other.data, &mut out);
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Self {
-        self.map(|v| v * s)
+        let mut out = vec![0.0f32; self.data.len()];
+        vecmath::vec_scale(&self.data, s, &mut out);
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
     /// Adds `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Self {
-        self.map(|v| v + s)
+        let mut out = vec![0.0f32; self.data.len()];
+        vecmath::vec_add_scalar(&self.data, s, &mut out);
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
     /// In-place `self += other * scale` (used for gradient accumulation).
@@ -182,14 +228,16 @@ impl Tensor {
             "add_assign_scaled requires equal shapes ({} vs {})",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b * scale;
-        }
+        vecmath::vec_axpy(&mut self.data, &other.data, scale);
     }
 
     /// Sum of all elements.
+    ///
+    /// Accumulated in the fixed 8-lane order of the SIMD layer (see
+    /// [`crate::simd`]), so the result is identical across backends but not
+    /// bit-identical to a left-to-right scalar fold.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        vecmath::vec_sum(&self.data)
     }
 
     /// Mean of all elements (`0.0` for an empty tensor).
@@ -235,19 +283,9 @@ impl Tensor {
     /// Panics if the tensor is not 2-dimensional.
     pub fn softmax_rows(&self) -> Tensor {
         let (n, k) = self.shape.matrix();
-        let mut out = vec![0.0f32; n * k];
+        let mut out = self.data.clone();
         for i in 0..n {
-            let row = &self.data[i * k..(i + 1) * k];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - m).exp();
-                out[i * k + j] = e;
-                z += e;
-            }
-            for v in &mut out[i * k..(i + 1) * k] {
-                *v /= z;
-            }
+            vecmath::vec_softmax(&mut out[i * k..(i + 1) * k]);
         }
         Tensor {
             shape: self.shape.clone(),
@@ -255,9 +293,10 @@ impl Tensor {
         }
     }
 
-    /// Squared L2 norm of all elements.
+    /// Squared L2 norm of all elements (fixed-order SIMD accumulation, see
+    /// [`Tensor::sum`]).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&v| v * v).sum()
+        vecmath::vec_dot(&self.data, &self.data)
     }
 
     /// Clamps every element to `[lo, hi]`.

@@ -58,6 +58,17 @@ thread_local! {
 /// Always returns a buffer with `buf.len() == len` and all elements `0.0`.
 /// Pair with [`give`] to recycle the allocation.
 pub fn take(slot: Slot, len: usize) -> Vec<f32> {
+    let mut buf = take_unzeroed(slot, len);
+    buf.iter_mut().for_each(|v| *v = 0.0);
+    buf
+}
+
+/// Like [`take`] but without the zeroing memset: the returned buffer has
+/// `buf.len() == len` and *unspecified contents* (stale data from earlier
+/// uses of the slot). For callers that overwrite every element they later
+/// read — the GEMM packing routines — where the memset is pure overhead on
+/// small products.
+pub fn take_unzeroed(slot: Slot, len: usize) -> Vec<f32> {
     let mut buf = SLOTS.with(|s| std::mem::take(&mut s.borrow_mut()[slot as usize]));
     cae_trace::counters(&[
         ("workspace.takes", 1),
@@ -70,11 +81,12 @@ pub fn take(slot: Slot, len: usize) -> Vec<f32> {
             1,
         ),
     ]);
-    // Zero the prefix we keep, then extend; for a warm buffer of sufficient
-    // capacity this is one memset and no allocation.
-    buf.truncate(len);
-    buf.iter_mut().for_each(|v| *v = 0.0);
-    buf.resize(len, 0.0);
+    if buf.len() >= len {
+        buf.truncate(len);
+    } else {
+        // Only the grown suffix is written; the warm-path cost is zero.
+        buf.resize(len, 0.0);
+    }
     buf
 }
 

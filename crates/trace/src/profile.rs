@@ -87,6 +87,10 @@ pub struct DerivedMetrics {
     /// `gemm.flops` ÷ the exact `gemm` stat-span time — sustained GEMM
     /// throughput in GFLOP/s (1 flop/ns = 1 GFLOP/s).
     pub gemm_gflops: Option<f64>,
+    /// The SIMD backend most GEMM calls ran under, from the
+    /// `gemm.backend.<name>` counters — without it a GFLOP/s number can't
+    /// be compared across hosts or `CAE_SIMD` settings.
+    pub gemm_backend: Option<&'static str>,
     /// Mean of the `pool.queue_depth` gauge (submitters waiting per job).
     pub pool_mean_queue_depth: Option<f64>,
     /// Mean ÷ max queue depth: how evenly the pool's capacity was used.
@@ -147,6 +151,14 @@ impl Profile {
             }
             _ => None,
         };
+        profile.derived.gemm_backend = trace
+            .counters
+            .iter()
+            .filter_map(|(&k, &count)| {
+                k.strip_prefix("gemm.backend.").map(|name| (count, name))
+            })
+            .max()
+            .map(|(_, name)| name);
         if let Some(g) = trace.gauges.get("pool.queue_depth") {
             if g.count > 0 {
                 let mean = g.sum / g.count as f64;
@@ -373,7 +385,11 @@ impl Profile {
             let _ = writeln!(out, "critical path: {}", rendered.join(" -> "));
         }
         if let Some(gflops) = self.derived.gemm_gflops {
-            let _ = writeln!(out, "gemm throughput: {gflops:.2} GFLOP/s");
+            let backend = self
+                .derived
+                .gemm_backend
+                .map_or(String::new(), |b| format!(" (backend: {b})"));
+            let _ = writeln!(out, "gemm throughput: {gflops:.2} GFLOP/s{backend}");
         }
         if let Some(depth) = self.derived.pool_mean_queue_depth {
             let util = self
@@ -699,11 +715,32 @@ mod tests {
         );
         let p = Profile::from_trace(&trace);
         assert_eq!(p.derived.gemm_gflops, Some(2.0));
+        assert_eq!(p.derived.gemm_backend, None);
         assert_eq!(p.derived.pool_mean_queue_depth, Some(2.0));
         assert_eq!(p.derived.pool_utilization, Some(0.5));
         let table = p.self_time_table();
         assert!(table.contains("gemm throughput: 2.00 GFLOP/s"));
+        assert!(!table.contains("backend:"), "no backend counter, no suffix");
         assert!(table.contains("pool mean queue depth: 2.00 (utilization 50%)"));
+    }
+
+    #[test]
+    fn gemm_backend_comes_from_the_majority_counter() {
+        let mut trace = Trace::default();
+        trace.counters.insert("gemm.flops", 4_000_000);
+        trace.span_stats.insert(
+            "gemm",
+            crate::SpanStat { count: 10, total_ns: 2_000_000, min_ns: 1, max_ns: 1_000_000 },
+        );
+        // A forced-backend run may mix counters (e.g. a test flipped the
+        // override mid-process); the report names the majority backend.
+        trace.counters.insert("gemm.backend.scalar", 2);
+        trace.counters.insert("gemm.backend.avx2", 8);
+        let p = Profile::from_trace(&trace);
+        assert_eq!(p.derived.gemm_backend, Some("avx2"));
+        assert!(p
+            .self_time_table()
+            .contains("gemm throughput: 2.00 GFLOP/s (backend: avx2)"));
     }
 
     #[test]

@@ -14,6 +14,12 @@ CAE_NUM_THREADS=4 cargo test --offline --workspace -q
 # Tracing is observational: the whole suite must also pass with every span,
 # counter and gauge recorded ...
 CAE_TRACE=1 cargo test --offline --workspace -q
+# The SIMD layer's backends are bit-identical by contract: the full suite
+# must pass with the dispatch forced to the scalar fallback, and the parity
+# suite must hold under both the scalar and the auto-detected backend.
+CAE_SIMD=scalar cargo test --offline --workspace -q
+CAE_SIMD=scalar cargo test --release --offline -p cae-tensor --test simd_parity -q
+cargo test --release --offline -p cae-tensor --test simd_parity -q
 # ... and a traced table run must reproduce the untraced report
 # byte-for-byte.
 trace_tmp="$(mktemp -d)"
@@ -24,6 +30,11 @@ CAE_BUDGET=smoke CAE_TRACE=1 CAE_RESULTS_DIR="$trace_tmp/on" \
   cargo run --release --offline -p cae-bench --bin table02 >/dev/null
 cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/on/table_ii.json"
 test -s "$trace_tmp/on/TRACE_table_ii.json"
+# Backend bit-identity end to end: a scalar-forced table run must reproduce
+# the auto-detected report byte-for-byte.
+CAE_BUDGET=smoke CAE_TRACE=0 CAE_SIMD=scalar CAE_RESULTS_DIR="$trace_tmp/scalar" \
+  cargo run --release --offline -p cae-bench --bin table02 >/dev/null
+cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/scalar/table_ii.json"
 # Fault isolation: with deterministic injection and no retries the table
 # must still complete, rendering the injected failures as FAILED rows —
 # annotated (the run is traced) with a training-health verdict saying why.
