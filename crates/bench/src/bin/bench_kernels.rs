@@ -13,11 +13,14 @@
 //! Run with `cargo run --release -p cae-bench --bin bench_kernels`. Set
 //! `CAE_SIMD=scalar` to measure the scalar fallback.
 
-use cae_tensor::conv::{self, Conv2dSpec};
+use cae_nn::infer::FreezeMode;
+use cae_nn::models::Arch;
+use cae_nn::module::ForwardCtx;
+use cae_tensor::conv::{self, Conv2dSpec, ConvEpilogue};
 use cae_tensor::gemm::{gemm, gemm_reference};
 use cae_tensor::rng::TensorRng;
 use cae_tensor::simd::vecmath;
-use cae_tensor::Tensor;
+use cae_tensor::{Tensor, Var};
 use criterion::{black_box, measure};
 use serde::Value;
 use std::time::Duration;
@@ -299,6 +302,47 @@ fn main() {
         sflops,
         || black_box(conv::conv2d(&xs, &ws, None, spec2)),
         Some(&mut || black_box(conv2d_naive(&xs, &ws, spec2))),
+    ));
+
+    // Fused conv+bias+ReLU epilogue against the two-pass path it replaced:
+    // bias-adding conv followed by a separate out-of-place ReLU sweep over a
+    // freshly allocated output tensor.
+    let bias = rng.normal_tensor(&[16], 0.0, 0.1);
+    records.push(bench_pair(
+        "conv2d_bias_relu",
+        format!("{n}x{c}x{hh}x{ww}->{o}"),
+        conv_flops,
+        || black_box(conv::conv2d_fused(&x, &w, Some(&bias), spec, ConvEpilogue::Relu)),
+        Some(&mut || {
+            let y = conv::conv2d(&x, &w, Some(&bias), spec);
+            let mut out = Tensor::zeros(y.shape().dims());
+            vecmath::vec_relu(y.data(), out.data_mut());
+            black_box(out)
+        }),
+    ));
+
+    // -- Frozen-graph inference vs the Var-based eval path. -----------------
+    // A ResNet-18 teacher forward at the DFKD eval batch size. The naive side
+    // reproduces the legacy call sites exactly: wrap the batch in a constant
+    // Var, run the module under `ForwardCtx::eval()`, unwrap to a `Tensor` —
+    // paying the autograd-node and BN normalization allocations the frozen
+    // graph eliminates.
+    let mut model_rng = TensorRng::seed_from(7);
+    let model = Arch::ResNet18.build(10, 8, &mut model_rng);
+    let frozen = model.freeze(FreezeMode::Fused);
+    let xb = rng.normal_tensor(&[16, 3, 8, 8], 0.0, 1.0);
+    // Approximate FLOPs: conv MACs of the width-8 CIFAR ResNet-18 on 8x8
+    // inputs (stem + three stages + head), times two, times the batch.
+    let frozen_flops = 2 * 16 * 423_424;
+    records.push(bench_pair(
+        "frozen_forward",
+        "resnet18-w8 16x3x8x8".to_string(),
+        frozen_flops,
+        || black_box(frozen.forward(&xb)),
+        Some(&mut || {
+            let logits = model.forward(&Var::constant(xb.clone()), &mut ForwardCtx::eval());
+            black_box(logits.to_tensor())
+        }),
     ));
 
     // -- Vectorized transcendentals and softmax. ---------------------------

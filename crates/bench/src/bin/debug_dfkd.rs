@@ -6,9 +6,10 @@
 use cae_core::config::{DfkdConfig, ExperimentBudget};
 use cae_core::method::MethodSpec;
 use cae_core::metrics::classification::top1_accuracy;
-use cae_core::teacher::pretrained;
+use cae_core::teacher::{pretrained, pretrained_frozen};
 use cae_core::trainer::DfkdTrainer;
 use cae_data::presets::ClassificationPreset;
+use cae_nn::infer::FreezeMode;
 use cae_nn::models::Arch;
 use cae_tensor::rng::TensorRng;
 
@@ -26,6 +27,16 @@ fn main() {
     let split = preset.generate(budget.seed);
     let config = DfkdConfig::default();
     let teacher = pretrained("teacher", Arch::ResNet34, &split.train, &budget, config.batch_size);
+    // The memory-bank CE probe below only needs logits, so it reads from the
+    // shared frozen compilation of the same teacher.
+    let frozen_teacher = pretrained_frozen(
+        "teacher",
+        Arch::ResNet34,
+        &split.train,
+        &budget,
+        config.batch_size,
+        FreezeMode::from_env(),
+    );
     println!(
         "teacher acc: {:.3}",
         top1_accuracy(teacher.as_ref(), &split.test, 32)
@@ -61,10 +72,7 @@ fn main() {
             }
             let acc = top1_accuracy(t.student(), &split.test, 32);
             let (imgs, labels) = t.memory().sample_batch(32, &mut rng);
-            let logits = teacher.forward(
-                &cae_tensor::Var::constant(imgs),
-                &mut cae_nn::ForwardCtx::eval(),
-            );
+            let logits = cae_tensor::Var::constant(frozen_teacher.forward(&imgs));
             let ce = cae_nn::loss::cross_entropy(&logits, &labels).item();
             println!(
                 "epoch {epoch}: g_loss {:+.3} s_loss {:.3} teacherCE(mem) {:.3} student_acc {:.3}",

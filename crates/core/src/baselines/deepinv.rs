@@ -85,8 +85,9 @@ mod tests {
         crate::teacher::train_supervised(teacher.as_ref(), &split.train, 40, 16, 0.1, &mut rng);
 
         let labels = vec![0, 1, 2, 0];
+        let frozen = teacher.freeze(cae_nn::infer::FreezeMode::Exact);
         let ce_of = |imgs: &Tensor| {
-            let logits = teacher.forward(&Var::constant(imgs.clone()), &mut ForwardCtx::eval());
+            let logits = Var::constant(frozen.forward(imgs));
             cross_entropy(&logits, &labels).item()
         };
         let noise = rng.normal_tensor(&[4, 3, 8, 8], 0.0, 0.5);

@@ -15,6 +15,7 @@
 //! categories, teaching the student domain-invariant category features.
 
 use crate::cend::CendLayer;
+use cae_nn::infer::{self, FreezeMode};
 use cae_nn::module::{Classifier, ForwardCtx, Generator};
 use cae_tensor::rng::TensorRng;
 use cae_tensor::{Tensor, Var};
@@ -77,12 +78,18 @@ pub fn cncl_loss(
         let diffused = cend.diffuse_all_sources(e_off, k, rng);
         latents.extend_from_slice(diffused.data());
     }
-    let z = Var::constant(
-        Tensor::from_vec(latents, &[kb + kb * n, d]).expect("shape consistent"),
-    );
+    let z = Tensor::from_vec(latents, &[kb + kb * n, d]).expect("shape consistent");
 
-    // Generate all images in one pass, detached from the generator.
-    let images = generator.generate(&z, &mut ForwardCtx::eval()).detach();
+    // Generate all images in one pass, detached from the generator. The
+    // frozen path never builds a graph, so detachment is structural; the
+    // legacy path (`CAE_INFER=0`) detaches explicitly.
+    let images = if infer::infer_enabled() {
+        Var::constant(generator.freeze(FreezeMode::from_env()).generate(&z))
+    } else {
+        generator
+            .generate(&Var::constant(z), &mut ForwardCtx::eval())
+            .detach()
+    };
 
     // Student embeddings (training mode: gradients flow into the student).
     let mut ctx = ForwardCtx::train();

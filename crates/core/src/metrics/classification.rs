@@ -1,12 +1,18 @@
 //! Top-1 classification accuracy.
 
 use cae_data::dataset::Dataset;
+use cae_nn::infer::{self, FreezeMode};
 use cae_nn::module::{Classifier, ForwardCtx};
 use cae_tensor::Var;
 
 /// Evaluates top-1 accuracy of `model` on `dataset` (evaluation mode,
 /// batched).
+///
+/// The model is compiled into a graph-free frozen forward once for the
+/// whole sweep (it does not change between batches); `CAE_INFER=0` falls
+/// back to the legacy autograd eval path.
 pub fn top1_accuracy(model: &dyn Classifier, dataset: &Dataset, batch_size: usize) -> f32 {
+    let frozen = infer::infer_enabled().then(|| model.freeze(FreezeMode::from_env()));
     let mut correct = 0usize;
     let n = dataset.len();
     let mut start = 0usize;
@@ -14,8 +20,13 @@ pub fn top1_accuracy(model: &dyn Classifier, dataset: &Dataset, batch_size: usiz
         let len = batch_size.min(n - start);
         let indices: Vec<usize> = (start..start + len).collect();
         let (x, y) = dataset.batch(&indices);
-        let logits = model.forward(&Var::constant(x), &mut ForwardCtx::eval());
-        let pred = logits.value().argmax_rows();
+        let pred = match &frozen {
+            Some(f) => f.forward(&x).argmax_rows(),
+            None => model
+                .forward(&Var::constant(x), &mut ForwardCtx::eval())
+                .value()
+                .argmax_rows(),
+        };
         correct += pred.iter().zip(&y).filter(|(p, t)| p == t).count();
         start += len;
     }

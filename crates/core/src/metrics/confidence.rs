@@ -1,5 +1,6 @@
 //! Teacher-confidence statistics over synthetic images (paper Fig. 2a).
 
+use cae_nn::infer::{self, FreezeMode};
 use cae_nn::module::{Classifier, ForwardCtx};
 use cae_tensor::{Tensor, Var};
 
@@ -55,8 +56,14 @@ pub fn confidence_profile(
     threshold: f32,
 ) -> ConfidenceProfile {
     assert_eq!(images.shape().dim(0), labels.len(), "one label per image");
-    let logits = teacher.forward(&Var::constant(images.clone()), &mut ForwardCtx::eval());
-    let probs = logits.value().softmax_rows();
+    let logits = if infer::infer_enabled() {
+        teacher.freeze(FreezeMode::from_env()).forward(images)
+    } else {
+        teacher
+            .forward(&Var::constant(images.clone()), &mut ForwardCtx::eval())
+            .to_tensor()
+    };
+    let probs = logits.softmax_rows();
     let (n, k) = probs.shape().matrix();
     let mut low = vec![0usize; num_classes];
     let mut count = vec![0usize; num_classes];

@@ -17,6 +17,7 @@
 
 use crate::config::ExperimentBudget;
 use cae_data::dataset::Dataset;
+use cae_nn::infer::{FreezeMode, FrozenClassifier};
 use cae_nn::loss::cross_entropy;
 use cae_nn::models::Arch;
 use cae_nn::module::{copy_state, Classifier, ForwardCtx};
@@ -26,7 +27,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// One cache entry: a lazily trained master model. The outer map hands out
+/// One cache entry: a lazily trained master model plus lazily compiled
+/// frozen forms (one per [`FreezeMode`]). The outer map hands out
 /// `Arc<Slot>`s under a short-lived lock; the expensive pre-training runs
 /// inside `get_or_init` without holding the map lock, so cells requesting
 /// *different* teachers train in parallel while cells requesting the *same*
@@ -34,6 +36,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 #[derive(Default)]
 struct Slot {
     master: OnceLock<Box<dyn Classifier>>,
+    frozen_exact: OnceLock<Arc<FrozenClassifier>>,
+    frozen_fused: OnceLock<Arc<FrozenClassifier>>,
 }
 
 fn cache() -> &'static Mutex<HashMap<String, Arc<Slot>>> {
@@ -115,6 +119,51 @@ pub fn pretrained(
     budget: &ExperimentBudget,
     batch_size: usize,
 ) -> Box<dyn Classifier> {
+    let slot = acquire_trained_slot(key_prefix, arch, dataset, budget, batch_size);
+    let master = slot.master.get().expect("slot was just initialized");
+    clone_classifier(
+        master.as_ref(),
+        arch,
+        dataset.num_classes(),
+        budget.base_width,
+    )
+}
+
+/// Like [`pretrained`], but returns a shared [`FrozenClassifier`] compiled
+/// from the cached master under `mode`.
+///
+/// Frozen models are immutable (plain tensors, no gradient buffers), so a
+/// single compiled instance per `(key, mode)` is shared by all callers via
+/// `Arc` — no per-call structural clone, no per-call BN folding.
+pub fn pretrained_frozen(
+    key_prefix: &str,
+    arch: Arch,
+    dataset: &Dataset,
+    budget: &ExperimentBudget,
+    batch_size: usize,
+    mode: FreezeMode,
+) -> Arc<FrozenClassifier> {
+    let slot = acquire_trained_slot(key_prefix, arch, dataset, budget, batch_size);
+    let master = slot.master.get().expect("slot was just initialized");
+    let cell = match mode {
+        FreezeMode::Exact => &slot.frozen_exact,
+        FreezeMode::Fused => &slot.frozen_fused,
+    };
+    cell.get_or_init(|| {
+        let _sp = cae_trace::span("teacher.freeze");
+        Arc::new(master.freeze(mode))
+    })
+    .clone()
+}
+
+/// Returns the slot for the cache key, training the master on first use.
+fn acquire_trained_slot(
+    key_prefix: &str,
+    arch: Arch,
+    dataset: &Dataset,
+    budget: &ExperimentBudget,
+    batch_size: usize,
+) -> Arc<Slot> {
     let key = format!(
         "{key_prefix}/{arch:?}/k{}/r{}/n{}/s{}/w{}/seed{}",
         dataset.num_classes(),
@@ -137,7 +186,7 @@ pub fn pretrained(
         1,
     );
     let _acquire = if hit { None } else { Some(cae_trace::span("teacher.cache_acquire")) };
-    let master = slot.master.get_or_init(|| {
+    slot.master.get_or_init(|| {
         let _sp = cae_trace::span("teacher.pretrain");
         PRETRAIN_RUNS.fetch_add(1, Ordering::Relaxed);
         *runs_by_prefix()
@@ -157,12 +206,7 @@ pub fn pretrained(
         );
         model
     });
-    clone_classifier(
-        master.as_ref(),
-        arch,
-        dataset.num_classes(),
-        budget.base_width,
-    )
+    slot
 }
 
 /// Clears the teacher cache (useful in long test sessions).
@@ -223,6 +267,25 @@ mod tests {
         let pa = a.parameters();
         let pb = b.parameters();
         assert!(pa.iter().zip(&pb).all(|(p, q)| p.id() != q.id()));
+    }
+
+    #[test]
+    fn pretrained_frozen_shares_one_compiled_instance_per_mode() {
+        let split = ClassificationPreset::C10Sim.generate(21);
+        let tiny = ExperimentBudget::smoke();
+        let a = pretrained_frozen("t-frozen", Arch::Wrn16x1, &split.train, &tiny, 16, FreezeMode::Fused);
+        let b = pretrained_frozen("t-frozen", Arch::Wrn16x1, &split.train, &tiny, 16, FreezeMode::Fused);
+        assert!(Arc::ptr_eq(&a, &b), "same (key, mode) must share one frozen instance");
+        assert_eq!(pretrain_runs_for("t-frozen"), 1, "freezing must not retrain");
+        // The exact-mode frozen forward matches the Var master bit-for-bit.
+        let master = pretrained("t-frozen", Arch::Wrn16x1, &split.train, &tiny, 16);
+        let (x, _) = split.test.batch(&[0, 1]);
+        let reference = master
+            .forward(&cae_tensor::Var::constant(x.clone()), &mut ForwardCtx::eval())
+            .to_tensor();
+        let exact =
+            pretrained_frozen("t-frozen", Arch::Wrn16x1, &split.train, &tiny, 16, FreezeMode::Exact);
+        assert_eq!(exact.forward(&x).data(), reference.data());
     }
 
     #[test]

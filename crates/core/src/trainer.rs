@@ -16,6 +16,7 @@ use crate::embedding::EmbeddingProvider;
 use crate::losses::{adversarial_loss, bn_loss};
 use crate::memory::MemoryBank;
 use crate::method::{EmbeddingKind, MethodSpec, StudentAug};
+use cae_nn::infer::{self, FreezeMode, FrozenClassifier};
 use cae_nn::loss::{cross_entropy, kd_kl_divergence};
 use cae_nn::models::{DfkdGenerator, GeneratorConfig};
 use cae_nn::module::{Classifier, ForwardCtx, Generator, Module};
@@ -57,6 +58,11 @@ impl TrainStats {
 /// Drives data-free distillation of `student` from a frozen `teacher`.
 pub struct DfkdTrainer<'a> {
     teacher: &'a dyn Classifier,
+    /// Graph-free compiled teacher for eval-mode forwards (teacher weights
+    /// never change during DFKD, so one compile in [`DfkdTrainer::new`]
+    /// serves the whole run). `None` when `CAE_INFER=0` routes eval
+    /// forwards through the legacy autograd path.
+    frozen_teacher: Option<FrozenClassifier>,
     student: Box<dyn Classifier>,
     generator: DfkdGenerator,
     provider: EmbeddingProvider,
@@ -113,6 +119,8 @@ impl<'a> DfkdTrainer<'a> {
         let memory = MemoryBank::new(config.memory_capacity, &[3, resolution, resolution]);
         DfkdTrainer {
             teacher_params: teacher.parameters(),
+            frozen_teacher: infer::infer_enabled()
+                .then(|| teacher.freeze(FreezeMode::from_env())),
             teacher,
             student,
             generator,
@@ -151,6 +159,18 @@ impl<'a> DfkdTrainer<'a> {
         (0..n).map(|_| self.rng.index(self.num_classes)).collect()
     }
 
+    /// Teacher logits for a synthetic batch: graph-free frozen forward when
+    /// the infer layer is enabled, legacy autograd eval forward otherwise.
+    fn teacher_logits(&self, images: &Tensor) -> Tensor {
+        match &self.frozen_teacher {
+            Some(frozen) => frozen.forward(images),
+            None => self
+                .teacher
+                .forward(&Var::constant(images.clone()), &mut ForwardCtx::eval())
+                .to_tensor(),
+        }
+    }
+
     /// One generator update (Eq. 5). Returns the generator loss. For
     /// optimization-based specs this runs pixel inversion instead and
     /// returns the final inversion teacher cross-entropy.
@@ -168,9 +188,7 @@ impl<'a> DfkdTrainer<'a> {
                 InversionConfig::default(),
                 &mut self.rng,
             );
-            let logits = self
-                .teacher
-                .forward(&Var::constant(images.clone()), &mut ForwardCtx::eval());
+            let logits = Var::constant(self.teacher_logits(&images));
             let ce = cross_entropy(&logits, &labels).item();
             self.memory.push_batch(&images, &labels);
             self.zero_teacher_grads();
@@ -244,11 +262,8 @@ impl<'a> DfkdTrainer<'a> {
             _ => raw_images.clone(),
         };
 
+        let teacher_logits = self.teacher_logits(&images);
         let x = Var::constant(images);
-        let teacher_logits = self
-            .teacher
-            .forward(&x, &mut ForwardCtx::eval())
-            .to_tensor();
         let student_logits = self.student.forward(&x, &mut ForwardCtx::train());
         let mut loss = kd_kl_divergence(&student_logits, &teacher_logits, self.config.temperature);
 
@@ -391,11 +406,24 @@ impl<'a> DfkdTrainer<'a> {
         for step in 1..=max_steps {
             self.generator_step();
             // Measure quality on a fresh batch (no gradient bookkeeping).
+            // The generator evolves every step, so it is re-frozen per
+            // probe; the teacher reuses the trainer's one-time compile.
             let labels = self.random_labels(self.config.batch_size);
-            let z = Var::constant(self.provider.sample(&labels, &mut self.rng));
-            let images = self.generator.generate(&z, &mut ForwardCtx::eval()).detach();
-            let logits = self.teacher.forward(&images, &mut ForwardCtx::eval());
-            let probs = logits.value().softmax_rows();
+            let latent = self.provider.sample(&labels, &mut self.rng);
+            let logits = match &self.frozen_teacher {
+                Some(frozen) => {
+                    let images = self.generator.freeze(FreezeMode::from_env()).generate(&latent);
+                    frozen.forward(&images)
+                }
+                None => {
+                    let z = Var::constant(latent);
+                    let images = self.generator.generate(&z, &mut ForwardCtx::eval()).detach();
+                    self.teacher
+                        .forward(&images, &mut ForwardCtx::eval())
+                        .to_tensor()
+                }
+            };
+            let probs = logits.softmax_rows();
             let (n, k) = probs.shape().matrix();
             let mean_max: f32 = (0..n)
                 .map(|i| {

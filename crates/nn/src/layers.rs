@@ -24,6 +24,13 @@ impl Linear {
     }
 }
 
+impl Linear {
+    /// Snapshots `(weight, bias)` for the frozen inference compiler.
+    pub(crate) fn freeze_parts(&self) -> (Tensor, Tensor) {
+        (self.weight.to_tensor(), self.bias.to_tensor())
+    }
+}
+
 impl Module for Linear {
     fn forward(&self, x: &Var, _ctx: &mut ForwardCtx) -> Var {
         x.matmul(&self.weight).add_rows(&self.bias)
@@ -66,6 +73,15 @@ impl Conv2d {
     /// The convolution spec (kernel/stride/padding).
     pub fn spec(&self) -> Conv2dSpec {
         self.spec
+    }
+
+    /// Snapshots `(weight, bias, spec)` for the frozen inference compiler.
+    pub(crate) fn freeze_parts(&self) -> (Tensor, Option<Tensor>, Conv2dSpec) {
+        (
+            self.weight.to_tensor(),
+            self.bias.as_ref().map(Var::to_tensor),
+            self.spec,
+        )
     }
 }
 
@@ -133,6 +149,18 @@ impl BatchNorm2d {
         let centered = x.add_channels(&mean.neg());
         let var = centered.square().mean_channels();
         (mean, var)
+    }
+
+    /// Snapshots `(gamma, beta, running_mean, running_var, eps)` for the
+    /// frozen inference compiler.
+    pub(crate) fn freeze_parts(&self) -> (Tensor, Tensor, Tensor, Tensor, f32) {
+        (
+            self.gamma.to_tensor(),
+            self.beta.to_tensor(),
+            self.running_mean(),
+            self.running_var(),
+            self.eps,
+        )
     }
 }
 

@@ -23,6 +23,7 @@
 //! assert_eq!(y.dims(), vec![3, 2]);
 //! ```
 
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -31,4 +32,5 @@ pub mod module;
 pub mod optim;
 pub mod serialize;
 
+pub use infer::{FreezeMode, FrozenClassifier, FrozenGenerator};
 pub use module::{Classifier, ForwardCtx, Generator, Module};

@@ -8,6 +8,7 @@
 //! methods differ in *what they feed it* and *how they train it*, which is
 //! exactly what the `cae-core` crate implements.
 
+use crate::infer::{self, Activation, FreezeMode, FrozenGenerator, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{ForwardCtx, Generator, Module};
 use cae_tensor::rng::TensorRng;
@@ -138,6 +139,32 @@ impl Generator for DfkdGenerator {
             .forward(&self.conv2.forward(&h, ctx), ctx)
             .leaky_relu(0.2);
         self.conv_out.forward(&h, ctx).tanh()
+    }
+
+    fn freeze(&self, mode: FreezeMode) -> FrozenGenerator {
+        let gc = self.config.base_channels;
+        let h0 = self.config.out_size / 4;
+        let mut ops = vec![
+            infer::linear_op(&self.project),
+            FrozenOp::Reshape { ch: gc, h: h0, w: h0 },
+        ];
+        ops.extend(infer::bn_ops(&self.bn0, Activation::LeakyRelu(0.2), mode));
+        ops.push(FrozenOp::Upsample { factor: 2 });
+        ops.extend(infer::conv_bn_ops(
+            &self.conv1,
+            &self.bn1,
+            Activation::LeakyRelu(0.2),
+            mode,
+        ));
+        ops.push(FrozenOp::Upsample { factor: 2 });
+        ops.extend(infer::conv_bn_ops(
+            &self.conv2,
+            &self.bn2,
+            Activation::LeakyRelu(0.2),
+            mode,
+        ));
+        ops.extend(infer::conv_ops(&self.conv_out, Activation::Tanh, mode));
+        FrozenGenerator::new(ops, self.config.latent_dim)
     }
 }
 

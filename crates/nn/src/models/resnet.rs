@@ -1,5 +1,6 @@
 //! CIFAR-style residual networks (basic and bottleneck blocks).
 
+use crate::infer::{self, Activation, FreezeMode, FrozenClassifier, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{Classifier, ForwardCtx, Module};
 use cae_tensor::rng::TensorRng;
@@ -144,6 +145,29 @@ impl Block {
         }
         bns
     }
+
+    /// Compiles this post-activation residual block: `relu(main(x) + skip(x))`.
+    fn freeze(&self, mode: FreezeMode) -> FrozenOp {
+        let mut main = infer::conv_bn_ops(&self.conv1, &self.bn1, Activation::Relu, mode);
+        if self.kind == BlockKind::Bottleneck {
+            main.extend(infer::conv_bn_ops(&self.conv2, &self.bn2, Activation::Relu, mode));
+            let conv3 = self.conv3.as_ref().expect("bottleneck has conv3");
+            let bn3 = self.bn3.as_ref().expect("bottleneck has bn3");
+            main.extend(infer::conv_bn_ops(conv3, bn3, Activation::None, mode));
+        } else {
+            main.extend(infer::conv_bn_ops(&self.conv2, &self.bn2, Activation::None, mode));
+        }
+        let skip = self
+            .down
+            .as_ref()
+            .map(|(conv, bn)| infer::conv_bn_ops(conv, bn, Activation::None, mode));
+        FrozenOp::Block {
+            pre: Vec::new(),
+            main,
+            skip,
+            post: Activation::Relu,
+        }
+    }
 }
 
 /// A scaled CIFAR-style residual network: 3×3 stem, three stages with
@@ -256,6 +280,15 @@ impl Classifier for ResNet {
             h = block.forward(&h, ctx);
         }
         h
+    }
+
+    fn freeze(&self, mode: FreezeMode) -> FrozenClassifier {
+        let mut spatial = infer::conv_bn_ops(&self.stem, &self.stem_bn, Activation::Relu, mode);
+        for block in &self.stages {
+            spatial.push(block.freeze(mode));
+        }
+        let (hw, hb) = self.head.freeze_parts();
+        FrozenClassifier::new(spatial, hw, hb)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Scaled VGG with batch normalization.
 
+use crate::infer::{self, Activation, FreezeMode, FrozenClassifier, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{Classifier, ForwardCtx, Module};
 use cae_tensor::rng::TensorRng;
@@ -127,6 +128,18 @@ impl Classifier for Vgg {
             }
         }
         h
+    }
+
+    fn freeze(&self, mode: FreezeMode) -> FrozenClassifier {
+        let mut spatial = Vec::new();
+        for (conv, bn, pool) in &self.convs {
+            spatial.extend(infer::conv_bn_ops(conv, bn, Activation::Relu, mode));
+            if *pool {
+                spatial.push(FrozenOp::MaxPool { kernel: 2, stride: 2 });
+            }
+        }
+        let (hw, hb) = self.head.freeze_parts();
+        FrozenClassifier::new(spatial, hw, hb)
     }
 }
 

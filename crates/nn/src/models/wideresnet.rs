@@ -1,5 +1,6 @@
 //! Scaled WideResNet (pre-activation residual blocks, `6n+4` layout).
 
+use crate::infer::{self, Activation, FreezeMode, FrozenClassifier, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{Classifier, ForwardCtx, Module};
 use cae_tensor::rng::TensorRng;
@@ -77,6 +78,25 @@ impl PreactBlock {
             p.extend(c.parameters());
         }
         p
+    }
+
+    /// Compiles this pre-activation block: `main(pre(x)) + skip`, where the
+    /// identity shortcut bypasses the pre-activation entirely and the
+    /// downsample shortcut (when present) reads the pre-activated input.
+    fn freeze(&self, mode: FreezeMode) -> FrozenOp {
+        let pre = infer::bn_ops(&self.bn1, Activation::Relu, mode);
+        let mut main = infer::conv_bn_ops(&self.conv1, &self.bn2, Activation::Relu, mode);
+        main.extend(infer::conv_ops(&self.conv2, Activation::None, mode));
+        let skip = self
+            .down
+            .as_ref()
+            .map(|conv| infer::conv_ops(conv, Activation::None, mode));
+        FrozenOp::Block {
+            pre,
+            main,
+            skip,
+            post: Activation::None,
+        }
     }
 }
 
@@ -184,6 +204,16 @@ impl Classifier for WideResNet {
             h = b.forward(&h, ctx);
         }
         self.final_bn.forward(&h, ctx).relu()
+    }
+
+    fn freeze(&self, mode: FreezeMode) -> FrozenClassifier {
+        let mut spatial = infer::conv_ops(&self.stem, Activation::None, mode);
+        for block in &self.blocks {
+            spatial.push(block.freeze(mode));
+        }
+        spatial.extend(infer::bn_ops(&self.final_bn, Activation::Relu, mode));
+        let (hw, hb) = self.head.freeze_parts();
+        FrozenClassifier::new(spatial, hw, hb)
     }
 }
 

@@ -141,6 +141,11 @@ pub trait Classifier: Module {
     /// Returns the last spatial feature map `[N, D, H', W']` (before global
     /// pooling), used by dense-prediction transfer heads.
     fn forward_spatial(&self, x: &Var, ctx: &mut ForwardCtx) -> Var;
+
+    /// Compiles the current weights into a graph-free
+    /// [`FrozenClassifier`](crate::infer::FrozenClassifier) for eval-mode
+    /// forwards (see [`crate::infer`] for the mode semantics).
+    fn freeze(&self, mode: crate::infer::FreezeMode) -> crate::infer::FrozenClassifier;
 }
 
 /// An image generator mapping latent embeddings to images in `[-1, 1]`.
@@ -150,6 +155,11 @@ pub trait Generator: Module {
 
     /// Generates images from latent codes `z[N, latent_dim]`.
     fn generate(&self, z: &Var, ctx: &mut ForwardCtx) -> Var;
+
+    /// Compiles the current weights into a graph-free
+    /// [`FrozenGenerator`](crate::infer::FrozenGenerator) for eval-mode
+    /// generation (see [`crate::infer`] for the mode semantics).
+    fn freeze(&self, mode: crate::infer::FreezeMode) -> crate::infer::FrozenGenerator;
 }
 
 #[cfg(test)]

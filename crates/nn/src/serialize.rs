@@ -128,6 +128,42 @@ pub fn from_json(module: &dyn Module, json: &str) -> Result<(), Box<dyn Error + 
     Ok(())
 }
 
+/// Serializes a [`FrozenClassifier`](crate::infer::FrozenClassifier) to JSON.
+///
+/// Frozen models are self-describing (op list plus snapshotted tensors), so
+/// unlike [`Checkpoint`]s they load without a pre-built module of the right
+/// architecture.
+pub fn frozen_classifier_to_json(model: &crate::infer::FrozenClassifier) -> String {
+    serde_json::to_string(model).expect("frozen model serialization cannot fail")
+}
+
+/// Deserializes a [`FrozenClassifier`](crate::infer::FrozenClassifier) from
+/// JSON produced by [`frozen_classifier_to_json`].
+///
+/// # Errors
+/// Returns a boxed error for malformed JSON.
+pub fn frozen_classifier_from_json(
+    json: &str,
+) -> Result<crate::infer::FrozenClassifier, Box<dyn Error + Send + Sync>> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Serializes a [`FrozenGenerator`](crate::infer::FrozenGenerator) to JSON.
+pub fn frozen_generator_to_json(model: &crate::infer::FrozenGenerator) -> String {
+    serde_json::to_string(model).expect("frozen model serialization cannot fail")
+}
+
+/// Deserializes a [`FrozenGenerator`](crate::infer::FrozenGenerator) from
+/// JSON produced by [`frozen_generator_to_json`].
+///
+/// # Errors
+/// Returns a boxed error for malformed JSON.
+pub fn frozen_generator_from_json(
+    json: &str,
+) -> Result<crate::infer::FrozenGenerator, Box<dyn Error + Send + Sync>> {
+    Ok(serde_json::from_str(json)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +200,33 @@ mod tests {
         from_json(b.as_ref(), &json).expect("load succeeds");
         let x = rng.normal_tensor(&[1, 3, 8, 8], 0.0, 1.0);
         assert_eq!(logits_of(a.as_ref(), &x), logits_of(b.as_ref(), &x));
+    }
+
+    #[test]
+    fn frozen_classifier_json_roundtrip_preserves_forward() {
+        let mut rng = TensorRng::seed_from(3);
+        let model = Arch::ResNet18.build(3, 4, &mut rng);
+        let frozen = model.freeze(crate::infer::FreezeMode::Fused);
+        let json = frozen_classifier_to_json(&frozen);
+        let back = frozen_classifier_from_json(&json).expect("load succeeds");
+        assert_eq!(back.embed_dim(), frozen.embed_dim());
+        assert_eq!(back.num_classes(), frozen.num_classes());
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+        assert_eq!(frozen.forward(&x).data(), back.forward(&x).data());
+    }
+
+    #[test]
+    fn frozen_generator_json_roundtrip_preserves_output() {
+        use crate::models::{DfkdGenerator, GeneratorConfig};
+        use crate::module::Generator;
+        let mut rng = TensorRng::seed_from(4);
+        let g = DfkdGenerator::new(GeneratorConfig::new(8, 8, 8), &mut rng);
+        let frozen = g.freeze(crate::infer::FreezeMode::Exact);
+        let json = frozen_generator_to_json(&frozen);
+        let back = frozen_generator_from_json(&json).expect("load succeeds");
+        assert_eq!(back.latent_dim(), frozen.latent_dim());
+        let z = rng.normal_tensor(&[2, 8], 0.0, 1.0);
+        assert_eq!(frozen.generate(&z).data(), back.generate(&z).data());
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Parity between [`cae_nn::infer`] frozen forwards and the autograd
+//! eval-mode path, across every architecture in the zoo.
+//!
+//! * `FreezeMode::Exact` must be **bit-identical** to
+//!   `Module::forward(.., ForwardCtx::eval())` — the tier-1 byte-diff gate
+//!   on report files depends on this.
+//! * `FreezeMode::Fused` (conv+BN folding) must stay within the documented
+//!   tolerance `|a - b| <= 1e-4 + 1e-3 * |b|`.
+//!
+//! Base widths are drawn from a set that includes ragged (non-multiple-of-
+//! SIMD-lane) channel counts, so masked tail lanes in the fused epilogues
+//! are exercised.
+
+use cae_nn::infer::FreezeMode;
+use cae_nn::models::{Arch, DfkdGenerator, GeneratorConfig};
+use cae_nn::module::{Classifier, ForwardCtx, Generator};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::{Tensor, Var};
+use proptest::prelude::*;
+
+const ALL_ARCHS: [Arch; 8] = [
+    Arch::ResNet18,
+    Arch::ResNet34,
+    Arch::ResNet50,
+    Arch::Wrn40x2,
+    Arch::Wrn40x1,
+    Arch::Wrn16x2,
+    Arch::Wrn16x1,
+    Arch::Vgg11,
+];
+
+/// Documented fused-mode tolerance (see `cae_nn::infer` module docs).
+fn fused_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 + 1e-3 * b.abs()
+}
+
+/// Runs the reference autograd eval forward: `(embedding, logits)`.
+fn var_eval(model: &dyn Classifier, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+    let xv = Var::constant(x.clone());
+    let (emb, logits) = model.forward_embedding(&xv, &mut ForwardCtx::eval());
+    (emb.to_tensor().data().to_vec(), logits.to_tensor().data().to_vec())
+}
+
+/// Builds a model with non-trivial batch-norm running statistics by pushing
+/// a few training batches through it — freshly initialized running stats
+/// (mean 0, var 1) would make BN folding nearly a no-op and hide bugs.
+fn warmed_model(arch: Arch, classes: usize, width: usize, seed: u64) -> Box<dyn Classifier> {
+    let mut rng = TensorRng::seed_from(seed);
+    let model = arch.build(classes, width, &mut rng);
+    for _ in 0..2 {
+        let x = Var::constant(rng.normal_tensor(&[4, 3, 8, 8], 0.3, 1.4));
+        model.forward(&x, &mut ForwardCtx::train());
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn exact_freeze_is_bit_identical_for_every_arch(
+        arch_idx in 0usize..ALL_ARCHS.len(),
+        // 3/5/6/7 include ragged channel counts (width, 2*width, 4*width
+        // all land off SIMD-lane multiples for 3/5/7).
+        width_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let arch = ALL_ARCHS[arch_idx];
+        let width = [3usize, 4, 5, 6, 7][width_idx];
+        let model = warmed_model(arch, 5, width, seed);
+        let frozen = model.freeze(FreezeMode::Exact);
+        let mut rng = TensorRng::seed_from(seed ^ 0x5eed);
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+
+        let (ref_emb, ref_logits) = var_eval(model.as_ref(), &x);
+        let logits = frozen.forward(&x);
+        prop_assert_eq!(logits.shape().dims(), &[2, 5]);
+        prop_assert_eq!(logits.data(), &ref_logits[..], "{} logits differ", arch.name());
+
+        let (emb, logits2) = frozen.forward_embedding(&x);
+        prop_assert_eq!(emb.data(), &ref_emb[..], "{} embedding differs", arch.name());
+        prop_assert_eq!(logits2.data(), &ref_logits[..]);
+    }
+
+    #[test]
+    fn fused_freeze_is_within_tolerance_for_every_arch(
+        arch_idx in 0usize..ALL_ARCHS.len(),
+        width_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let arch = ALL_ARCHS[arch_idx];
+        let width = [3usize, 4, 5, 6, 7][width_idx];
+        let model = warmed_model(arch, 5, width, seed);
+        let frozen = model.freeze(FreezeMode::Fused);
+        let mut rng = TensorRng::seed_from(seed ^ 0xf00d);
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+
+        let (_, ref_logits) = var_eval(model.as_ref(), &x);
+        let logits = frozen.forward(&x);
+        for (i, (&a, &b)) in logits.data().iter().zip(&ref_logits).enumerate() {
+            prop_assert!(
+                fused_close(a, b),
+                "{} logit {i}: fused {a} vs reference {b}",
+                arch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_generator_freeze_is_bit_identical(
+        bc_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let base_channels = [4usize, 6, 8, 10][bc_idx];
+        let mut rng = TensorRng::seed_from(seed);
+        let g = DfkdGenerator::new(GeneratorConfig::new(8, base_channels, 8), &mut rng);
+        // Warm BN running stats as for classifiers.
+        for _ in 0..2 {
+            let z = Var::constant(rng.normal_tensor(&[4, 8], 0.0, 1.0));
+            g.generate(&z, &mut ForwardCtx::train());
+        }
+        let frozen = g.freeze(FreezeMode::Exact);
+        let z = rng.normal_tensor(&[2, 8], 0.0, 1.0);
+        let reference = g
+            .generate(&Var::constant(z.clone()), &mut ForwardCtx::eval())
+            .to_tensor();
+        let img = frozen.generate(&z);
+        prop_assert_eq!(img.shape().dims(), reference.shape().dims());
+        prop_assert_eq!(img.data(), reference.data());
+    }
+
+    #[test]
+    fn fused_generator_freeze_is_within_tolerance(
+        bc_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let base_channels = [4usize, 6, 8][bc_idx];
+        let mut rng = TensorRng::seed_from(seed);
+        let g = DfkdGenerator::new(GeneratorConfig::new(8, base_channels, 8), &mut rng);
+        for _ in 0..2 {
+            let z = Var::constant(rng.normal_tensor(&[4, 8], 0.0, 1.0));
+            g.generate(&z, &mut ForwardCtx::train());
+        }
+        let frozen = g.freeze(FreezeMode::Fused);
+        let z = rng.normal_tensor(&[2, 8], 0.0, 1.0);
+        let reference = g
+            .generate(&Var::constant(z.clone()), &mut ForwardCtx::eval())
+            .to_tensor();
+        let img = frozen.generate(&z);
+        for (i, (&a, &b)) in img.data().iter().zip(reference.data()).enumerate() {
+            prop_assert!(fused_close(a, b), "pixel {i}: fused {a} vs reference {b}");
+        }
+    }
+}
+
+#[test]
+fn exact_freeze_handles_tiny_inputs_like_vgg_pool_guard() {
+    // VGG skips 2×2 pooling once the map is 1×1; the frozen MaxPool op must
+    // apply the same guard or shapes diverge on small inputs.
+    let model = warmed_model(Arch::Vgg11, 3, 4, 7);
+    let frozen = model.freeze(FreezeMode::Exact);
+    let mut rng = TensorRng::seed_from(7);
+    let x = rng.normal_tensor(&[1, 3, 4, 4], 0.0, 1.0);
+    let (_, ref_logits) = var_eval(model.as_ref(), &x);
+    assert_eq!(frozen.forward(&x).data(), &ref_logits[..]);
+}
+
+#[test]
+fn frozen_spatial_matches_var_spatial_exactly() {
+    let model = warmed_model(Arch::Wrn16x2, 4, 4, 11);
+    let frozen = model.freeze(FreezeMode::Exact);
+    let mut rng = TensorRng::seed_from(11);
+    let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+    let reference = model
+        .forward_spatial(&Var::constant(x.clone()), &mut ForwardCtx::eval())
+        .to_tensor();
+    let spatial = frozen.forward_spatial(&x);
+    assert_eq!(spatial.shape().dims(), reference.shape().dims());
+    assert_eq!(spatial.data(), reference.data());
+}

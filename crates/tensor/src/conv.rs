@@ -54,6 +54,8 @@ pub struct Conv2dSpec {
     pub padding: usize,
 }
 
+serde::impl_json_struct!(Conv2dSpec { kernel, stride, padding });
+
 impl Conv2dSpec {
     /// Creates a spec.
     ///
@@ -209,11 +211,38 @@ fn col2im_single(
     }
 }
 
+/// Activation fused into the per-channel bias pass of [`conv2d_fused`].
+///
+/// `None` reproduces the plain [`conv2d`] epilogue exactly (bias via
+/// [`vecmath::vec_add_scalar_inplace`]); the other variants fold the bias
+/// add and the activation into one pass over each output-channel row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConvEpilogue {
+    /// Bias only (when present) — identical to [`conv2d`].
+    None,
+    /// `out = max(out + b, 0)` per output channel.
+    Relu,
+    /// `y = out + b; out = y > 0 ? y : slope·y` per output channel.
+    LeakyRelu(f32),
+}
+
 /// Forward 2-d convolution: `x[N,C,H,W] * w[O,C,k,k] (+ b[O]) → [N,O,OH,OW]`.
 ///
 /// # Panics
 /// Panics if shapes are inconsistent with `spec`.
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    conv2d_fused(x, weight, bias, spec, ConvEpilogue::None)
+}
+
+/// [`conv2d`] with the bias add and an optional activation fused into the
+/// GEMM output pass — the epilogue of the frozen inference path.
+pub fn conv2d_fused(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    epilogue: ConvEpilogue,
+) -> Tensor {
     let (n, c, h, w) = x.shape().nchw();
     let wd = weight.shape().dims();
     assert_eq!(wd.len(), 4, "conv2d weight must be 4-d, got {:?}", wd);
@@ -256,10 +285,33 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSp
                 std::slice::from_raw_parts_mut(out_ptr.0.add(ni * per_sample), per_sample)
             };
             gemm(o, ncols, krows, wd_flat, (krows, 1), &col, (ncols, 1), dst, false);
-            if let Some(b) = bias {
-                for oi in 0..o {
-                    let bv = b.data()[oi];
-                    vecmath::vec_add_scalar_inplace(&mut dst[oi * ncols..(oi + 1) * ncols], bv);
+            match epilogue {
+                ConvEpilogue::None => {
+                    if let Some(b) = bias {
+                        for oi in 0..o {
+                            let bv = b.data()[oi];
+                            vecmath::vec_add_scalar_inplace(
+                                &mut dst[oi * ncols..(oi + 1) * ncols],
+                                bv,
+                            );
+                        }
+                    }
+                }
+                ConvEpilogue::Relu => {
+                    for oi in 0..o {
+                        let bv = bias.map_or(0.0, |b| b.data()[oi]);
+                        vecmath::vec_bias_relu_inplace(&mut dst[oi * ncols..(oi + 1) * ncols], bv);
+                    }
+                }
+                ConvEpilogue::LeakyRelu(slope) => {
+                    for oi in 0..o {
+                        let bv = bias.map_or(0.0, |b| b.data()[oi]);
+                        vecmath::vec_bias_leaky_relu_inplace(
+                            &mut dst[oi * ncols..(oi + 1) * ncols],
+                            bv,
+                            slope,
+                        );
+                    }
                 }
             }
         }
@@ -530,6 +582,48 @@ mod tests {
         let w = Tensor::ones(&[4, 3, 3, 3]);
         let y = conv2d(&x, &w, None, Conv2dSpec::new(3, 2, 1));
         assert_eq!(y.shape().dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_fused_epilogue_matches_separate_passes() {
+        let x = Tensor::from_vec(
+            (0..2 * 3 * 6 * 6).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1).collect(),
+            &[2, 3, 6, 6],
+        )
+        .unwrap();
+        let w = Tensor::from_vec(
+            (0..4 * 3 * 9).map(|i| ((i * 13 % 11) as f32 - 5.0) * 0.1).collect(),
+            &[4, 3, 3, 3],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(vec![0.3, -0.2, 0.1, -0.4], &[4]).unwrap();
+        let spec = Conv2dSpec::new(3, 1, 1);
+
+        let base = conv2d(&x, &w, Some(&b), spec);
+        let fused = conv2d_fused(&x, &w, Some(&b), spec, ConvEpilogue::Relu);
+        for (&f, &y) in fused.data().iter().zip(base.data()) {
+            assert_eq!(f, y.max(0.0), "fused relu epilogue");
+        }
+        let fused = conv2d_fused(&x, &w, Some(&b), spec, ConvEpilogue::LeakyRelu(0.2));
+        for (&f, &y) in fused.data().iter().zip(base.data()) {
+            let want = if y > 0.0 { y } else { y * 0.2 };
+            assert!((f - want).abs() <= 1e-6, "fused leaky epilogue: {f} vs {want}");
+        }
+        // Without bias the epilogue still applies the activation.
+        let base = conv2d(&x, &w, None, spec);
+        let fused = conv2d_fused(&x, &w, None, spec, ConvEpilogue::Relu);
+        for (&f, &y) in fused.data().iter().zip(base.data()) {
+            assert_eq!(f, y.max(0.0), "fused relu epilogue, no bias");
+        }
+    }
+
+    #[test]
+    fn conv2d_spec_serde_roundtrip() {
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let back =
+            <Conv2dSpec as serde::Deserialize>::from_value(&serde::Serialize::to_value(&spec))
+                .unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

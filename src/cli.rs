@@ -229,6 +229,8 @@ USAGE:
   cae-dfkd evaluate --weights FILE.json [--dataset c10] [--arch resnet18] [--budget fast]
   cae-dfkd transfer --weights FILE.json [--task nyu|ade|coco] [--arch resnet18]
                     [--dataset c10] [--budget fast]
+  cae-dfkd freeze   --weights FILE.json --out FROZEN.json [--arch resnet18]
+                    [--dataset c10] [--budget fast] [--mode exact|fused]
   cae-dfkd table    <id> [--budget smoke|fast|full] [--out results]
   cae-dfkd profile  <id> [--budget smoke|fast|full] [--out .]
   cae-dfkd profile  --trace trace_table_ii.jsonl [--out .]
@@ -250,6 +252,13 @@ existing trace_<stem>.jsonl, no run needed.
 `health` runs the experiment with tracing forced on and prints a
 training-health verdict (NaN/Inf, divergence, plateau) per recorded series
 (generator.loss, student.loss, student.cncl_loss, ...).
+
+`freeze` compiles a trained checkpoint into a graph-free frozen inference
+model (conv+BN folded under --mode fused, the default; --mode exact keeps
+layers separate and matches the autograd eval path bit-for-bit) and writes
+it as self-describing JSON. Eval paths inside `distill`/`evaluate`/`table`
+freeze automatically; set CAE_INFER=0 to force the legacy autograd eval
+path or CAE_FUSE=0 to freeze without folding.
 
 Architectures: resnet18 resnet34 resnet50 wrn40-2 wrn40-1 wrn16-2 wrn16-1 vgg11
 ";
@@ -308,6 +317,13 @@ mod tests {
         assert!(HELP.contains("cae-dfkd profile"));
         assert!(HELP.contains("cae-dfkd health"));
         assert!(HELP.contains("PROFILE_<id>.txt"));
+    }
+
+    #[test]
+    fn help_documents_freeze_and_its_env_escapes() {
+        assert!(HELP.contains("cae-dfkd freeze"));
+        assert!(HELP.contains("CAE_INFER=0"));
+        assert!(HELP.contains("CAE_FUSE=0"));
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error + Send + Sync>> {
         "distill" => distill(&cmd),
         "evaluate" => evaluate(&cmd),
         "transfer" => transfer(&cmd),
+        "freeze" => freeze(&cmd),
         "table" => table(&cmd),
         "profile" => profile(&cmd),
         "health" => health(&cmd),
@@ -206,6 +207,33 @@ fn evaluate(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
     let split = dataset.generate(budget.seed);
     let acc = top1_accuracy(model.as_ref(), &split.test, 32);
     println!("{} on {}: top-1 {:.2}%", arch.name(), dataset.name(), acc * 100.0);
+    Ok(())
+}
+
+fn freeze(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let dataset = cmd.dataset()?;
+    let arch = cmd.arch("arch", "resnet18")?;
+    let budget = cmd.budget()?;
+    let weights = cmd.required("weights")?;
+    let out = cmd.required("out")?;
+    let mode = match cmd.str_or("mode", "fused") {
+        "fused" => cae_dfkd::nn::FreezeMode::Fused,
+        "exact" => cae_dfkd::nn::FreezeMode::Exact,
+        other => return Err(format!("unknown mode '{other}' (exact|fused)").into()),
+    };
+
+    let mut rng = TensorRng::seed_from(0);
+    let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
+    serialize::from_json(model.as_ref(), &std::fs::read_to_string(weights)?)?;
+    let frozen = model.freeze(mode);
+    std::fs::write(out, serialize::frozen_classifier_to_json(&frozen))?;
+    println!(
+        "froze {} ({:?}): {} ops, {} classes -> {out}",
+        arch.name(),
+        mode,
+        frozen.spatial_ops().len(),
+        frozen.num_classes(),
+    );
     Ok(())
 }
 
