@@ -6,22 +6,25 @@
 //! change a single result. Writes `BENCH_faults.json` at the repository
 //! root with per-mode wall-clock and the recovery overhead.
 //!
-//! The retry policy is read from the environment once per scheduler call on
-//! the submitting thread, so all three configurations run in this process
-//! (no re-exec needed); an untimed warm-up run first populates the
-//! process-global teacher cache so the timed runs are comparable.
+//! The retry policy is installed per configuration through the typed
+//! [`force_fault_policy`] override (the environment is a parse-once
+//! snapshot, so mutating it mid-process would have no effect), letting all
+//! three configurations run in this process (no re-exec needed); an
+//! untimed warm-up run first populates the process-global teacher cache so
+//! the timed runs are comparable.
 //!
 //! Budget defaults to `smoke`; override with `CAE_BUDGET=smoke|fast|full`.
 //! Run with `cargo run --release -p cae-bench --bin bench_faults`.
 
 use cae_bench::{budget_from_env, run_one};
 use cae_core::config::ExperimentBudget;
+use cae_core::experiments::scheduler::{force_fault_policy, FaultPolicy};
 use serde::Value;
 use std::time::Instant;
 
 /// Injection knob used for the faulty/recovered runs: ~20% of cell
 /// attempts panic, deterministically in the (cell seed, attempt) pair.
-const INJECT: &str = "0.2:7";
+const INJECT: (f32, u64) = (0.2, 7);
 
 struct Outcome {
     mode: &'static str,
@@ -29,15 +32,8 @@ struct Outcome {
     report_json: String,
 }
 
-fn run_mode(mode: &'static str, inject: Option<&str>, retries: Option<&str>, budget: &ExperimentBudget) -> Outcome {
-    match inject {
-        Some(v) => std::env::set_var("CAE_FAULT_INJECT", v),
-        None => std::env::remove_var("CAE_FAULT_INJECT"),
-    }
-    match retries {
-        Some(v) => std::env::set_var("CAE_CELL_RETRIES", v),
-        None => std::env::remove_var("CAE_CELL_RETRIES"),
-    }
+fn run_mode(mode: &'static str, policy: FaultPolicy, budget: &ExperimentBudget) -> Outcome {
+    force_fault_policy(Some(policy));
     let started = Instant::now();
     let report = run_one("table02", budget);
     let seconds = started.elapsed().as_secs_f64();
@@ -49,19 +45,19 @@ fn main() {
     let budget = budget_from_env("smoke");
 
     println!("warming the teacher cache (untimed clean run) ...");
-    run_mode("warmup", None, None, &budget);
+    run_mode("warmup", FaultPolicy::NONE, &budget);
 
     println!("timing table02 clean / injected / injected+retries ...");
-    let clean = run_mode("clean", None, None, &budget);
-    let faulty = run_mode("faulty", Some(INJECT), Some("0"), &budget);
-    let recovered = run_mode("recovered", Some(INJECT), Some("20"), &budget);
-    std::env::remove_var("CAE_FAULT_INJECT");
-    std::env::remove_var("CAE_CELL_RETRIES");
+    let clean = run_mode("clean", FaultPolicy::NONE, &budget);
+    let faulty = run_mode("faulty", FaultPolicy { retries: 0, inject: Some(INJECT) }, &budget);
+    let recovered =
+        run_mode("recovered", FaultPolicy { retries: 20, inject: Some(INJECT) }, &budget);
+    force_fault_policy(None);
 
     let failed_rows = faulty.report_json.matches("FAILED(").count();
     assert!(
         failed_rows > 0,
-        "injection {INJECT} produced no FAILED rows — the fault path was not exercised"
+        "injection {INJECT:?} produced no FAILED rows — the fault path was not exercised"
     );
     assert!(
         faulty.report_json.contains("injected fault"),
@@ -89,7 +85,10 @@ fn main() {
             "budget".to_string(),
             Value::String(std::env::var("CAE_BUDGET").unwrap_or_else(|_| "smoke".to_string())),
         ),
-        ("fault_inject".to_string(), Value::String(INJECT.to_string())),
+        (
+            "fault_inject".to_string(),
+            Value::String(format!("{}:{}", INJECT.0, INJECT.1)),
+        ),
         (
             "runs".to_string(),
             Value::Array(vec![record(&clean), record(&faulty), record(&recovered)]),

@@ -13,7 +13,7 @@
 //! Run with `cargo run --release -p cae-bench --bin bench_kernels`. Set
 //! `CAE_SIMD=scalar` to measure the scalar fallback.
 
-use cae_nn::infer::FreezeMode;
+use cae_nn::infer::FreezeOptions;
 use cae_nn::models::Arch;
 use cae_nn::module::ForwardCtx;
 use cae_tensor::conv::{self, Conv2dSpec, ConvEpilogue};
@@ -329,7 +329,7 @@ fn main() {
     // graph eliminates.
     let mut model_rng = TensorRng::seed_from(7);
     let model = Arch::ResNet18.build(10, 8, &mut model_rng);
-    let frozen = model.freeze(FreezeMode::Fused);
+    let frozen = model.freeze_with(&FreezeOptions::fused());
     let xb = rng.normal_tensor(&[16, 3, 8, 8], 0.0, 1.0);
     // Approximate FLOPs: conv MACs of the width-8 CIFAR ResNet-18 on 8x8
     // inputs (stem + three stages + head), times two, times the batch.

@@ -1,0 +1,207 @@
+//! Serving benchmark: dynamic batching vs one-request-at-a-time on a
+//! frozen student, plus the int8 accuracy delta. Writes `BENCH_serve.json`
+//! at the repository root.
+//!
+//! A small student is pretrained on the C10Sim preset (cached by the
+//! teacher layer), frozen in fused mode, and served over a deterministic
+//! synthetic request trace three ways:
+//!
+//! * **sequential** — one closed-loop client, `max_batch = 1`: every
+//!   request pays the full queue/handoff cost and the batch-1 forward.
+//!   This is the baseline the speedup gate divides by.
+//! * **batched** — open-loop client floods at several
+//!   `(max_batch, max_latency_us)` cutoff configurations; the best
+//!   throughput becomes `batched_rps`.
+//! * **int8** — the same student frozen with int8 weight quantization,
+//!   evaluated for accuracy against the f32 freeze and re-served to check
+//!   batching determinism under quantization.
+//!
+//! Every run serves the *same* trace, so the prediction logs must be
+//! byte-identical across configurations (`predictions_identical`) — the
+//! serve determinism invariant, re-proven here on every bench run.
+//!
+//! Budget defaults to `smoke` (`CAE_BUDGET=smoke|fast|full`); the trace
+//! length defaults to 400 requests (`CAE_SERVE_REQUESTS=n`).
+//! Run with `cargo run --release -p cae-bench --bin bench_serve`.
+
+use cae_bench::budget_from_env;
+use cae_core::metrics::classification::frozen_top1_accuracy;
+use cae_core::teacher;
+use cae_data::presets::ClassificationPreset;
+use cae_nn::infer::{FreezeOptions, FrozenClassifier};
+use cae_nn::models::Arch;
+use cae_serve::{
+    prediction_log, run_closed_loop, run_open_loop, RequestTrace, RunResult, ServeOptions,
+};
+use serde::Value;
+
+/// One batching configuration to sweep.
+struct BatchConfig {
+    name: &'static str,
+    max_batch: usize,
+    max_latency_us: u64,
+    clients: usize,
+}
+
+const CONFIGS: [BatchConfig; 3] = [
+    BatchConfig { name: "b8_l20ms_c4", max_batch: 8, max_latency_us: 20_000, clients: 4 },
+    BatchConfig { name: "b16_l50ms_c8", max_batch: 16, max_latency_us: 50_000, clients: 8 },
+    BatchConfig { name: "b32_l50ms_c8", max_batch: 32, max_latency_us: 50_000, clients: 8 },
+];
+
+fn requests_from_env() -> usize {
+    std::env::var("CAE_SERVE_REQUESTS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(400)
+}
+
+fn run_record(name: &str, run: &RunResult) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        ("rps".to_string(), Value::Number(run.throughput_rps())),
+        ("p50_us".to_string(), Value::Number(run.latency_percentile_us(0.5) as f64)),
+        ("p99_us".to_string(), Value::Number(run.latency_percentile_us(0.99) as f64)),
+        ("mean_batch".to_string(), Value::Number(run.mean_batch())),
+    ])
+}
+
+fn main() {
+    let budget = budget_from_env("smoke");
+    let requests = requests_from_env();
+    let preset = ClassificationPreset::C10Sim;
+    let split = preset.generate(budget.seed);
+
+    println!("pretraining serve student (ResNet18, {} steps) ...", budget.pretrain_steps);
+    let student = teacher::pretrained("serve-student", Arch::ResNet18, &split.train, &budget, 32);
+    let freeze = |opts: &FreezeOptions| -> FrozenClassifier { student.freeze_with(opts) };
+
+    let acc_f32 = frozen_top1_accuracy(&freeze(&FreezeOptions::fused()), &split.test, 32);
+    let acc_int8 = frozen_top1_accuracy(&freeze(&FreezeOptions::fused().int8()), &split.test, 32);
+    let delta_points = (acc_f32 - acc_int8) as f64 * 100.0;
+    println!("accuracy: f32 {acc_f32:.3}, int8 {acc_int8:.3} (delta {delta_points:+.2} pts)");
+
+    let trace = RequestTrace::synthetic(requests, 3, preset.resolution(), budget.seed ^ 0x7e5e);
+
+    // Warm the tensor pool and GEMM workspaces outside the timed runs.
+    let warmup = RequestTrace::synthetic(16, 3, preset.resolution(), 1);
+    run_closed_loop(freeze(&FreezeOptions::fused()), ServeOptions::default(), &warmup);
+
+    // Two sequential passes, keeping the faster: the baseline is the
+    // noisiest term of the speedup ratio on a shared host, and the ratio
+    // should compare peak capability to peak capability (the batched side
+    // already takes the best of several configs). Their logs must match —
+    // a free repeat-determinism check.
+    println!("sequential baseline ({requests} requests, max_batch=1) ...");
+    let sequential = (0..2)
+        .map(|_| {
+            run_closed_loop(
+                freeze(&FreezeOptions::fused()),
+                ServeOptions::default().with_max_batch(1),
+                &trace,
+            )
+        })
+        .reduce(|a, b| {
+            assert_eq!(prediction_log(&a.predictions), prediction_log(&b.predictions));
+            if a.throughput_rps() >= b.throughput_rps() { a } else { b }
+        })
+        .expect("two sequential passes");
+    assert_eq!(sequential.predictions.len(), trace.len());
+    let reference_log = prediction_log(&sequential.predictions);
+    println!(
+        "  {:.0} rps, p50 {}us, p99 {}us",
+        sequential.throughput_rps(),
+        sequential.latency_percentile_us(0.5),
+        sequential.latency_percentile_us(0.99)
+    );
+
+    let mut predictions_identical = true;
+    let mut config_records = Vec::new();
+    let mut best: Option<(&BatchConfig, RunResult)> = None;
+    for config in &CONFIGS {
+        let opts = ServeOptions::default()
+            .with_max_batch(config.max_batch)
+            .with_max_latency_us(config.max_latency_us);
+        let run = run_open_loop(freeze(&FreezeOptions::fused()), opts, &trace, config.clients);
+        assert_eq!(run.predictions.len(), trace.len());
+        if prediction_log(&run.predictions) != reference_log {
+            predictions_identical = false;
+        }
+        println!(
+            "  {}: {:.0} rps, p50 {}us, p99 {}us, mean batch {:.1}",
+            config.name,
+            run.throughput_rps(),
+            run.latency_percentile_us(0.5),
+            run.latency_percentile_us(0.99),
+            run.mean_batch()
+        );
+        config_records.push(run_record(config.name, &run));
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, b)| run.throughput_rps() > b.throughput_rps());
+        if better {
+            best = Some((config, run));
+        }
+    }
+    let (best_config, best_run) = best.expect("at least one batching config");
+
+    // int8 serve determinism: the quantized student must also be
+    // batching-invariant (its dequantized weights are plain f32 tensors).
+    let int8_seq = run_closed_loop(
+        freeze(&FreezeOptions::fused().int8()),
+        ServeOptions::default().with_max_batch(1),
+        &trace,
+    );
+    let int8_batched = run_open_loop(
+        freeze(&FreezeOptions::fused().int8()),
+        ServeOptions::default().with_max_batch(16).with_max_latency_us(50_000),
+        &trace,
+        4,
+    );
+    if prediction_log(&int8_seq.predictions) != prediction_log(&int8_batched.predictions) {
+        predictions_identical = false;
+    }
+
+    let batched_rps = best_run.throughput_rps();
+    let sequential_rps = sequential.throughput_rps();
+    let batched_speedup = batched_rps / sequential_rps.max(1e-12);
+    let batched_p99_us = best_run.latency_percentile_us(0.99);
+    let p99_within_cutoff = batched_p99_us <= best_config.max_latency_us;
+    println!(
+        "best: {} at {batched_rps:.0} rps ({batched_speedup:.2}x sequential), \
+         p99 {batched_p99_us}us (cutoff {}us), predictions identical: {predictions_identical}",
+        best_config.name, best_config.max_latency_us
+    );
+
+    let json = serde_json::to_string_pretty(&Value::Object(vec![
+        (
+            "budget".to_string(),
+            Value::String(std::env::var("CAE_BUDGET").unwrap_or_else(|_| "smoke".to_string())),
+        ),
+        ("requests".to_string(), Value::Number(requests as f64)),
+        ("arch".to_string(), Value::String("ResNet18".to_string())),
+        ("preset".to_string(), Value::String(preset.name().to_string())),
+        ("sequential".to_string(), run_record("sequential", &sequential)),
+        ("configs".to_string(), Value::Array(config_records)),
+        ("best_config".to_string(), Value::String(best_config.name.to_string())),
+        ("batched_rps".to_string(), Value::Number(batched_rps)),
+        ("batched_speedup".to_string(), Value::Number(batched_speedup)),
+        ("batched_p99_us".to_string(), Value::Number(batched_p99_us as f64)),
+        ("p99_within_cutoff".to_string(), Value::Bool(p99_within_cutoff)),
+        ("predictions_identical".to_string(), Value::Bool(predictions_identical)),
+        (
+            "int8".to_string(),
+            Value::Object(vec![
+                ("acc_f32".to_string(), Value::Number(acc_f32 as f64)),
+                ("acc_int8".to_string(), Value::Number(acc_int8 as f64)),
+                ("delta_points".to_string(), Value::Number(delta_points)),
+            ]),
+        ),
+    ]))
+    .expect("benchmark record always serializes");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_serve.json");
+    std::fs::write(&path, json + "\n").expect("failed to write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

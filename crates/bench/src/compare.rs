@@ -15,6 +15,13 @@
 //! - `BENCH_faults.json` — the recovered run is byte-identical to the
 //!   clean one, injection still produces FAILED rows, and retry recovery
 //!   costs at most baseline + 50 percentage points.
+//! - `BENCH_serve.json` — predictions stayed byte-identical across
+//!   batching configurations, dynamic batching keeps a real throughput
+//!   edge over the one-request-at-a-time baseline (absolute floor plus a
+//!   retention band of the committed baseline), the best config's p99
+//!   stays under its latency cutoff, int8 quantization costs at most
+//!   1 accuracy point, and the batched p99 stays within a 3× tolerance
+//!   band of its baseline.
 //!
 //! The `bench_compare` bin prints one line per check and exits non-zero on
 //! any regression; `scripts/tier1.sh` runs it on every tier-1 pass.
@@ -31,6 +38,30 @@ pub const SPEEDUP_RETENTION: f64 = 0.5;
 
 /// Percentage points of extra recovery overhead tolerated over baseline.
 pub const RECOVERY_OVERHEAD_SLACK_PCT: f64 = 50.0;
+
+/// Absolute floor on the dynamic-batching throughput edge over the
+/// one-request-at-a-time baseline (the serve acceptance gate).
+///
+/// What batching can buy is host-dependent. The per-request fixed cost
+/// (queue handoff, wakeup, dispatch) is amortized across the batch on any
+/// host, but the per-image variable cost (im2col + GEMM) is paid either
+/// way — so on a single-core host the measured edge tops out around
+/// 1.1–1.4× for the smoke-budget student. On multi-core hosts the batched
+/// forward crosses the GEMM parallelism threshold and fans out across the
+/// pool while a batch-1 forward cannot, so the edge grows with cores. The
+/// floor is set to the portable single-core guarantee (broken batching
+/// shows up as ~1.0× or below); the [`SPEEDUP_RETENTION`] band against
+/// the committed baseline keeps per-host regressions visible above it.
+pub const SERVE_SPEEDUP_FLOOR: f64 = 1.05;
+
+/// Maximum accuracy cost of int8 weight quantization, in points.
+pub const SERVE_INT8_DELTA_CAP_PTS: f64 = 1.0;
+
+/// Multiplicative tolerance band on the batched p99 latency vs its
+/// baseline. Latency percentiles move with host load far more than
+/// throughput ratios do, so the band is wide; the hard per-host bound is
+/// `p99_within_cutoff`, which is absolute.
+pub const SERVE_P99_TOLERANCE: f64 = 3.0;
 
 /// One gate check: which metric, whether it passed, and a human line.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,16 +267,78 @@ pub fn compare_faults(current: &Value, baseline: &Value) -> Result<Vec<Check>, C
     Ok(checks)
 }
 
+/// Compares `BENCH_serve.json`: byte-identical predictions across batching
+/// configurations, the batched speedup holds both the absolute
+/// [`SERVE_SPEEDUP_FLOOR`] and [`SPEEDUP_RETENTION`] of its baseline, the
+/// best config's p99 stays under its own latency cutoff, int8 accuracy
+/// loss stays under [`SERVE_INT8_DELTA_CAP_PTS`], and the batched p99
+/// stays within [`SERVE_P99_TOLERANCE`]× its baseline.
+///
+/// # Errors
+/// Returns [`CompareError`] on malformed records.
+pub fn compare_serve(current: &Value, baseline: &Value) -> Result<Vec<Check>, CompareError> {
+    let ctx = "BENCH_serve.json";
+    let identical = bool_field(current, "predictions_identical", ctx)?;
+    let within_cutoff = bool_field(current, "p99_within_cutoff", ctx)?;
+    let cur_speedup = f64_field(current, "batched_speedup", ctx)?;
+    let base_speedup = f64_field(baseline, "batched_speedup", ctx)?;
+    let cur_p99 = f64_field(current, "batched_p99_us", ctx)?;
+    let base_p99 = f64_field(baseline, "batched_p99_us", ctx)?;
+    let int8 = current
+        .get("int8")
+        .ok_or_else(|| CompareError(format!("{ctx}: field 'int8' missing")))?;
+    let delta = f64_field(int8, "delta_points", ctx)?;
+
+    let mut checks = vec![if identical {
+        Check::pass("serve/predictions_identical", "true")
+    } else {
+        Check::fail(
+            "serve/predictions_identical",
+            "a batching configuration changed a prediction",
+        )
+    }];
+    let floor = SERVE_SPEEDUP_FLOOR.max(base_speedup * SPEEDUP_RETENTION);
+    let detail = format!("{cur_speedup:.2}x vs baseline {base_speedup:.2}x (floor {floor:.2}x)");
+    checks.push(if cur_speedup >= floor {
+        Check::pass("serve/batched_speedup", detail)
+    } else {
+        Check::fail("serve/batched_speedup", detail)
+    });
+    checks.push(if within_cutoff {
+        Check::pass("serve/p99_within_cutoff", "true")
+    } else {
+        Check::fail(
+            "serve/p99_within_cutoff",
+            "best config's p99 exceeded its max_latency_us cutoff",
+        )
+    });
+    let cap = base_p99 * SERVE_P99_TOLERANCE;
+    let detail = format!("{cur_p99:.0}us vs baseline {base_p99:.0}us (cap {cap:.0}us)");
+    checks.push(if cur_p99 <= cap {
+        Check::pass("serve/batched_p99_us", detail)
+    } else {
+        Check::fail("serve/batched_p99_us", detail)
+    });
+    let detail = format!("{delta:.2} pts (cap {SERVE_INT8_DELTA_CAP_PTS} pts)");
+    checks.push(if delta <= SERVE_INT8_DELTA_CAP_PTS {
+        Check::pass("serve/int8_delta_points", detail)
+    } else {
+        Check::fail("serve/int8_delta_points", detail)
+    });
+    Ok(checks)
+}
+
 /// A per-file comparison function: `(current, baseline) -> checks`.
 pub type CompareFn = fn(&Value, &Value) -> Result<Vec<Check>, CompareError>;
 
-/// The four gated record files, paired with their comparison functions.
-pub fn gated_files() -> [(&'static str, CompareFn); 4] {
+/// The five gated record files, paired with their comparison functions.
+pub fn gated_files() -> [(&'static str, CompareFn); 5] {
     [
         ("BENCH_kernels.json", compare_kernels),
         ("BENCH_trace.json", compare_trace),
         ("BENCH_experiments.json", compare_experiments),
         ("BENCH_faults.json", compare_faults),
+        ("BENCH_serve.json", compare_serve),
     ]
 }
 
@@ -372,6 +465,52 @@ mod tests {
         assert!(!checks[2].ok, "60% > -2.09% + 50pt cap must regress");
     }
 
+    const SERVE: &str = r#"{
+        "predictions_identical": true,
+        "batched_speedup": 1.4,
+        "p99_within_cutoff": true,
+        "batched_p99_us": 1800,
+        "int8": {"acc_f32": 0.71, "acc_int8": 0.705, "delta_points": 0.5}
+    }"#;
+
+    #[test]
+    fn serve_invariants_hold_and_perturbations_fire() {
+        let checks = compare_serve(&v(SERVE), &v(SERVE)).expect("compares");
+        assert_eq!(checks.len(), 5);
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        let diverged = v(&SERVE.replace("\"predictions_identical\": true", "\"predictions_identical\": false"));
+        let checks = compare_serve(&diverged, &v(SERVE)).expect("compares");
+        assert!(!checks[0].ok, "diverged predictions must regress");
+
+        // 1.01x fails the absolute 1.05x floor even though it clears the
+        // 50% retention band of the 1.4x baseline.
+        let slow = v(&SERVE.replace("1.4", "1.01"));
+        let checks = compare_serve(&slow, &v(SERVE)).expect("compares");
+        assert!(!checks[1].ok, "1.01x < 1.05x absolute floor must regress");
+
+        // A big baseline raises the floor through the retention band:
+        // 1.6x is fine against 1.4x but regresses against 4.0x.
+        let fast_base = v(&SERVE.replace("1.4", "4.0"));
+        let ok_now = v(&SERVE.replace("1.4", "1.6"));
+        let checks = compare_serve(&ok_now, &v(SERVE)).expect("compares");
+        assert!(checks[1].ok, "1.6x clears floor and retention of 1.4x");
+        let checks = compare_serve(&ok_now, &fast_base).expect("compares");
+        assert!(!checks[1].ok, "1.6x < 50% of a 4.0x baseline must regress");
+
+        let over = v(&SERVE.replace("\"p99_within_cutoff\": true", "\"p99_within_cutoff\": false"));
+        let checks = compare_serve(&over, &v(SERVE)).expect("compares");
+        assert!(!checks[2].ok, "p99 over cutoff must regress");
+
+        let laggy = v(&SERVE.replace("1800", "6000"));
+        let checks = compare_serve(&laggy, &v(SERVE)).expect("compares");
+        assert!(!checks[3].ok, "6000us > 3x of 1800us band must regress");
+
+        let lossy = v(&SERVE.replace("\"delta_points\": 0.5", "\"delta_points\": 1.4"));
+        let checks = compare_serve(&lossy, &v(SERVE)).expect("compares");
+        assert!(!checks[4].ok, "1.4 pts > 1 pt int8 cap must regress");
+    }
+
     #[test]
     fn malformed_records_error_instead_of_passing() {
         let err = compare_trace(&v(r#"{"reports_identical": true}"#), &v(TRACE))
@@ -380,6 +519,14 @@ mod tests {
         let err = compare_kernels(&v(r#"{"not": "an array"}"#), &v(KERNELS))
             .expect_err("wrong shape");
         assert!(err.to_string().contains("array"));
+        let no_int8 = v(r#"{
+            "predictions_identical": true,
+            "batched_speedup": 4.0,
+            "p99_within_cutoff": true,
+            "batched_p99_us": 1000
+        }"#);
+        let err = compare_serve(&no_int8, &v(SERVE)).expect_err("missing int8 block");
+        assert!(err.to_string().contains("int8"));
     }
 
     #[test]

@@ -85,7 +85,7 @@ mod tests {
         crate::teacher::train_supervised(teacher.as_ref(), &split.train, 40, 16, 0.1, &mut rng);
 
         let labels = vec![0, 1, 2, 0];
-        let frozen = teacher.freeze(cae_nn::infer::FreezeMode::Exact);
+        let frozen = teacher.freeze_with(&cae_nn::infer::FreezeOptions::exact());
         let ce_of = |imgs: &Tensor| {
             let logits = Var::constant(frozen.forward(imgs));
             cross_entropy(&logits, &labels).item()

@@ -15,7 +15,7 @@
 //! categories, teaching the student domain-invariant category features.
 
 use crate::cend::CendLayer;
-use cae_nn::infer::{self, FreezeMode};
+use cae_nn::infer::{self, FreezeOptions};
 use cae_nn::module::{Classifier, ForwardCtx, Generator};
 use cae_tensor::rng::TensorRng;
 use cae_tensor::{Tensor, Var};
@@ -84,7 +84,7 @@ pub fn cncl_loss(
     // frozen path never builds a graph, so detachment is structural; the
     // legacy path (`CAE_INFER=0`) detaches explicitly.
     let images = if infer::infer_enabled() {
-        Var::constant(generator.freeze(FreezeMode::from_env()).generate(&z))
+        Var::constant(generator.freeze_with(&FreezeOptions::from_env()).generate(&z))
     } else {
         generator
             .generate(&Var::constant(z), &mut ForwardCtx::eval())

@@ -1,4 +1,7 @@
-//! Configuration types: DFKD hyper-parameters and experiment budgets.
+//! Configuration types: DFKD hyper-parameters, experiment budgets, and the
+//! process-wide [`Config`] snapshot of every `CAE_*` environment knob.
+
+use cae_nn::infer::FreezeMode;
 
 /// Hyper-parameters of the DFKD optimization (Eqs. 5 and 6).
 ///
@@ -154,6 +157,205 @@ impl ExperimentBudget {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Runtime configuration: the CAE_* environment snapshot.
+
+/// Documentation metadata for one `CAE_*` knob — the source the README's
+/// configuration table is generated from, so it never drifts from the code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigEntry {
+    /// Environment variable name (the stable external API).
+    pub var: &'static str,
+    /// Accepted values, human-readable.
+    pub values: &'static str,
+    /// Effective default when unset.
+    pub default: &'static str,
+    /// What the knob does.
+    pub doc: &'static str,
+}
+
+/// The typed, read-once snapshot of every `CAE_*` environment variable.
+///
+/// Parsed (and where a lower crate owns the knob, resolved through that
+/// crate's own parse-once accessor) on the first [`Config::get`] call;
+/// later environment mutations have no effect. Boolean knobs follow the
+/// shared convention: `0`, `off`, `false`, `no` disable (case-insensitive,
+/// surrounding whitespace ignored), except `CAE_TRACE` which is
+/// *opt-in* (`1`, `true`, `on`, `yes` enable). In-process harnesses that
+/// need to vary a knob between runs use the typed overrides
+/// ([`crate::experiments::scheduler::force_cell_parallelism`],
+/// [`crate::experiments::scheduler::force_fault_policy`],
+/// `cae_tensor::simd::force_backend`, `cae_trace::force_enabled`) instead
+/// of mutating the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Active SIMD backend (`CAE_SIMD`: `scalar`/`avx2`/`neon`/auto).
+    pub simd_backend: String,
+    /// Tensor-pool parallelism (`CAE_NUM_THREADS`, default: all cores).
+    pub num_threads: usize,
+    /// Frozen-graph eval forwards enabled (`CAE_INFER`).
+    pub infer: bool,
+    /// Freeze mode for eval forwards (`CAE_FUSE`: off ⇒ exact).
+    pub fuse: FreezeMode,
+    /// Tracing enabled (`CAE_TRACE`, opt-in).
+    pub trace: bool,
+    /// Per-thread trace event cap (`CAE_TRACE_MAX_EVENTS`).
+    pub trace_max_events: usize,
+    /// Per-thread series event cap (`CAE_TRACE_SERIES_CAP`).
+    pub trace_series_cap: usize,
+    /// Cell-level experiment parallelism (`CAE_CELL_PARALLEL`).
+    pub cell_parallel: bool,
+    /// Failed-cell retry count (`CAE_CELL_RETRIES`).
+    pub cell_retries: usize,
+    /// Deterministic fault injection (`CAE_FAULT_INJECT=<prob>:<seed>`).
+    pub fault_inject: Option<(f32, u64)>,
+    /// Bench budget preset name (`CAE_BUDGET`), if set.
+    pub budget: Option<String>,
+    /// Bench artifact directory override (`CAE_RESULTS_DIR`), if set.
+    pub results_dir: Option<String>,
+    /// Sweep checkpoint/resume enabled (`CAE_RESUME`).
+    pub resume: bool,
+    /// Serve: dynamic-batching cutoff in images (`CAE_SERVE_MAX_BATCH`).
+    pub serve_max_batch: usize,
+    /// Serve: oldest-request latency cutoff (`CAE_SERVE_MAX_LATENCY_US`).
+    pub serve_max_latency_us: u64,
+    /// Serve: batched-forward worker threads (`CAE_SERVE_WORKERS`).
+    pub serve_workers: usize,
+}
+
+/// Shared disable-token rule for boolean `CAE_*` knobs.
+fn env_disabled(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Parses a positive-integer knob, falling back to `default` when unset or
+/// malformed (matching the lower crates' lenient convention).
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+impl Config {
+    /// The process-wide snapshot, parsed on first call.
+    pub fn get() -> &'static Config {
+        static SNAPSHOT: std::sync::OnceLock<Config> = std::sync::OnceLock::new();
+        SNAPSHOT.get_or_init(Config::from_env)
+    }
+
+    /// Parses a fresh snapshot. Prefer [`Config::get`]; this constructor
+    /// exists for tests and for printing what a *current* environment
+    /// would resolve to.
+    pub fn from_env() -> Config {
+        Config {
+            simd_backend: format!("{:?}", cae_tensor::simd::active_backend()).to_lowercase(),
+            num_threads: env_usize(
+                "CAE_NUM_THREADS",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            ),
+            infer: cae_nn::infer::infer_enabled(),
+            fuse: FreezeMode::from_env(),
+            trace: cae_trace::enabled(),
+            trace_max_events: cae_trace::event_cap(),
+            trace_series_cap: cae_trace::series_cap(),
+            cell_parallel: match std::env::var("CAE_CELL_PARALLEL") {
+                Ok(v) => !crate::experiments::scheduler::parallelism_disabled_by(&v),
+                Err(_) => true,
+            },
+            cell_retries: std::env::var("CAE_CELL_RETRIES")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0),
+            fault_inject: std::env::var("CAE_FAULT_INJECT")
+                .ok()
+                .and_then(|v| crate::experiments::scheduler::parse_fault_inject(&v)),
+            budget: std::env::var("CAE_BUDGET").ok(),
+            results_dir: std::env::var("CAE_RESULTS_DIR").ok(),
+            resume: !env_disabled("CAE_RESUME"),
+            serve_max_batch: env_usize("CAE_SERVE_MAX_BATCH", 16),
+            serve_max_latency_us: env_usize("CAE_SERVE_MAX_LATENCY_US", 2000) as u64,
+            serve_workers: env_usize("CAE_SERVE_WORKERS", 1),
+        }
+    }
+
+    /// Static documentation for every knob, in display order. Kept in one
+    /// place so [`Config::markdown_table`] and the field list cannot drift
+    /// apart silently (a test asserts one entry per field).
+    pub fn entries() -> &'static [ConfigEntry] {
+        &[
+            ConfigEntry { var: "CAE_SIMD", values: "`scalar`/`avx2`/`neon`", default: "auto-detect", doc: "SIMD backend for all f32 kernels; unsupported requests fall back to detection. All backends are bit-identical." },
+            ConfigEntry { var: "CAE_NUM_THREADS", values: "integer ≥ 1", default: "all cores", doc: "Tensor-pool parallelism (kernel and cell levels share the pool)." },
+            ConfigEntry { var: "CAE_INFER", values: "bool (off-tokens disable)", default: "on", doc: "Route eval-mode forwards through frozen graphs instead of autograd." },
+            ConfigEntry { var: "CAE_FUSE", values: "bool (off-tokens disable)", default: "on", doc: "Conv+BN folding and activation fusion at freeze time; off selects the bit-exact mode." },
+            ConfigEntry { var: "CAE_TRACE", values: "bool (`1`/`true`/`on`/`yes` enable)", default: "off", doc: "In-process tracing: spans, counters, gauges, series." },
+            ConfigEntry { var: "CAE_TRACE_MAX_EVENTS", values: "integer ≥ 1", default: "65536", doc: "Per-thread span/counter event cap; excess is dropped and flagged." },
+            ConfigEntry { var: "CAE_TRACE_SERIES_CAP", values: "integer ≥ 1", default: "65536", doc: "Per-thread series event cap." },
+            ConfigEntry { var: "CAE_CELL_PARALLEL", values: "bool (off-tokens disable)", default: "on", doc: "Fan experiment cells out across the pool; off runs cells serially with kernel parallelism inside each." },
+            ConfigEntry { var: "CAE_CELL_RETRIES", values: "integer ≥ 0", default: "0", doc: "Re-runs of a panicked cell (identical derived seed, so recovery is byte-identical)." },
+            ConfigEntry { var: "CAE_FAULT_INJECT", values: "`<prob>:<seed>`", default: "off", doc: "Deterministic panic injection at cell-attempt entry, for testing the recovery path." },
+            ConfigEntry { var: "CAE_BUDGET", values: "`smoke`/`fast`/`full`", default: "per-binary", doc: "Experiment budget preset for bench binaries." },
+            ConfigEntry { var: "CAE_RESULTS_DIR", values: "path", default: "`results/`", doc: "Where bench binaries write report artifacts." },
+            ConfigEntry { var: "CAE_RESUME", values: "bool (off-tokens disable)", default: "on", doc: "Reuse completed report artifacts in sweep binaries." },
+            ConfigEntry { var: "CAE_SERVE_MAX_BATCH", values: "integer ≥ 1", default: "16", doc: "cae-serve: max images per dynamically formed batch." },
+            ConfigEntry { var: "CAE_SERVE_MAX_LATENCY_US", values: "integer ≥ 1", default: "2000", doc: "cae-serve: max µs the oldest queued request waits before a partial batch is dispatched." },
+            ConfigEntry { var: "CAE_SERVE_WORKERS", values: "integer ≥ 1", default: "1", doc: "cae-serve: worker threads running batched frozen forwards." },
+        ]
+    }
+
+    /// Renders [`Config::entries`] as the README's markdown table
+    /// (host-independent: documentation only, no effective values).
+    pub fn markdown_table() -> String {
+        let mut out = String::from("| Variable | Values | Default | Effect |\n|---|---|---|---|\n");
+        for e in Config::entries() {
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} |\n",
+                e.var, e.values, e.default, e.doc
+            ));
+        }
+        out
+    }
+
+    /// Renders the effective snapshot for `cae-dfkd config`, one
+    /// `VAR = value` line per knob, in [`Config::entries`] order.
+    pub fn render(&self) -> String {
+        let fmt_opt = |v: &Option<String>| v.clone().unwrap_or_else(|| "<unset>".to_owned());
+        let rows: Vec<(&str, String)> = vec![
+            ("CAE_SIMD", self.simd_backend.clone()),
+            ("CAE_NUM_THREADS", self.num_threads.to_string()),
+            ("CAE_INFER", self.infer.to_string()),
+            ("CAE_FUSE", format!("{:?}", self.fuse).to_lowercase()),
+            ("CAE_TRACE", self.trace.to_string()),
+            ("CAE_TRACE_MAX_EVENTS", self.trace_max_events.to_string()),
+            ("CAE_TRACE_SERIES_CAP", self.trace_series_cap.to_string()),
+            ("CAE_CELL_PARALLEL", self.cell_parallel.to_string()),
+            ("CAE_CELL_RETRIES", self.cell_retries.to_string()),
+            (
+                "CAE_FAULT_INJECT",
+                self.fault_inject
+                    .map_or_else(|| "<unset>".to_owned(), |(p, s)| format!("{p}:{s}")),
+            ),
+            ("CAE_BUDGET", fmt_opt(&self.budget)),
+            ("CAE_RESULTS_DIR", fmt_opt(&self.results_dir)),
+            ("CAE_RESUME", self.resume.to_string()),
+            ("CAE_SERVE_MAX_BATCH", self.serve_max_batch.to_string()),
+            ("CAE_SERVE_MAX_LATENCY_US", self.serve_max_latency_us.to_string()),
+            ("CAE_SERVE_WORKERS", self.serve_workers.to_string()),
+        ];
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        rows.iter()
+            .map(|(k, v)| format!("{k:width$} = {v}\n"))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +375,45 @@ mod tests {
         // Scaled generator lr (see the type docs for the rationale).
         assert!((c.generator_lr - 5e-3).abs() < 1e-9);
         assert!((c.student_lr - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_renders_every_documented_knob() {
+        let config = Config::get();
+        let rendered = config.render();
+        for entry in Config::entries() {
+            assert!(
+                rendered.contains(entry.var),
+                "{} documented but not rendered",
+                entry.var
+            );
+        }
+        // One render line and one doc entry per knob — a new field must
+        // update both or this count drifts.
+        assert_eq!(rendered.lines().count(), Config::entries().len());
+    }
+
+    #[test]
+    fn markdown_table_covers_every_entry_once() {
+        let table = Config::markdown_table();
+        for entry in Config::entries() {
+            assert_eq!(
+                table.matches(&format!("`{}`", entry.var)).count(),
+                1,
+                "{} must appear exactly once",
+                entry.var
+            );
+        }
+        assert_eq!(table.lines().count(), Config::entries().len() + 2);
+    }
+
+    #[test]
+    fn snapshot_defaults_are_sane_without_env() {
+        // The suite doesn't set serve knobs, so defaults must hold.
+        let config = Config::get();
+        assert!(config.serve_max_batch >= 1);
+        assert!(config.serve_max_latency_us >= 1);
+        assert!(config.serve_workers >= 1);
+        assert!(config.num_threads >= 1);
     }
 }

@@ -59,22 +59,41 @@ pub fn cell_seed(base: u64, cell_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Whether cell-level parallelism is enabled. `CAE_CELL_PARALLEL` disables
-/// it when set to one of `0`, `off`, `false` or `no` (case-insensitive,
-/// surrounding whitespace ignored); any other value — or the variable
-/// being unset — leaves it enabled, and kernels then parallelize inside
-/// each cell instead. Read per call so tests can toggle it within one
-/// process.
+/// In-process override of the `CAE_CELL_PARALLEL` snapshot: `0` = follow
+/// the config, `1` = forced serial, `2` = forced parallel.
+static FORCED_CELL_PARALLEL: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Forces cell parallelism on or off for this process, overriding the
+/// `CAE_CELL_PARALLEL` snapshot in [`crate::config::Config`]; `None`
+/// restores the config value. This is the supported way for one process to
+/// compare serial and parallel scheduling (the serial-vs-parallel
+/// byte-identity test, the profiler's serial mode) — the environment is
+/// parsed once per process and mutating it after startup has no effect.
+pub fn force_cell_parallelism(value: Option<bool>) {
+    let encoded = match value {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FORCED_CELL_PARALLEL.store(encoded, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether cell-level parallelism is enabled: an in-process
+/// [`force_cell_parallelism`] override if one is set, otherwise the
+/// `CAE_CELL_PARALLEL` snapshot (disabled by `0`, `off`, `false` or `no`,
+/// case-insensitive; any other value or unset leaves it enabled, and
+/// kernels then parallelize inside each cell instead).
 pub fn cell_parallelism_enabled() -> bool {
-    match std::env::var("CAE_CELL_PARALLEL") {
-        Ok(v) => !parallelism_disabled_by(&v),
-        Err(_) => true,
+    match FORCED_CELL_PARALLEL.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => crate::config::Config::get().cell_parallel,
     }
 }
 
 /// Whether a `CAE_CELL_PARALLEL` value requests serial cells. The accepted
 /// disabling values are `0`, `off`, `false` and `no`, case-insensitively.
-fn parallelism_disabled_by(value: &str) -> bool {
+pub(crate) fn parallelism_disabled_by(value: &str) -> bool {
     matches!(
         value.trim().to_ascii_lowercase().as_str(),
         "0" | "off" | "false" | "no"
@@ -123,31 +142,49 @@ pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-/// Retry/fault-injection policy, resolved from the environment **once per
-/// scheduler call on the calling thread** (pool workers never read the
-/// environment), so one run sees one coherent policy.
+/// Retry/fault-injection policy, resolved **once per scheduler call on the
+/// calling thread** (pool workers never consult it), so one run sees one
+/// coherent policy. The default comes from the `CAE_CELL_RETRIES` /
+/// `CAE_FAULT_INJECT` snapshot in [`crate::config::Config`]; harnesses
+/// comparing policies within one process install explicit ones via
+/// [`force_fault_policy`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct FaultPolicy {
+pub struct FaultPolicy {
     /// How many times a failed cell is re-run (`CAE_CELL_RETRIES`).
-    retries: usize,
+    pub retries: usize,
     /// Deterministic fault injection as `(probability, seed)`
     /// (`CAE_FAULT_INJECT=<prob>:<seed>`), or `None`.
-    inject: Option<(f32, u64)>,
+    pub inject: Option<(f32, u64)>,
+}
+
+/// In-process override installed by [`force_fault_policy`].
+static FORCED_FAULT_POLICY: Mutex<Option<FaultPolicy>> = Mutex::new(None);
+
+/// Forces the retry/fault-injection policy for subsequent scheduler calls
+/// in this process, overriding the environment snapshot; `None` restores
+/// it. Replaces the old pattern of mutating `CAE_FAULT_INJECT` /
+/// `CAE_CELL_RETRIES` between runs, which stopped working once the
+/// environment became a parse-once snapshot.
+pub fn force_fault_policy(policy: Option<FaultPolicy>) {
+    *FORCED_FAULT_POLICY.lock().unwrap_or_else(PoisonError::into_inner) = policy;
 }
 
 impl FaultPolicy {
-    #[cfg(test)]
-    const NONE: FaultPolicy = FaultPolicy { retries: 0, inject: None };
+    /// No retries, no injection.
+    pub const NONE: FaultPolicy = FaultPolicy { retries: 0, inject: None };
 
-    fn from_env() -> Self {
-        let retries = std::env::var("CAE_CELL_RETRIES")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(0);
-        let inject = std::env::var("CAE_FAULT_INJECT")
-            .ok()
-            .and_then(|v| parse_fault_inject(&v));
-        FaultPolicy { retries, inject }
+    /// The policy for the next scheduler call: the
+    /// [`force_fault_policy`] override if installed, else the config
+    /// snapshot.
+    fn resolve() -> Self {
+        if let Some(forced) = *FORCED_FAULT_POLICY.lock().unwrap_or_else(PoisonError::into_inner) {
+            return forced;
+        }
+        let config = crate::config::Config::get();
+        FaultPolicy {
+            retries: config.cell_retries,
+            inject: config.fault_inject,
+        }
     }
 
     /// Whether attempt `attempt` of the cell seeded `seed` should fail.
@@ -167,7 +204,7 @@ impl FaultPolicy {
 /// Parses a `CAE_FAULT_INJECT` value of the form `<prob>:<seed>` (e.g.
 /// `0.2:7`). Probabilities are clamped to `[0, 1]`; non-positive
 /// probabilities and malformed values disable injection.
-fn parse_fault_inject(value: &str) -> Option<(f32, u64)> {
+pub(crate) fn parse_fault_inject(value: &str) -> Option<(f32, u64)> {
     let (prob, seed) = value.split_once(':')?;
     let prob = prob.trim().parse::<f32>().ok()?;
     let seed = seed.trim().parse::<u64>().ok()?;
@@ -313,7 +350,7 @@ pub fn run_cells_isolated<'a, T>(base_seed: u64, cells: Vec<Cell<'a, T>>) -> Vec
 where
     T: Send + 'a,
 {
-    let policy = FaultPolicy::from_env();
+    let policy = FaultPolicy::resolve();
     run_cells_isolated_with(&policy, base_seed, cells)
 }
 
@@ -338,7 +375,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let policy = FaultPolicy::from_env();
+    let policy = FaultPolicy::resolve();
     run_indexed_isolated_with(&policy, base_seed, n, f)
 }
 

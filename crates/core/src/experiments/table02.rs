@@ -119,11 +119,11 @@ mod tests {
         // (budget.seed, cell_index) only, so thread count and execution
         // order must not change a single byte of the report.
         let budget = ExperimentBudget::fast();
-        std::env::set_var("CAE_CELL_PARALLEL", "0");
+        crate::experiments::scheduler::force_cell_parallelism(Some(false));
         let serial = run(&budget).to_json();
-        std::env::set_var("CAE_CELL_PARALLEL", "1");
+        crate::experiments::scheduler::force_cell_parallelism(Some(true));
         let parallel = run(&budget).to_json();
-        std::env::remove_var("CAE_CELL_PARALLEL");
+        crate::experiments::scheduler::force_cell_parallelism(None);
         assert_eq!(serial, parallel, "table02 report depends on cell scheduling");
     }
 }

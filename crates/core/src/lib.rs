@@ -78,6 +78,6 @@ pub(crate) fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
 
 pub use cend::CendLayer;
 pub use cncl::CnclConfig;
-pub use config::{DfkdConfig, ExperimentBudget};
+pub use config::{Config, DfkdConfig, ExperimentBudget};
 pub use method::MethodSpec;
 pub use report::Report;

@@ -1,7 +1,7 @@
 //! Top-1 classification accuracy.
 
 use cae_data::dataset::Dataset;
-use cae_nn::infer::{self, FreezeMode};
+use cae_nn::infer::{self, FreezeOptions};
 use cae_nn::module::{Classifier, ForwardCtx};
 use cae_tensor::Var;
 
@@ -12,7 +12,7 @@ use cae_tensor::Var;
 /// whole sweep (it does not change between batches); `CAE_INFER=0` falls
 /// back to the legacy autograd eval path.
 pub fn top1_accuracy(model: &dyn Classifier, dataset: &Dataset, batch_size: usize) -> f32 {
-    let frozen = infer::infer_enabled().then(|| model.freeze(FreezeMode::from_env()));
+    let frozen = infer::infer_enabled().then(|| model.freeze_with(&FreezeOptions::from_env()));
     let mut correct = 0usize;
     let n = dataset.len();
     let mut start = 0usize;
@@ -27,6 +27,29 @@ pub fn top1_accuracy(model: &dyn Classifier, dataset: &Dataset, batch_size: usiz
                 .value()
                 .argmax_rows(),
         };
+        correct += pred.iter().zip(&y).filter(|(p, t)| p == t).count();
+        start += len;
+    }
+    correct as f32 / n.max(1) as f32
+}
+
+/// Evaluates top-1 accuracy of an already-frozen classifier on `dataset`
+/// (batched). Used where the caller owns the frozen compilation — e.g. the
+/// serve bench comparing one student's f32 and int8 freezes on the same
+/// eval set.
+pub fn frozen_top1_accuracy(
+    frozen: &cae_nn::infer::FrozenClassifier,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> f32 {
+    let mut correct = 0usize;
+    let n = dataset.len();
+    let mut start = 0usize;
+    while start < n {
+        let len = batch_size.min(n - start);
+        let indices: Vec<usize> = (start..start + len).collect();
+        let (x, y) = dataset.batch(&indices);
+        let pred = frozen.forward(&x).argmax_rows();
         correct += pred.iter().zip(&y).filter(|(p, t)| p == t).count();
         start += len;
     }

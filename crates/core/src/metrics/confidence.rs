@@ -1,6 +1,6 @@
 //! Teacher-confidence statistics over synthetic images (paper Fig. 2a).
 
-use cae_nn::infer::{self, FreezeMode};
+use cae_nn::infer::{self, FreezeOptions};
 use cae_nn::module::{Classifier, ForwardCtx};
 use cae_tensor::{Tensor, Var};
 
@@ -57,7 +57,7 @@ pub fn confidence_profile(
 ) -> ConfidenceProfile {
     assert_eq!(images.shape().dim(0), labels.len(), "one label per image");
     let logits = if infer::infer_enabled() {
-        teacher.freeze(FreezeMode::from_env()).forward(images)
+        teacher.freeze_with(&FreezeOptions::from_env()).forward(images)
     } else {
         teacher
             .forward(&Var::constant(images.clone()), &mut ForwardCtx::eval())

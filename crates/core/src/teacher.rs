@@ -151,7 +151,7 @@ pub fn pretrained_frozen(
     };
     cell.get_or_init(|| {
         let _sp = cae_trace::span("teacher.freeze");
-        Arc::new(master.freeze(mode))
+        Arc::new(master.freeze_with(&cae_nn::infer::FreezeOptions::with_mode(mode)))
     })
     .clone()
 }

@@ -16,7 +16,7 @@ use crate::embedding::EmbeddingProvider;
 use crate::losses::{adversarial_loss, bn_loss};
 use crate::memory::MemoryBank;
 use crate::method::{EmbeddingKind, MethodSpec, StudentAug};
-use cae_nn::infer::{self, FreezeMode, FrozenClassifier};
+use cae_nn::infer::{self, FreezeOptions, FrozenClassifier};
 use cae_nn::loss::{cross_entropy, kd_kl_divergence};
 use cae_nn::models::{DfkdGenerator, GeneratorConfig};
 use cae_nn::module::{Classifier, ForwardCtx, Generator, Module};
@@ -120,7 +120,7 @@ impl<'a> DfkdTrainer<'a> {
         DfkdTrainer {
             teacher_params: teacher.parameters(),
             frozen_teacher: infer::infer_enabled()
-                .then(|| teacher.freeze(FreezeMode::from_env())),
+                .then(|| teacher.freeze_with(&FreezeOptions::from_env())),
             teacher,
             student,
             generator,
@@ -412,7 +412,7 @@ impl<'a> DfkdTrainer<'a> {
             let latent = self.provider.sample(&labels, &mut self.rng);
             let logits = match &self.frozen_teacher {
                 Some(frozen) => {
-                    let images = self.generator.freeze(FreezeMode::from_env()).generate(&latent);
+                    let images = self.generator.freeze_with(&FreezeOptions::from_env()).generate(&latent);
                     frozen.forward(&images)
                 }
                 None => {

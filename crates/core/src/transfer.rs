@@ -14,7 +14,7 @@ use crate::metrics::detection::{coco_map, mean_ap, Detection, SizeBucket};
 use crate::metrics::normals::NormalErrors;
 use crate::metrics::seg::SegConfusion;
 use cae_data::dense::{BBox, DenseDataset};
-use cae_nn::infer::{self, FreezeMode};
+use cae_nn::infer::{self, FreezeOptions};
 use cae_nn::layers::Conv2d;
 use cae_nn::loss::cross_entropy;
 use cae_nn::module::{Classifier, ForwardCtx, Module};
@@ -357,7 +357,7 @@ pub fn finetune(
 /// frozen features. `CAE_INFER=0` falls back to the legacy Var backbone.
 pub fn evaluate(model: &DenseModel, test: &DenseDataset, batch_size: usize) -> TransferMetrics {
     let frozen_backbone =
-        infer::infer_enabled().then(|| model.backbone.freeze(FreezeMode::from_env()));
+        infer::infer_enabled().then(|| model.backbone.freeze_with(&FreezeOptions::from_env()));
     let res = test.resolution();
     let mut seg_conf = SegConfusion::new(model.num_seg_classes.max(1));
     let mut depth_err = DepthErrors::new();

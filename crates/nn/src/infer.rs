@@ -41,39 +41,315 @@ use cae_tensor::conv::{self, Conv2dSpec, ConvEpilogue};
 use cae_tensor::simd::vecmath;
 use cae_tensor::{linalg, Tensor};
 
-/// How [`freeze`](crate::module::Classifier::freeze) compiles a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How [`freeze_with`](crate::module::Classifier::freeze_with) compiles a
+/// module (carried by [`FreezeOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FreezeMode {
     /// No folding: replay the eval-mode autograd kernels bit-for-bit.
     Exact,
     /// Fold conv+BN and fuse activation epilogues (default).
+    #[default]
     Fused,
 }
 
 serde::impl_json_unit_enum!(FreezeMode { Exact, Fused });
 
+/// Shared disable-token rule for boolean `CAE_*` variables: `0`, `off`,
+/// `false` and `no`, case-insensitively, surrounding whitespace ignored
+/// (the same convention as `CAE_CELL_PARALLEL` and `CAE_SIMD`).
+fn env_disabled(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => false,
+    }
+}
+
 impl FreezeMode {
-    /// Reads the mode from `CAE_FUSE`: `0`/`off`/`false` selects
+    /// Reads the mode from `CAE_FUSE`: `0`/`off`/`false`/`no` selects
     /// [`FreezeMode::Exact`], anything else (including unset) selects
-    /// [`FreezeMode::Fused`]. Read per call, not cached, so tests can
-    /// exercise both modes in one process.
+    /// [`FreezeMode::Fused`]. Parsed once per process (the snapshot
+    /// surfaced by `cae_core::config::Config`); tests exercising both modes
+    /// pass them explicitly instead of mutating the environment.
     pub fn from_env() -> Self {
-        match std::env::var("CAE_FUSE") {
-            Ok(v) if matches!(v.as_str(), "0" | "off" | "false") => FreezeMode::Exact,
-            _ => FreezeMode::Fused,
-        }
+        static MODE: std::sync::OnceLock<FreezeMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| {
+            if env_disabled("CAE_FUSE") {
+                FreezeMode::Exact
+            } else {
+                FreezeMode::Fused
+            }
+        })
     }
 }
 
 /// Whether eval-mode call sites should route through frozen models at all.
 ///
-/// `CAE_INFER=0`/`off`/`false` restores the legacy `Var`-based eval
+/// `CAE_INFER=0`/`off`/`false`/`no` restores the legacy `Var`-based eval
 /// forwards; anything else (including unset) enables the frozen path.
+/// Parsed once per process.
 pub fn infer_enabled() -> bool {
-    !matches!(
-        std::env::var("CAE_INFER").as_deref(),
-        Ok("0") | Ok("off") | Ok("false")
-    )
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| !env_disabled("CAE_INFER"))
+}
+
+/// How to compile a module into a frozen program: the [`FreezeMode`] plus
+/// optional int8 weight quantization. Replaces the old positional
+/// `freeze(mode)` so new knobs land without another positional parameter.
+///
+/// ```
+/// use cae_nn::infer::{FreezeMode, FreezeOptions};
+/// let exact = FreezeOptions::exact();
+/// let int8 = FreezeOptions::fused().int8();
+/// assert_eq!(exact.mode, FreezeMode::Exact);
+/// assert!(int8.quantize.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FreezeOptions {
+    /// Folding mode (default [`FreezeMode::Fused`]).
+    pub mode: FreezeMode,
+    /// Optional weight quantization applied after compilation.
+    pub quantize: Option<QuantSpec>,
+}
+
+impl FreezeOptions {
+    /// Fused compilation, no quantization (the default).
+    pub fn fused() -> Self {
+        FreezeOptions::default()
+    }
+
+    /// Exact (bit-identical) compilation, no quantization.
+    pub fn exact() -> Self {
+        FreezeOptions::with_mode(FreezeMode::Exact)
+    }
+
+    /// Options for an explicit mode, no quantization.
+    pub fn with_mode(mode: FreezeMode) -> Self {
+        FreezeOptions { mode, quantize: None }
+    }
+
+    /// Mode from `CAE_FUSE` (see [`FreezeMode::from_env`]), no quantization.
+    pub fn from_env() -> Self {
+        FreezeOptions::with_mode(FreezeMode::from_env())
+    }
+
+    /// Adds int8 per-output-channel symmetric weight quantization.
+    pub fn int8(mut self) -> Self {
+        self.quantize = Some(QuantSpec::int8());
+        self
+    }
+
+    /// Applies the post-compilation steps (quantization) to a freshly
+    /// compiled classifier. Model `freeze_with` implementations funnel
+    /// their result through this.
+    pub fn finish_classifier(&self, mut frozen: FrozenClassifier) -> FrozenClassifier {
+        if let Some(spec) = &self.quantize {
+            frozen.quantize(spec);
+        }
+        frozen
+    }
+
+    /// Applies the post-compilation steps to a freshly compiled generator.
+    pub fn finish_generator(&self, mut frozen: FrozenGenerator) -> FrozenGenerator {
+        if let Some(spec) = &self.quantize {
+            frozen.quantize(spec);
+        }
+        frozen
+    }
+}
+
+// ---------------------------------------------------------------------------
+// int8 weight quantization.
+
+/// Weight-quantization scheme: int8, symmetric, one scale per output
+/// channel (`scale_o = max|W[o]| / 127`, values clamped to `[-127, 127]`).
+///
+/// Quantization happens at freeze time and is immediately *dequantized*
+/// back into the op's f32 weight — every stored f32 is exactly
+/// `scale · q` for an integer `q`, so the fused conv/GEMM path runs
+/// unchanged and serialization can ship the i8 payload instead of the f32
+/// weights ("dequant-on-load").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Floor applied to each channel scale so all-zero channels keep a
+    /// finite scale (and dequantize to exact zeros).
+    pub min_scale: f32,
+}
+
+impl QuantSpec {
+    /// The int8 per-output-channel symmetric scheme.
+    pub fn int8() -> Self {
+        QuantSpec {
+            min_scale: f32::MIN_POSITIVE,
+        }
+    }
+}
+
+impl Default for QuantSpec {
+    fn default() -> Self {
+        QuantSpec::int8()
+    }
+}
+
+/// Which axis of the stored tensor the per-channel scales run along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantLayout {
+    /// One scale per leading-dimension slice (conv weights `[O, C, k, k]`:
+    /// each output channel is one contiguous block).
+    Row,
+    /// One scale per trailing-dimension column (linear weights
+    /// `[in, out]`: each output unit is one strided column).
+    Col,
+}
+
+serde::impl_json_unit_enum!(QuantLayout { Row, Col });
+
+/// An int8-quantized weight tensor: shape, per-channel scales, and the
+/// quantized values. Dequantizes through the SIMD slice kernels
+/// ([`vecmath::vec_dequant_i8`] / [`vecmath::vec_dequant_i8_cols`]), which
+/// are bit-identical across backends — so `dequantize()` reproduces the
+/// in-memory frozen weights exactly, on any host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    shape: Vec<usize>,
+    scales: Vec<f32>,
+    layout: QuantLayout,
+    data: Vec<i8>,
+}
+
+serde::impl_json_struct!(QuantTensor {
+    shape,
+    scales,
+    layout,
+    data,
+});
+
+impl QuantTensor {
+    /// Quantizes with one scale per leading-dimension slice (the conv
+    /// weight layout: output channel `o` owns `w[o·per .. (o+1)·per]`).
+    pub fn quantize_rows(w: &Tensor, spec: &QuantSpec) -> QuantTensor {
+        let dims = w.shape().dims();
+        let rows = dims.first().copied().unwrap_or(1).max(1);
+        let per = w.numel() / rows;
+        let wd = w.data();
+        let mut scales = Vec::with_capacity(rows);
+        let mut data = Vec::with_capacity(w.numel());
+        for r in 0..rows {
+            let block = &wd[r * per..(r + 1) * per];
+            let scale = row_scale(block.iter().copied(), spec);
+            scales.push(scale);
+            data.extend(block.iter().map(|&v| quantize_value(v, scale)));
+        }
+        QuantTensor {
+            shape: dims.to_vec(),
+            scales,
+            layout: QuantLayout::Row,
+            data,
+        }
+    }
+
+    /// Quantizes a 2-d `[in, out]` tensor with one scale per column (the
+    /// linear weight layout: output unit `o` owns column `o`).
+    pub fn quantize_cols(w: &Tensor, spec: &QuantSpec) -> QuantTensor {
+        let dims = w.shape().dims();
+        assert_eq!(dims.len(), 2, "per-column quantization expects 2-d, got {dims:?}");
+        let (rows, cols) = (dims[0], dims[1]);
+        let wd = w.data();
+        let scales: Vec<f32> = (0..cols)
+            .map(|c| row_scale((0..rows).map(|r| wd[r * cols + c]), spec))
+            .collect();
+        let data: Vec<i8> = wd
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| quantize_value(v, scales[i % cols]))
+            .collect();
+        QuantTensor {
+            shape: dims.to_vec(),
+            scales,
+            layout: QuantLayout::Col,
+            data,
+        }
+    }
+
+    /// Reconstructs the f32 tensor via the dispatched dequant kernels.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Tensor::zeros(&self.shape);
+        let od = out.data_mut();
+        match self.layout {
+            QuantLayout::Row => {
+                let per = self.data.len() / self.scales.len().max(1);
+                for (r, &scale) in self.scales.iter().enumerate() {
+                    let span = r * per..(r + 1) * per;
+                    vecmath::vec_dequant_i8(&self.data[span.clone()], scale, &mut od[span]);
+                }
+            }
+            QuantLayout::Col => {
+                let cols = self.scales.len();
+                for (src, dst) in self.data.chunks(cols).zip(od.chunks_mut(cols)) {
+                    vecmath::vec_dequant_i8_cols(src, &self.scales, dst);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Shape of the dequantized tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Quantized payload.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+}
+
+fn row_scale(values: impl Iterator<Item = f32>, spec: &QuantSpec) -> f32 {
+    let max_abs = values.fold(0.0f32, |m, v| m.max(v.abs()));
+    (max_abs / 127.0).max(spec.min_scale)
+}
+
+fn quantize_value(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes every Conv/Linear weight in a program in place, recursing
+/// into residual blocks. Weights are replaced by their dequantized form so
+/// execution stays pure f32.
+fn quantize_ops(ops: &mut [FrozenOp], spec: &QuantSpec) {
+    for op in ops {
+        quantize_op(op, spec);
+    }
+}
+
+fn quantize_op(op: &mut FrozenOp, spec: &QuantSpec) {
+    match op {
+        FrozenOp::Conv { weight, qweight, .. } => {
+            let q = QuantTensor::quantize_rows(weight, spec);
+            *weight = q.dequantize();
+            *qweight = Some(Box::new(q));
+        }
+        FrozenOp::Linear { weight, qweight, .. } => {
+            let q = QuantTensor::quantize_cols(weight, spec);
+            *weight = q.dequantize();
+            *qweight = Some(Box::new(q));
+        }
+        FrozenOp::Block { pre, main, skip, .. } => {
+            quantize_ops(pre, spec);
+            quantize_ops(main, spec);
+            if let Some(skip) = skip {
+                quantize_ops(skip, spec);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Activation attached to a frozen op (or standing alone as
@@ -100,7 +376,8 @@ pub enum Activation {
 pub enum FrozenOp {
     /// im2col GEMM convolution with optional bias and fused epilogue.
     Conv {
-        /// `[O, C, k, k]` weights (BN-folded in fused mode).
+        /// `[O, C, k, k]` weights (BN-folded in fused mode; when
+        /// `qweight` is present, exactly its dequantized form).
         weight: Tensor,
         /// Per-output-channel bias.
         bias: Option<Tensor>,
@@ -108,6 +385,9 @@ pub enum FrozenOp {
         spec: Conv2dSpec,
         /// Epilogue fused into the bias pass (always `None` in exact mode).
         act: Activation,
+        /// int8 payload when the op was frozen with quantization;
+        /// serialization ships this instead of the f32 weights.
+        qweight: Option<Box<QuantTensor>>,
     },
     /// Exact-mode BN eval: four sequential per-channel passes replaying
     /// `add_channels(−μ) → mul_channels(σ⁻¹) → mul_channels(γ) →
@@ -152,10 +432,13 @@ pub enum FrozenOp {
     GlobalAvgPool,
     /// Row-major dense layer `y = x·W + b`.
     Linear {
-        /// `[in, out]` weights.
+        /// `[in, out]` weights (when `qweight` is present, exactly its
+        /// dequantized form).
         weight: Tensor,
         /// `[out]` bias.
         bias: Tensor,
+        /// int8 payload when the op was frozen with quantization.
+        qweight: Option<Box<QuantTensor>>,
     },
     /// Reinterpret `[N, ch·h·w]` as `[N, ch, h, w]`.
     Reshape {
@@ -214,12 +497,13 @@ fn apply_ref(op: &FrozenOp, x: &Tensor) -> Tensor {
             bias,
             spec,
             act,
+            ..
         } => apply_conv(x, weight, bias.as_ref(), *spec, *act),
         FrozenOp::Act(act) => activation(x, *act),
         FrozenOp::MaxPool { kernel, stride } => apply_max_pool(x, *kernel, *stride),
         FrozenOp::Upsample { factor } => conv::upsample_nearest2d(x, *factor),
         FrozenOp::GlobalAvgPool => global_avg_pool(x),
-        FrozenOp::Linear { weight, bias } => apply_linear(x, weight, bias),
+        FrozenOp::Linear { weight, bias, .. } => apply_linear(x, weight, bias),
         FrozenOp::Reshape { ch, h, w } => apply_reshape(x, *ch, *h, *w),
     }
 }
@@ -424,6 +708,7 @@ pub(crate) fn conv_bn_ops(
                     bias,
                     spec,
                     act: Activation::None,
+                    qweight: None,
                 },
                 bn_eval_op(&gamma, &beta, &rm, &rv, eps),
             ];
@@ -449,6 +734,7 @@ pub(crate) fn conv_bn_ops(
                 bias: Some(b),
                 spec,
                 act: fusable(act),
+                qweight: None,
             }];
             if act == Activation::Tanh {
                 ops.push(FrozenOp::Act(Activation::Tanh));
@@ -468,6 +754,7 @@ pub(crate) fn conv_ops(conv: &Conv2d, act: Activation, mode: FreezeMode) -> Vec<
                 bias,
                 spec,
                 act: Activation::None,
+                qweight: None,
             }];
             push_act(&mut ops, act);
             ops
@@ -478,6 +765,7 @@ pub(crate) fn conv_ops(conv: &Conv2d, act: Activation, mode: FreezeMode) -> Vec<
                 bias,
                 spec,
                 act: fusable(act),
+                qweight: None,
             }];
             if act == Activation::Tanh {
                 ops.push(FrozenOp::Act(Activation::Tanh));
@@ -513,7 +801,7 @@ pub(crate) fn bn_ops(bn: &BatchNorm2d, act: Activation, mode: FreezeMode) -> Vec
 /// Freezes a dense head.
 pub(crate) fn linear_op(linear: &Linear) -> FrozenOp {
     let (weight, bias) = linear.freeze_parts();
-    FrozenOp::Linear { weight, bias }
+    FrozenOp::Linear { weight, bias, qweight: None }
 }
 
 fn bn_eval_op(gamma: &Tensor, beta: &Tensor, rm: &Tensor, rv: &Tensor, eps: f32) -> FrozenOp {
@@ -570,6 +858,7 @@ impl FrozenClassifier {
             head: FrozenOp::Linear {
                 weight: head_weight,
                 bias: head_bias,
+                qweight: None,
             },
             embed_dim: d[0],
             num_classes: d[1],
@@ -613,6 +902,35 @@ impl FrozenClassifier {
     pub fn spatial_ops(&self) -> &[FrozenOp] {
         &self.spatial
     }
+
+    /// Quantizes every Conv/Linear weight in place (trunk and head); see
+    /// [`QuantSpec`] for the scheme. Usually reached through
+    /// [`FreezeOptions::int8`] rather than called directly.
+    pub fn quantize(&mut self, spec: &QuantSpec) {
+        quantize_ops(&mut self.spatial, spec);
+        quantize_op(&mut self.head, spec);
+    }
+
+    /// Whether any op carries an int8 payload.
+    pub fn quantized(&self) -> bool {
+        fn any_quantized(ops: &[FrozenOp]) -> bool {
+            ops.iter().any(op_quantized)
+        }
+        fn op_quantized(op: &FrozenOp) -> bool {
+            match op {
+                FrozenOp::Conv { qweight, .. } | FrozenOp::Linear { qweight, .. } => {
+                    qweight.is_some()
+                }
+                FrozenOp::Block { pre, main, skip, .. } => {
+                    any_quantized(pre)
+                        || any_quantized(main)
+                        || skip.as_deref().is_some_and(any_quantized)
+                }
+                _ => false,
+            }
+        }
+        any_quantized(&self.spatial) || op_quantized(&self.head)
+    }
 }
 
 /// A generator compiled into a flat inference program: `z[N, latent] →
@@ -643,6 +961,11 @@ impl FrozenGenerator {
     pub fn latent_dim(&self) -> usize {
         self.latent_dim
     }
+
+    /// Quantizes every Conv/Linear weight in place; see [`QuantSpec`].
+    pub fn quantize(&mut self, spec: &QuantSpec) {
+        quantize_ops(&mut self.ops, spec);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -656,6 +979,38 @@ fn tagged(tag: &str, fields: Vec<(String, serde::Value)>) -> serde::Value {
 
 fn kv<T: serde::Serialize>(key: &str, v: &T) -> (String, serde::Value) {
     (key.to_owned(), v.to_value())
+}
+
+/// Looks up an optional field: absent keys read as `None` (so pre-int8
+/// frozen JSON stays loadable).
+fn opt_field<T: serde::Deserialize>(
+    v: &serde::Value,
+    name: &str,
+) -> Result<Option<T>, serde::DeError> {
+    match v.get(name) {
+        Some(serde::Value::Null) | None => Ok(None),
+        Some(inner) => T::from_value(inner).map(Some),
+    }
+}
+
+/// Serializes a weight: the compact i8 payload when quantized (the f32
+/// form is reconstructed bit-exactly on load), the f32 tensor otherwise.
+fn weight_kv(weight: &Tensor, qweight: &Option<Box<QuantTensor>>) -> (String, serde::Value) {
+    match qweight {
+        Some(q) => kv("qweight", q.as_ref()),
+        None => kv("weight", weight),
+    }
+}
+
+/// Deserializes a weight written by [`weight_kv`]: dequantize-on-load when
+/// the i8 payload is present.
+fn weight_field(
+    inner: &serde::Value,
+) -> Result<(Tensor, Option<Box<QuantTensor>>), serde::DeError> {
+    match opt_field::<QuantTensor>(inner, "qweight")? {
+        Some(q) => Ok((q.dequantize(), Some(Box::new(q)))),
+        None => Ok((serde::field(inner, "weight")?, None)),
+    }
 }
 
 impl serde::Serialize for Activation {
@@ -697,10 +1052,11 @@ impl serde::Serialize for FrozenOp {
                 bias,
                 spec,
                 act,
+                qweight,
             } => tagged(
                 "Conv",
                 vec![
-                    kv("weight", weight),
+                    weight_kv(weight, qweight),
                     kv("bias", bias),
                     kv("spec", spec),
                     kv("act", act),
@@ -730,9 +1086,14 @@ impl serde::Serialize for FrozenOp {
             }
             FrozenOp::Upsample { factor } => tagged("Upsample", vec![kv("factor", factor)]),
             FrozenOp::GlobalAvgPool => serde::Value::String("GlobalAvgPool".to_owned()),
-            FrozenOp::Linear { weight, bias } => {
-                tagged("Linear", vec![kv("weight", weight), kv("bias", bias)])
-            }
+            FrozenOp::Linear {
+                weight,
+                bias,
+                qweight,
+            } => tagged(
+                "Linear",
+                vec![weight_kv(weight, qweight), kv("bias", bias)],
+            ),
             FrozenOp::Reshape { ch, h, w } => {
                 tagged("Reshape", vec![kv("ch", ch), kv("h", h), kv("w", w)])
             }
@@ -761,12 +1122,16 @@ impl serde::Deserialize for FrozenOp {
             serde::Value::Object(fields) if fields.len() == 1 => {
                 let (tag, inner) = &fields[0];
                 match tag.as_str() {
-                    "Conv" => Ok(FrozenOp::Conv {
-                        weight: serde::field(inner, "weight")?,
-                        bias: serde::field(inner, "bias")?,
-                        spec: serde::field(inner, "spec")?,
-                        act: serde::field(inner, "act")?,
-                    }),
+                    "Conv" => {
+                        let (weight, qweight) = weight_field(inner)?;
+                        Ok(FrozenOp::Conv {
+                            weight,
+                            bias: serde::field(inner, "bias")?,
+                            spec: serde::field(inner, "spec")?,
+                            act: serde::field(inner, "act")?,
+                            qweight,
+                        })
+                    }
                     "BnEval" => Ok(FrozenOp::BnEval {
                         neg_mean: serde::field(inner, "neg_mean")?,
                         inv_std: serde::field(inner, "inv_std")?,
@@ -786,10 +1151,14 @@ impl serde::Deserialize for FrozenOp {
                     "Upsample" => Ok(FrozenOp::Upsample {
                         factor: serde::field(inner, "factor")?,
                     }),
-                    "Linear" => Ok(FrozenOp::Linear {
-                        weight: serde::field(inner, "weight")?,
-                        bias: serde::field(inner, "bias")?,
-                    }),
+                    "Linear" => {
+                        let (weight, qweight) = weight_field(inner)?;
+                        Ok(FrozenOp::Linear {
+                            weight,
+                            bias: serde::field(inner, "bias")?,
+                            qweight,
+                        })
+                    }
                     "Reshape" => Ok(FrozenOp::Reshape {
                         ch: serde::field(inner, "ch")?,
                         h: serde::field(inner, "h")?,
@@ -843,6 +1212,7 @@ mod tests {
                 bias: Some(Tensor::zeros(&[2])),
                 spec: Conv2dSpec::new(3, 1, 1),
                 act: Activation::Relu,
+                qweight: None,
             },
             FrozenOp::BnEval {
                 neg_mean: Tensor::zeros(&[2]),
@@ -912,5 +1282,109 @@ mod tests {
         let x = Tensor::ones(&[1, 2, 1, 1]);
         let y = apply_ref(&FrozenOp::MaxPool { kernel: 2, stride: 2 }, &x);
         assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
+    }
+
+    fn ramp(dims: &[usize], step: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i as f32) * step).sin()).collect(), dims).unwrap()
+    }
+
+    #[test]
+    fn quantize_rows_dequantize_is_within_one_step() {
+        let w = ramp(&[4, 2, 3, 3], 0.37);
+        let q = QuantTensor::quantize_rows(&w, &QuantSpec::int8());
+        assert_eq!(q.shape(), w.shape().dims());
+        assert_eq!(q.scales().len(), 4);
+        let back = q.dequantize();
+        let block = w.data().len() / 4;
+        for (i, (&orig, &deq)) in w.data().iter().zip(back.data()).enumerate() {
+            let scale = q.scales()[i / block];
+            assert!(
+                (orig - deq).abs() <= 0.5 * scale + 1e-7,
+                "row quant error beyond half a step at {i}: {orig} vs {deq}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_cols_uses_per_column_scales() {
+        // Column 1 has 100x the magnitude of column 0; per-column scales
+        // must keep column 0's error at its own (small) scale.
+        let w = Tensor::from_vec(vec![0.01, 1.0, -0.02, -2.0, 0.015, 1.5], &[3, 2]).unwrap();
+        let q = QuantTensor::quantize_cols(&w, &QuantSpec::int8());
+        assert_eq!(q.scales().len(), 2);
+        assert!(q.scales()[1] > 10.0 * q.scales()[0]);
+        let back = q.dequantize();
+        for (i, (&orig, &deq)) in w.data().iter().zip(back.data()).enumerate() {
+            let scale = q.scales()[i % 2];
+            assert!((orig - deq).abs() <= 0.5 * scale + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantized_serde_roundtrip_is_bit_exact_and_compact() {
+        let mut op = FrozenOp::Conv {
+            weight: ramp(&[3, 2, 3, 3], 0.23),
+            bias: Some(ramp(&[3], 0.11)),
+            spec: Conv2dSpec::new(3, 1, 1),
+            act: Activation::Relu,
+            qweight: None,
+        };
+        quantize_op(&mut op, &QuantSpec::int8());
+        let json = serde_json::to_string(&op).unwrap();
+        assert!(json.contains("\"qweight\""), "quantized op must ship i8 payload");
+        assert!(!json.contains("\"weight\""), "quantized op must not ship f32 weights");
+        let back: FrozenOp = serde_json::from_str(&json).unwrap();
+        // Dequant-on-load must reproduce the in-memory f32 weights bit-for-bit.
+        match (&op, &back) {
+            (
+                FrozenOp::Conv { weight: a, qweight: qa, .. },
+                FrozenOp::Conv { weight: b, qweight: qb, .. },
+            ) => {
+                assert!(qa.is_some() && qb.is_some());
+                for (&x, &y) in a.data().iter().zip(b.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            _ => panic!("variant changed across roundtrip"),
+        }
+        assert_eq!(back, op);
+    }
+
+    #[test]
+    fn linear_quantized_serde_roundtrip() {
+        let mut op = FrozenOp::Linear {
+            weight: ramp(&[5, 4], 0.19),
+            bias: ramp(&[4], 0.07),
+            qweight: None,
+        };
+        quantize_op(&mut op, &QuantSpec::int8());
+        let back = <FrozenOp as serde::Deserialize>::from_value(&op.to_value()).unwrap();
+        assert_eq!(back, op);
+    }
+
+    #[test]
+    fn classifier_quantize_sets_flag_and_keeps_argmax_on_frozen_forward() {
+        // A frozen net whose logits gaps are far wider than int8 rounding
+        // error: quantization must not flip the argmax.
+        let mut net = FrozenClassifier::new(
+            vec![FrozenOp::Conv {
+                weight: ramp(&[2, 1, 3, 3], 0.41),
+                bias: Some(ramp(&[2], 0.3)),
+                spec: Conv2dSpec::new(3, 1, 1),
+                act: Activation::Relu,
+                qweight: None,
+            }],
+            ramp(&[2, 3], 0.53),
+            ramp(&[3], 0.29),
+        );
+        assert!(!net.quantized());
+        let x = ramp(&[2, 1, 4, 4], 0.17);
+        let before = net.forward(&x);
+        net.quantize(&QuantSpec::int8());
+        assert!(net.quantized());
+        let after = net.forward(&x);
+        assert_eq!(before.shape().dims(), after.shape().dims());
+        assert_eq!(before.argmax_rows(), after.argmax_rows());
     }
 }

@@ -32,5 +32,5 @@ pub mod module;
 pub mod optim;
 pub mod serialize;
 
-pub use infer::{FreezeMode, FrozenClassifier, FrozenGenerator};
+pub use infer::{FreezeMode, FreezeOptions, FrozenClassifier, FrozenGenerator, QuantSpec};
 pub use module::{Classifier, ForwardCtx, Generator, Module};

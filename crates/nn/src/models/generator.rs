@@ -8,7 +8,7 @@
 //! methods differ in *what they feed it* and *how they train it*, which is
 //! exactly what the `cae-core` crate implements.
 
-use crate::infer::{self, Activation, FreezeMode, FrozenGenerator, FrozenOp};
+use crate::infer::{self, Activation, FreezeOptions, FrozenGenerator, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{ForwardCtx, Generator, Module};
 use cae_tensor::rng::TensorRng;
@@ -141,7 +141,8 @@ impl Generator for DfkdGenerator {
         self.conv_out.forward(&h, ctx).tanh()
     }
 
-    fn freeze(&self, mode: FreezeMode) -> FrozenGenerator {
+    fn freeze_with(&self, opts: &FreezeOptions) -> FrozenGenerator {
+        let mode = opts.mode;
         let gc = self.config.base_channels;
         let h0 = self.config.out_size / 4;
         let mut ops = vec![
@@ -164,7 +165,7 @@ impl Generator for DfkdGenerator {
             mode,
         ));
         ops.extend(infer::conv_ops(&self.conv_out, Activation::Tanh, mode));
-        FrozenGenerator::new(ops, self.config.latent_dim)
+        opts.finish_generator(FrozenGenerator::new(ops, self.config.latent_dim))
     }
 }
 

@@ -1,6 +1,6 @@
 //! CIFAR-style residual networks (basic and bottleneck blocks).
 
-use crate::infer::{self, Activation, FreezeMode, FrozenClassifier, FrozenOp};
+use crate::infer::{self, Activation, FreezeMode, FreezeOptions, FrozenClassifier, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{Classifier, ForwardCtx, Module};
 use cae_tensor::rng::TensorRng;
@@ -282,13 +282,14 @@ impl Classifier for ResNet {
         h
     }
 
-    fn freeze(&self, mode: FreezeMode) -> FrozenClassifier {
+    fn freeze_with(&self, opts: &FreezeOptions) -> FrozenClassifier {
+        let mode = opts.mode;
         let mut spatial = infer::conv_bn_ops(&self.stem, &self.stem_bn, Activation::Relu, mode);
         for block in &self.stages {
             spatial.push(block.freeze(mode));
         }
         let (hw, hb) = self.head.freeze_parts();
-        FrozenClassifier::new(spatial, hw, hb)
+        opts.finish_classifier(FrozenClassifier::new(spatial, hw, hb))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Scaled VGG with batch normalization.
 
-use crate::infer::{self, Activation, FreezeMode, FrozenClassifier, FrozenOp};
+use crate::infer::{self, Activation, FreezeOptions, FrozenClassifier, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{Classifier, ForwardCtx, Module};
 use cae_tensor::rng::TensorRng;
@@ -130,16 +130,16 @@ impl Classifier for Vgg {
         h
     }
 
-    fn freeze(&self, mode: FreezeMode) -> FrozenClassifier {
+    fn freeze_with(&self, opts: &FreezeOptions) -> FrozenClassifier {
         let mut spatial = Vec::new();
         for (conv, bn, pool) in &self.convs {
-            spatial.extend(infer::conv_bn_ops(conv, bn, Activation::Relu, mode));
+            spatial.extend(infer::conv_bn_ops(conv, bn, Activation::Relu, opts.mode));
             if *pool {
                 spatial.push(FrozenOp::MaxPool { kernel: 2, stride: 2 });
             }
         }
         let (hw, hb) = self.head.freeze_parts();
-        FrozenClassifier::new(spatial, hw, hb)
+        opts.finish_classifier(FrozenClassifier::new(spatial, hw, hb))
     }
 }
 

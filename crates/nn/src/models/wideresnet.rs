@@ -1,6 +1,6 @@
 //! Scaled WideResNet (pre-activation residual blocks, `6n+4` layout).
 
-use crate::infer::{self, Activation, FreezeMode, FrozenClassifier, FrozenOp};
+use crate::infer::{self, Activation, FreezeMode, FreezeOptions, FrozenClassifier, FrozenOp};
 use crate::layers::{BatchNorm2d, Conv2d, Linear};
 use crate::module::{Classifier, ForwardCtx, Module};
 use cae_tensor::rng::TensorRng;
@@ -206,14 +206,15 @@ impl Classifier for WideResNet {
         self.final_bn.forward(&h, ctx).relu()
     }
 
-    fn freeze(&self, mode: FreezeMode) -> FrozenClassifier {
+    fn freeze_with(&self, opts: &FreezeOptions) -> FrozenClassifier {
+        let mode = opts.mode;
         let mut spatial = infer::conv_ops(&self.stem, Activation::None, mode);
         for block in &self.blocks {
             spatial.push(block.freeze(mode));
         }
         spatial.extend(infer::bn_ops(&self.final_bn, Activation::Relu, mode));
         let (hw, hb) = self.head.freeze_parts();
-        FrozenClassifier::new(spatial, hw, hb)
+        opts.finish_classifier(FrozenClassifier::new(spatial, hw, hb))
     }
 }
 

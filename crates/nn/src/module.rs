@@ -144,8 +144,16 @@ pub trait Classifier: Module {
 
     /// Compiles the current weights into a graph-free
     /// [`FrozenClassifier`](crate::infer::FrozenClassifier) for eval-mode
-    /// forwards (see [`crate::infer`] for the mode semantics).
-    fn freeze(&self, mode: crate::infer::FreezeMode) -> crate::infer::FrozenClassifier;
+    /// forwards. [`FreezeOptions`](crate::infer::FreezeOptions) carries the
+    /// folding mode plus optional int8 weight quantization (see
+    /// [`crate::infer`] for the semantics of each).
+    fn freeze_with(&self, opts: &crate::infer::FreezeOptions) -> crate::infer::FrozenClassifier;
+
+    /// Mode-only freeze, superseded by [`Classifier::freeze_with`].
+    #[deprecated(note = "use freeze_with(&FreezeOptions::with_mode(mode)) instead")]
+    fn freeze(&self, mode: crate::infer::FreezeMode) -> crate::infer::FrozenClassifier {
+        self.freeze_with(&crate::infer::FreezeOptions::with_mode(mode))
+    }
 }
 
 /// An image generator mapping latent embeddings to images in `[-1, 1]`.
@@ -158,8 +166,15 @@ pub trait Generator: Module {
 
     /// Compiles the current weights into a graph-free
     /// [`FrozenGenerator`](crate::infer::FrozenGenerator) for eval-mode
-    /// generation (see [`crate::infer`] for the mode semantics).
-    fn freeze(&self, mode: crate::infer::FreezeMode) -> crate::infer::FrozenGenerator;
+    /// generation. [`FreezeOptions`](crate::infer::FreezeOptions) carries
+    /// the folding mode plus optional int8 weight quantization.
+    fn freeze_with(&self, opts: &crate::infer::FreezeOptions) -> crate::infer::FrozenGenerator;
+
+    /// Mode-only freeze, superseded by [`Generator::freeze_with`].
+    #[deprecated(note = "use freeze_with(&FreezeOptions::with_mode(mode)) instead")]
+    fn freeze(&self, mode: crate::infer::FreezeMode) -> crate::infer::FrozenGenerator {
+        self.freeze_with(&crate::infer::FreezeOptions::with_mode(mode))
+    }
 }
 
 #[cfg(test)]

@@ -206,7 +206,7 @@ mod tests {
     fn frozen_classifier_json_roundtrip_preserves_forward() {
         let mut rng = TensorRng::seed_from(3);
         let model = Arch::ResNet18.build(3, 4, &mut rng);
-        let frozen = model.freeze(crate::infer::FreezeMode::Fused);
+        let frozen = model.freeze_with(&crate::infer::FreezeOptions::fused());
         let json = frozen_classifier_to_json(&frozen);
         let back = frozen_classifier_from_json(&json).expect("load succeeds");
         assert_eq!(back.embed_dim(), frozen.embed_dim());
@@ -216,12 +216,41 @@ mod tests {
     }
 
     #[test]
+    fn quantized_frozen_classifier_json_roundtrip_is_bit_exact() {
+        let mut rng = TensorRng::seed_from(5);
+        let model = Arch::ResNet18.build(3, 4, &mut rng);
+        let frozen = model.freeze_with(&crate::infer::FreezeOptions::fused().int8());
+        assert!(frozen.quantized());
+        let json = frozen_classifier_to_json(&frozen);
+        assert!(json.contains("\"qweight\""), "int8 payload must be serialized");
+        let back = frozen_classifier_from_json(&json).expect("load succeeds");
+        assert!(back.quantized());
+        // Dequant-on-load reconstructs the exact in-memory f32 weights, so
+        // forwards are bit-identical, not just close.
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
+        let (a, b) = (frozen.forward(&x), back.forward(&x));
+        for (&ya, &yb) in a.data().iter().zip(b.data()) {
+            assert_eq!(ya.to_bits(), yb.to_bits());
+        }
+        // And the int8 payload is smaller on the wire than the f32 weights.
+        let f32_json = frozen_classifier_to_json(
+            &model.freeze_with(&crate::infer::FreezeOptions::fused()),
+        );
+        assert!(
+            json.len() < f32_json.len(),
+            "quantized JSON ({}) should undercut f32 JSON ({})",
+            json.len(),
+            f32_json.len()
+        );
+    }
+
+    #[test]
     fn frozen_generator_json_roundtrip_preserves_output() {
         use crate::models::{DfkdGenerator, GeneratorConfig};
         use crate::module::Generator;
         let mut rng = TensorRng::seed_from(4);
         let g = DfkdGenerator::new(GeneratorConfig::new(8, 8, 8), &mut rng);
-        let frozen = g.freeze(crate::infer::FreezeMode::Exact);
+        let frozen = g.freeze_with(&crate::infer::FreezeOptions::exact());
         let json = frozen_generator_to_json(&frozen);
         let back = frozen_generator_from_json(&json).expect("load succeeds");
         assert_eq!(back.latent_dim(), frozen.latent_dim());

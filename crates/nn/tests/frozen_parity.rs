@@ -11,7 +11,7 @@
 //! SIMD-lane) channel counts, so masked tail lanes in the fused epilogues
 //! are exercised.
 
-use cae_nn::infer::FreezeMode;
+use cae_nn::infer::FreezeOptions;
 use cae_nn::models::{Arch, DfkdGenerator, GeneratorConfig};
 use cae_nn::module::{Classifier, ForwardCtx, Generator};
 use cae_tensor::rng::TensorRng;
@@ -68,7 +68,7 @@ proptest! {
         let arch = ALL_ARCHS[arch_idx];
         let width = [3usize, 4, 5, 6, 7][width_idx];
         let model = warmed_model(arch, 5, width, seed);
-        let frozen = model.freeze(FreezeMode::Exact);
+        let frozen = model.freeze_with(&FreezeOptions::exact());
         let mut rng = TensorRng::seed_from(seed ^ 0x5eed);
         let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
 
@@ -91,7 +91,7 @@ proptest! {
         let arch = ALL_ARCHS[arch_idx];
         let width = [3usize, 4, 5, 6, 7][width_idx];
         let model = warmed_model(arch, 5, width, seed);
-        let frozen = model.freeze(FreezeMode::Fused);
+        let frozen = model.freeze_with(&FreezeOptions::fused());
         let mut rng = TensorRng::seed_from(seed ^ 0xf00d);
         let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
 
@@ -119,7 +119,7 @@ proptest! {
             let z = Var::constant(rng.normal_tensor(&[4, 8], 0.0, 1.0));
             g.generate(&z, &mut ForwardCtx::train());
         }
-        let frozen = g.freeze(FreezeMode::Exact);
+        let frozen = g.freeze_with(&FreezeOptions::exact());
         let z = rng.normal_tensor(&[2, 8], 0.0, 1.0);
         let reference = g
             .generate(&Var::constant(z.clone()), &mut ForwardCtx::eval())
@@ -141,7 +141,7 @@ proptest! {
             let z = Var::constant(rng.normal_tensor(&[4, 8], 0.0, 1.0));
             g.generate(&z, &mut ForwardCtx::train());
         }
-        let frozen = g.freeze(FreezeMode::Fused);
+        let frozen = g.freeze_with(&FreezeOptions::fused());
         let z = rng.normal_tensor(&[2, 8], 0.0, 1.0);
         let reference = g
             .generate(&Var::constant(z.clone()), &mut ForwardCtx::eval())
@@ -158,7 +158,7 @@ fn exact_freeze_handles_tiny_inputs_like_vgg_pool_guard() {
     // VGG skips 2×2 pooling once the map is 1×1; the frozen MaxPool op must
     // apply the same guard or shapes diverge on small inputs.
     let model = warmed_model(Arch::Vgg11, 3, 4, 7);
-    let frozen = model.freeze(FreezeMode::Exact);
+    let frozen = model.freeze_with(&FreezeOptions::exact());
     let mut rng = TensorRng::seed_from(7);
     let x = rng.normal_tensor(&[1, 3, 4, 4], 0.0, 1.0);
     let (_, ref_logits) = var_eval(model.as_ref(), &x);
@@ -166,9 +166,39 @@ fn exact_freeze_handles_tiny_inputs_like_vgg_pool_guard() {
 }
 
 #[test]
+fn int8_freeze_stays_close_to_f32_and_batching_is_row_independent() {
+    let model = warmed_model(Arch::ResNet18, 5, 4, 21);
+    let f32_frozen = model.freeze_with(&FreezeOptions::fused());
+    let int8_frozen = model.freeze_with(&FreezeOptions::fused().int8());
+    assert!(!f32_frozen.quantized());
+    assert!(int8_frozen.quantized());
+    let mut rng = TensorRng::seed_from(21);
+    let x = rng.normal_tensor(&[4, 3, 8, 8], 0.0, 1.0);
+    let (a, b) = (f32_frozen.forward(&x), int8_frozen.forward(&x));
+    // int8 rounding perturbs each weight by at most half a step; logits
+    // must stay in the same neighborhood (loose sanity bound — the bench
+    // gates the end-to-end accuracy delta).
+    for (&ya, &yb) in a.data().iter().zip(b.data()) {
+        assert!(
+            (ya - yb).abs() <= 0.15 + 0.1 * ya.abs(),
+            "int8 drifted too far: {ya} vs {yb}"
+        );
+    }
+    // Per-row determinism: row i of a batched int8 forward is bit-identical
+    // to the same image run alone — the property cae-serve's dynamic
+    // batching relies on.
+    let dims = x.shape().dims().to_vec();
+    let row: Vec<f32> = x.data()[2 * dims[1] * dims[2] * dims[3]..3 * dims[1] * dims[2] * dims[3]].to_vec();
+    let single = Tensor::from_vec(row, &[1, dims[1], dims[2], dims[3]]).unwrap();
+    let alone = int8_frozen.forward(&single);
+    let classes = b.shape().dims()[1];
+    assert_eq!(&b.data()[2 * classes..3 * classes], alone.data());
+}
+
+#[test]
 fn frozen_spatial_matches_var_spatial_exactly() {
     let model = warmed_model(Arch::Wrn16x2, 4, 4, 11);
-    let frozen = model.freeze(FreezeMode::Exact);
+    let frozen = model.freeze_with(&FreezeOptions::exact());
     let mut rng = TensorRng::seed_from(11);
     let x = rng.normal_tensor(&[2, 3, 8, 8], 0.0, 1.0);
     let reference = model

@@ -1,0 +1,72 @@
+//! Serve determinism: the same request trace must produce a byte-identical
+//! prediction log regardless of batching cutoffs — a request's logits may
+//! not depend on which batch it landed in, which worker served it, or how
+//! many clients were flooding the queue.
+
+use cae_nn::infer::FreezeOptions;
+use cae_nn::models::Arch;
+use cae_nn::module::ForwardCtx;
+use cae_serve::{prediction_log, run_closed_loop, run_open_loop, RequestTrace, ServeOptions};
+use cae_tensor::rng::TensorRng;
+use cae_tensor::Var;
+
+/// A small warmed student (non-trivial BN statistics) frozen in fused mode.
+fn frozen_student(int8: bool) -> cae_nn::infer::FrozenClassifier {
+    let mut rng = TensorRng::seed_from(33);
+    let model = Arch::ResNet18.build(4, 4, &mut rng);
+    for _ in 0..2 {
+        let x = Var::constant(rng.normal_tensor(&[4, 3, 8, 8], 0.2, 1.1));
+        model.forward(&x, &mut ForwardCtx::train());
+    }
+    let opts = if int8 { FreezeOptions::fused().int8() } else { FreezeOptions::fused() };
+    model.freeze_with(&opts)
+}
+
+#[test]
+fn prediction_log_is_byte_identical_across_batching_configs() {
+    let trace = RequestTrace::synthetic(60, 3, 8, 77);
+    let reference = {
+        let run = run_closed_loop(
+            frozen_student(false),
+            ServeOptions::default().with_max_batch(1),
+            &trace,
+        );
+        assert_eq!(run.predictions.len(), trace.len());
+        prediction_log(&run.predictions)
+    };
+    for (max_batch, max_latency_us, clients) in
+        [(8, 500, 2), (32, 2000, 4), (3, 50, 5), (60, 10_000, 1)]
+    {
+        let opts = ServeOptions::default()
+            .with_max_batch(max_batch)
+            .with_max_latency_us(max_latency_us);
+        let run = run_open_loop(frozen_student(false), opts, &trace, clients);
+        assert_eq!(run.predictions.len(), trace.len());
+        assert_eq!(
+            prediction_log(&run.predictions),
+            reference,
+            "batching config (max_batch={max_batch}, cutoff={max_latency_us}us, \
+             clients={clients}) changed a prediction"
+        );
+    }
+}
+
+#[test]
+fn int8_students_are_batching_deterministic_too() {
+    let trace = RequestTrace::synthetic(24, 3, 8, 78);
+    let single = run_closed_loop(
+        frozen_student(true),
+        ServeOptions::default().with_max_batch(1),
+        &trace,
+    );
+    let batched = run_open_loop(
+        frozen_student(true),
+        ServeOptions::default().with_max_batch(8).with_max_latency_us(1000),
+        &trace,
+        3,
+    );
+    assert_eq!(
+        prediction_log(&single.predictions),
+        prediction_log(&batched.predictions)
+    );
+}

@@ -101,17 +101,37 @@ fn im2col_single(
     spec: Conv2dSpec,
     col: &mut [f32],
 ) {
+    let ncols = spec.out_size(h) * spec.out_size(w);
+    debug_assert_eq!(col.len(), c * spec.kernel * spec.kernel * ncols);
+    im2col_at(x, c, h, w, spec, col, ncols, 0);
+}
+
+/// [`im2col_single`] writing into an `[C*k*k, row_stride]` matrix at column
+/// offset `col0` — the building block of the whole-batch column matrix
+/// (`row_stride = N*OH*OW`, image `ni` at `col0 = ni*OH*OW`).
+#[allow(clippy::too_many_arguments)] // mirrors the GEMM-style layout params
+fn im2col_at(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    col: &mut [f32],
+    row_stride: usize,
+    col0: usize,
+) {
     let k = spec.kernel;
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let ncols = oh * ow;
-    debug_assert_eq!(col.len(), c * k * k * ncols);
+    debug_assert!(col0 + ncols <= row_stride);
     for ci in 0..c {
         let xc = &x[ci * h * w..(ci + 1) * h * w];
         for ki in 0..k {
             for kj in 0..k {
                 let row = (ci * k + ki) * k + kj;
-                let dst = &mut col[row * ncols..(row + 1) * ncols];
+                let start = row * row_stride + col0;
+                let dst = &mut col[start..start + ncols];
                 let (jlo, jhi) = valid_out_span(w, ow, spec.stride, kj, spec.padding);
                 for oi in 0..oh {
                     let drow = &mut dst[oi * ow..(oi + 1) * ow];
@@ -272,6 +292,60 @@ pub fn conv2d_fused(
     } else {
         1
     };
+    if chunks == 1 {
+        // Serial path: one whole-batch GEMM instead of one per image. The
+        // column matrices of all N images sit side by side
+        // (`[krows, N*ncols]`), so weight packing, GEMM blocking setup, and
+        // the epilogue pass are paid once per *layer* rather than once per
+        // *image* — on small per-image shapes those fixed costs dominate,
+        // and amortizing them is what makes dynamic batching in `cae-serve`
+        // pay off. Each output column's accumulation is a single FMA chain
+        // regardless of the GEMM width (see `gemm`), so every image's
+        // logits stay bit-identical to its batch-1 forward.
+        let total = n * ncols;
+        // Unzeroed: `im2col_at` writes every element, padding included — a
+        // zeroing memset of the whole-batch column matrix would evict L2
+        // on large batches for nothing.
+        let mut col = workspace::take_unzeroed(Slot::Col, krows * total);
+        {
+            let _sp = cae_trace::span_stat("conv.im2col");
+            for ni in 0..n {
+                im2col_at(&xd[ni * chw..(ni + 1) * chw], c, h, w, spec, &mut col, total, ni * ncols);
+            }
+        }
+        // Unzeroed: the GEMM overwrites every element (accumulate=false).
+        let mut prod = workspace::take_unzeroed(Slot::ConvOut, o * total);
+        gemm(o, total, krows, wd_flat, (krows, 1), &col, (total, 1), &mut prod, false);
+        let _ep = cae_trace::span_stat("conv.epilogue");
+        let od = out.data_mut();
+        for ni in 0..n {
+            for oi in 0..o {
+                let src = &prod[oi * total + ni * ncols..oi * total + (ni + 1) * ncols];
+                let dst = &mut od[ni * per_sample + oi * ncols..ni * per_sample + (oi + 1) * ncols];
+                dst.copy_from_slice(src);
+                match epilogue {
+                    ConvEpilogue::None => {
+                        if let Some(b) = bias {
+                            vecmath::vec_add_scalar_inplace(dst, b.data()[oi]);
+                        }
+                    }
+                    ConvEpilogue::Relu => {
+                        vecmath::vec_bias_relu_inplace(dst, bias.map_or(0.0, |b| b.data()[oi]));
+                    }
+                    ConvEpilogue::LeakyRelu(slope) => {
+                        vecmath::vec_bias_leaky_relu_inplace(
+                            dst,
+                            bias.map_or(0.0, |b| b.data()[oi]),
+                            slope,
+                        );
+                    }
+                }
+            }
+        }
+        workspace::give(Slot::ConvOut, prod);
+        workspace::give(Slot::Col, col);
+        return out;
+    }
     let per_chunk = n.div_ceil(chunks);
     pool::parallel_for(n.div_ceil(per_chunk), |t| {
         // Capture the wrapper, not its raw-pointer field (which is !Sync).

@@ -43,13 +43,16 @@ pub enum Slot {
     DCol,
     /// Per-chunk partial accumulators for parallel reductions.
     Partial,
+    /// Whole-batch GEMM product of the serial conv2d path, before the
+    /// epilogue scatters it into NCHW order.
+    ConvOut,
 }
 
-const SLOT_COUNT: usize = 5;
+const SLOT_COUNT: usize = 6;
 
 thread_local! {
     static SLOTS: RefCell<[Vec<f32>; SLOT_COUNT]> = const {
-        RefCell::new([Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()])
+        RefCell::new([Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()])
     };
 }
 

@@ -143,6 +143,25 @@ proptest! {
         });
     }
 
+    /// int8 dequantization (whole-slice scale and per-column scales)
+    /// bit-agrees across backends: the i8 → f32 widening is exact and the
+    /// scale multiply is correctly rounded everywhere.
+    #[test]
+    fn dequant_parity(seed in 0u64..1000, len in 1usize..70) {
+        let mut rng = TensorRng::seed_from(seed);
+        let q: Vec<i8> = (0..len).map(|_| (rng.normal() * 60.0).clamp(-127.0, 127.0) as i8).collect();
+        let scales: Vec<f32> = (0..len).map(|_| rng.normal().abs() * 0.01 + 1e-4).collect();
+        assert_backend_parity("dequant kernels", || {
+            let mut out = Vec::new();
+            let mut buf = vec![0.0f32; len];
+            vecmath::vec_dequant_i8(&q, scales[0], &mut buf);
+            out.extend_from_slice(&buf);
+            vecmath::vec_dequant_i8_cols(&q, &scales, &mut buf);
+            out.extend_from_slice(&buf);
+            out
+        });
+    }
+
     /// The fused Adam update step bit-agrees across backends.
     #[test]
     fn adam_parity(seed in 0u64..1000, len in 1usize..40, t in 1i32..100) {

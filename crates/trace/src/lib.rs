@@ -77,10 +77,13 @@ const STATE_ON: u8 = 2;
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 
 fn env_wants_tracing() -> bool {
-    matches!(
-        std::env::var("CAE_TRACE").as_deref(),
-        Ok("1") | Ok("true") | Ok("on")
-    )
+    match std::env::var("CAE_TRACE") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        ),
+        Err(_) => false,
+    }
 }
 
 #[cold]
@@ -297,14 +300,41 @@ fn buffers() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
     BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+// Caps start at 0 (= uninitialized) and latch the env value on first use;
+// `raise_event_cap` can overwrite before or after that, so the cap is a
+// plain atomic rather than a `OnceLock`.
+static MAX_EVENTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
 fn max_events_per_thread() -> usize {
-    static MAX: OnceLock<usize> = OnceLock::new();
-    *MAX.get_or_init(|| {
-        std::env::var("CAE_TRACE_MAX_EVENTS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(65_536)
-    })
+    match MAX_EVENTS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("CAE_TRACE_MAX_EVENTS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(65_536);
+            MAX_EVENTS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// The effective per-thread span-event cap (`CAE_TRACE_MAX_EVENTS`,
+/// default 65 536), as consulted by the recording fast path.
+pub fn event_cap() -> usize {
+    max_events_per_thread()
+}
+
+/// Raises the per-thread span-event cap to at least `n` — unless the user
+/// pinned a cap explicitly via `CAE_TRACE_MAX_EVENTS`, which always wins.
+/// Used by the profiler, whose forced-on traces would otherwise truncate at
+/// the default cap.
+pub fn raise_event_cap(n: usize) {
+    if std::env::var("CAE_TRACE_MAX_EVENTS").is_ok() {
+        return;
+    }
+    MAX_EVENTS.store(max_events_per_thread().max(n), Ordering::Relaxed);
 }
 
 fn series_cap_per_thread() -> usize {
@@ -315,6 +345,12 @@ fn series_cap_per_thread() -> usize {
             .and_then(|v| v.parse().ok())
             .unwrap_or(65_536)
     })
+}
+
+/// The effective per-thread series-point cap (`CAE_TRACE_SERIES_CAP`,
+/// default 65 536).
+pub fn series_cap() -> usize {
+    series_cap_per_thread()
 }
 
 thread_local! {
@@ -851,6 +887,17 @@ mod tests {
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn event_cap_raises_but_never_lowers() {
+        let before = event_cap();
+        assert!(before > 0, "cap must have a positive default");
+        raise_event_cap(before + 1024);
+        assert!(event_cap() >= before + 1024);
+        raise_event_cap(1);
+        assert!(event_cap() >= before + 1024, "raise_event_cap never lowers");
+        assert!(series_cap() > 0);
     }
 
     #[test]

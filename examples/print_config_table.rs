@@ -1,0 +1,5 @@
+//! Prints the generated README runtime-configuration table (used to
+//! regenerate the README section; the sync test keeps them identical).
+fn main() {
+    print!("{}", cae_dfkd::core::config::Config::markdown_table());
+}

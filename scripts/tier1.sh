@@ -70,6 +70,23 @@ cargo run --release --offline -- profile table02 --budget smoke \
   --out "$trace_tmp/profile" | tee "$trace_tmp/profile_out.txt" >/dev/null
 test -s "$trace_tmp/profile/PROFILE_table02.txt"
 grep -q 'self-time coverage' "$trace_tmp/profile_out.txt"
+# Serving smoke: a tiny pretrained student served over a simulated request
+# trace must produce a fresh non-empty BENCH_serve.json reporting
+# byte-identical predictions across batching configurations ...
+CAE_BUDGET=smoke \
+  cargo run --release --offline -p cae-bench --bin bench_serve >/dev/null
+test -s BENCH_serve.json
+grep -q '"predictions_identical": true' BENCH_serve.json
+# ... and two serve-bench runs with different batching cutoffs must write
+# byte-identical prediction logs (the serve determinism invariant, checked
+# by external byte-diff rather than in-process comparison).
+CAE_BUDGET=smoke cargo run --release --offline -- serve-bench \
+  --requests 200 --clients 4 --max-batch 8 --max-latency-us 20000 \
+  --log "$trace_tmp/serve_a.log" >/dev/null
+CAE_BUDGET=smoke cargo run --release --offline -- serve-bench \
+  --requests 200 --clients 8 --max-batch 32 --max-latency-us 50000 \
+  --log "$trace_tmp/serve_b.log" >/dev/null
+cmp "$trace_tmp/serve_a.log" "$trace_tmp/serve_b.log"
 # Regression gate: current BENCH_*.json records vs the committed baselines
 # (tolerance bands in crates/bench/src/compare.rs). Also asserts the
 # disabled-path tracing overhead stays under its 3% cap.

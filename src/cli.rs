@@ -6,6 +6,7 @@
 use cae_core::config::ExperimentBudget;
 use cae_core::method::MethodSpec;
 use cae_data::presets::ClassificationPreset;
+use cae_nn::infer::FreezeOptions;
 use cae_nn::models::Arch;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -198,6 +199,21 @@ pub fn parse_dataset(name: &str) -> Result<ClassificationPreset, ParseArgsError>
     }
 }
 
+/// Parses a freeze mode name into the [`FreezeOptions`] it denotes:
+/// `exact` (bit-identical to autograd eval), `fused` (conv+BN folding,
+/// the default) or `int8` (fused plus int8 weight quantization).
+///
+/// # Errors
+/// Returns an error listing the valid modes for unknown names.
+pub fn parse_freeze_mode(name: &str) -> Result<FreezeOptions, ParseArgsError> {
+    match name {
+        "exact" => Ok(FreezeOptions::exact()),
+        "fused" => Ok(FreezeOptions::fused()),
+        "int8" => Ok(FreezeOptions::fused().int8()),
+        other => Err(err(format!("unknown mode '{other}' (exact|fused|int8)"))),
+    }
+}
+
 /// Parses an architecture name.
 ///
 /// # Errors
@@ -230,11 +246,15 @@ USAGE:
   cae-dfkd transfer --weights FILE.json [--task nyu|ade|coco] [--arch resnet18]
                     [--dataset c10] [--budget fast]
   cae-dfkd freeze   --weights FILE.json --out FROZEN.json [--arch resnet18]
-                    [--dataset c10] [--budget fast] [--mode exact|fused]
+                    [--dataset c10] [--budget fast] [--mode exact|fused|int8]
+  cae-dfkd serve-bench [--requests 400] [--clients 4] [--max-batch N] [--max-latency-us N]
+                    [--mode exact|fused|int8] [--weights FILE.json] [--log LOG.txt]
+                    [--arch resnet18] [--dataset c10] [--budget smoke|fast|full]
   cae-dfkd table    <id> [--budget smoke|fast|full] [--out results]
   cae-dfkd profile  <id> [--budget smoke|fast|full] [--out .]
   cae-dfkd profile  --trace trace_table_ii.jsonl [--out .]
   cae-dfkd health   <id> [--budget smoke|fast|full]
+  cae-dfkd config
   cae-dfkd list
   cae-dfkd help
 
@@ -255,10 +275,24 @@ training-health verdict (NaN/Inf, divergence, plateau) per recorded series
 
 `freeze` compiles a trained checkpoint into a graph-free frozen inference
 model (conv+BN folded under --mode fused, the default; --mode exact keeps
-layers separate and matches the autograd eval path bit-for-bit) and writes
+layers separate and matches the autograd eval path bit-for-bit; --mode
+int8 additionally quantizes weights to int8 per-output-channel) and writes
 it as self-describing JSON. Eval paths inside `distill`/`evaluate`/`table`
 freeze automatically; set CAE_INFER=0 to force the legacy autograd eval
 path or CAE_FUSE=0 to freeze without folding.
+
+`serve-bench` runs the dynamic-batching inference server over a frozen
+student: a one-request-at-a-time sequential baseline, then an open-loop
+flood from --clients concurrent clients, printing throughput, latency
+percentiles and the batched speedup, and byte-diffing the two prediction
+logs (they must be identical — batching never changes results). With
+--weights it serves that checkpoint; otherwise it pretrains a small
+student under --budget. --log writes the batched prediction log for
+external byte-diffing. Defaults for --max-batch/--max-latency-us come
+from CAE_SERVE_MAX_BATCH / CAE_SERVE_MAX_LATENCY_US (see `config`).
+
+`config` prints the process-wide runtime configuration: every CAE_* knob,
+its current value and where it came from.
 
 Architectures: resnet18 resnet34 resnet50 wrn40-2 wrn40-1 wrn16-2 wrn16-1 vgg11
 ";
@@ -324,6 +358,25 @@ mod tests {
         assert!(HELP.contains("cae-dfkd freeze"));
         assert!(HELP.contains("CAE_INFER=0"));
         assert!(HELP.contains("CAE_FUSE=0"));
+    }
+
+    #[test]
+    fn help_documents_serving_and_config() {
+        assert!(HELP.contains("cae-dfkd serve-bench"));
+        assert!(HELP.contains("cae-dfkd config"));
+        assert!(HELP.contains("CAE_SERVE_MAX_BATCH"));
+    }
+
+    #[test]
+    fn freeze_modes_parse_and_unknown_lists_choices() {
+        assert_eq!(parse_freeze_mode("fused").expect("fused"), FreezeOptions::fused());
+        assert_eq!(parse_freeze_mode("exact").expect("exact"), FreezeOptions::exact());
+        assert_eq!(
+            parse_freeze_mode("int8").expect("int8"),
+            FreezeOptions::fused().int8()
+        );
+        let e = parse_freeze_mode("fast").expect_err("unknown mode");
+        assert!(e.to_string().contains("exact|fused|int8"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * [`data`] — procedural classification and dense-prediction datasets.
 //! * [`core`] — the paper's contribution: CEND, CNCL, the DFKD trainer,
 //!   baselines, metrics, transfer harness and experiment runners.
+//! * [`serve`] — dynamic-batching inference server over frozen students.
 //!
 //! # Quickstart
 //!
@@ -25,5 +26,6 @@ pub use cae_core as core;
 pub use cae_data as data;
 pub use cae_lm as lm;
 pub use cae_nn as nn;
+pub use cae_serve as serve;
 pub use cae_tensor as tensor;
 pub use cae_trace as trace;

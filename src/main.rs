@@ -9,13 +9,15 @@
 //! cae-dfkd table --id table02 --budget smoke
 //! ```
 
-use cae_dfkd::cli::{Command, HELP};
+use cae_dfkd::cli::{parse_freeze_mode, Command, HELP};
+use cae_dfkd::core::config::Config;
 use cae_dfkd::core::experiments;
 use cae_dfkd::core::metrics::classification::top1_accuracy;
 use cae_dfkd::core::pipeline::run_dfkd;
 use cae_dfkd::core::transfer::{transfer_evaluate, TaskSet};
 use cae_dfkd::data::dense::DensePreset;
 use cae_dfkd::nn::serialize;
+use cae_dfkd::serve::{prediction_log, run_closed_loop, run_open_loop, RequestTrace, ServeOptions};
 use cae_dfkd::tensor::rng::TensorRng;
 use std::error::Error;
 use std::process::ExitCode;
@@ -43,9 +45,14 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error + Send + Sync>> {
         "evaluate" => evaluate(&cmd),
         "transfer" => transfer(&cmd),
         "freeze" => freeze(&cmd),
+        "serve-bench" => serve_bench(&cmd),
         "table" => table(&cmd),
         "profile" => profile(&cmd),
         "health" => health(&cmd),
+        "config" => {
+            print!("{}", Config::get().render());
+            Ok(())
+        }
         "list" => {
             list();
             Ok(())
@@ -124,15 +131,14 @@ fn profile(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
     // Serial cells keep every span on one thread-rooted tree, so the
     // self-time table provably sums back to the `experiment` root; the
     // raised event cap keeps a fast-budget profile from truncating.
-    std::env::set_var("CAE_CELL_PARALLEL", "0");
-    if std::env::var("CAE_TRACE_MAX_EVENTS").is_err() {
-        std::env::set_var("CAE_TRACE_MAX_EVENTS", "1048576");
-    }
+    cae_dfkd::core::experiments::scheduler::force_cell_parallelism(Some(false));
+    cae_dfkd::trace::raise_event_cap(1 << 20);
     cae_dfkd::trace::force_enabled(true);
     cae_dfkd::trace::drain(); // profile this run only
     let run_outcome = entry.run(&budget);
     let trace = cae_dfkd::trace::drain();
     cae_dfkd::trace::reset_to_env();
+    cae_dfkd::core::experiments::scheduler::force_cell_parallelism(None);
     run_outcome?;
 
     let profile = cae_dfkd::trace::profile::Profile::from_trace(&trace);
@@ -216,24 +222,97 @@ fn freeze(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
     let budget = cmd.budget()?;
     let weights = cmd.required("weights")?;
     let out = cmd.required("out")?;
-    let mode = match cmd.str_or("mode", "fused") {
-        "fused" => cae_dfkd::nn::FreezeMode::Fused,
-        "exact" => cae_dfkd::nn::FreezeMode::Exact,
-        other => return Err(format!("unknown mode '{other}' (exact|fused)").into()),
-    };
+    let mode = cmd.str_or("mode", "fused");
+    let opts = parse_freeze_mode(mode)?;
 
     let mut rng = TensorRng::seed_from(0);
     let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
     serialize::from_json(model.as_ref(), &std::fs::read_to_string(weights)?)?;
-    let frozen = model.freeze(mode);
+    let frozen = model.freeze_with(&opts);
     std::fs::write(out, serialize::frozen_classifier_to_json(&frozen))?;
     println!(
-        "froze {} ({:?}): {} ops, {} classes -> {out}",
+        "froze {} ({mode}): {} ops, {} classes -> {out}",
         arch.name(),
-        mode,
         frozen.spatial_ops().len(),
         frozen.num_classes(),
     );
+    Ok(())
+}
+
+/// `cae-dfkd serve-bench`: drive the dynamic-batching server over a
+/// deterministic synthetic trace — sequential baseline, then an open-loop
+/// flood — and byte-diff the two prediction logs.
+fn serve_bench(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let dataset = cmd.dataset()?;
+    let arch = cmd.arch("arch", "resnet18")?;
+    let budget = cmd.budget_or("smoke")?;
+    let requests = cmd.usize_or("requests", 400)?;
+    let clients = cmd.usize_or("clients", 4)?;
+    let mode = cmd.str_or("mode", "fused");
+    let freeze_opts = parse_freeze_mode(mode)?;
+
+    let split = dataset.generate(budget.seed);
+    let model: Box<dyn cae_dfkd::nn::module::Classifier> = match cmd.options.get("weights") {
+        Some(weights) => {
+            let mut rng = TensorRng::seed_from(0);
+            let model = arch.build(dataset.num_classes(), budget.base_width, &mut rng);
+            serialize::from_json(model.as_ref(), &std::fs::read_to_string(weights)?)?;
+            model
+        }
+        None => {
+            println!(
+                "pretraining serve student ({}, {} steps) ...",
+                arch.name(),
+                budget.pretrain_steps
+            );
+            cae_dfkd::core::teacher::pretrained("serve-bench", arch, &split.train, &budget, 32)
+        }
+    };
+
+    // Batching knobs default from Config (CAE_SERVE_*); flags override.
+    let mut opts = ServeOptions::from_config();
+    if cmd.options.contains_key("max-batch") {
+        opts = opts.with_max_batch(cmd.usize_or("max-batch", 0)?);
+    }
+    if cmd.options.contains_key("max-latency-us") {
+        opts = opts.with_max_latency_us(cmd.u64_or("max-latency-us", 0)?);
+    }
+
+    let trace = RequestTrace::synthetic(requests, 3, dataset.resolution(), budget.seed ^ 0x7e5e);
+    println!("sequential baseline ({requests} requests, {mode}) ...");
+    let sequential = run_closed_loop(
+        model.freeze_with(&freeze_opts),
+        ServeOptions::from_config().with_max_batch(1),
+        &trace,
+    );
+    println!(
+        "  {:.0} rps, p50 {}us, p99 {}us",
+        sequential.throughput_rps(),
+        sequential.latency_percentile_us(0.5),
+        sequential.latency_percentile_us(0.99)
+    );
+    println!("open loop ({clients} clients, max_batch {}, cutoff {}us) ...", opts.max_batch, opts.max_latency_us);
+    let batched = run_open_loop(model.freeze_with(&freeze_opts), opts, &trace, clients);
+    println!(
+        "  {:.0} rps, p50 {}us, p99 {}us, mean batch {:.1}",
+        batched.throughput_rps(),
+        batched.latency_percentile_us(0.5),
+        batched.latency_percentile_us(0.99),
+        batched.mean_batch()
+    );
+    let log = prediction_log(&batched.predictions);
+    let identical = prediction_log(&sequential.predictions) == log;
+    println!(
+        "speedup {:.2}x, predictions identical: {identical}",
+        batched.throughput_rps() / sequential.throughput_rps().max(1e-12)
+    );
+    if let Some(path) = cmd.options.get("log") {
+        std::fs::write(path, &log)?;
+        println!("prediction log: {path}");
+    }
+    if !identical {
+        return Err("batching changed predictions — serve determinism violated".into());
+    }
     Ok(())
 }
 

@@ -1,0 +1,25 @@
+//! Documentation that is generated from code must not drift from it.
+
+use cae_dfkd::core::config::Config;
+
+/// The README's runtime-configuration table is the output of
+/// [`Config::markdown_table`], pasted between the config-table markers.
+/// Regenerate with `cargo run --example print_config_table`.
+#[test]
+fn readme_config_table_matches_generated() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md at the repository root");
+    let start = readme
+        .find("<!-- config-table-start -->\n")
+        .expect("config-table-start marker in README.md")
+        + "<!-- config-table-start -->\n".len();
+    let end = readme
+        .find("<!-- config-table-end -->")
+        .expect("config-table-end marker in README.md");
+    assert_eq!(
+        &readme[start..end],
+        Config::markdown_table(),
+        "README config table drifted from Config::markdown_table(); \
+         regenerate with `cargo run --example print_config_table`"
+    );
+}
