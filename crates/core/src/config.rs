@@ -185,14 +185,23 @@ pub struct ConfigEntry {
 /// need to vary a knob between runs use the typed overrides
 /// ([`crate::experiments::scheduler::force_cell_parallelism`],
 /// [`crate::experiments::scheduler::force_fault_policy`],
-/// `cae_tensor::simd::force_backend`, `cae_trace::force_enabled`) instead
-/// of mutating the environment.
+/// `cae_tensor::simd::force_backend`, `cae_tensor::pool::force_pool_size`,
+/// `cae_tensor::autotune::force_autotune`, `cae_trace::force_enabled`)
+/// instead of mutating the environment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Config {
     /// Active SIMD backend (`CAE_SIMD`: `scalar`/`avx2`/`neon`/auto).
     pub simd_backend: String,
     /// Tensor-pool parallelism (`CAE_NUM_THREADS`, default: all cores).
     pub num_threads: usize,
+    /// GEMM autotuning enabled (`CAE_AUTOTUNE`).
+    pub autotune: bool,
+    /// On-disk autotune winner cache (`CAE_AUTOTUNE_CACHE`): path override,
+    /// or `false` when persistence is disabled.
+    pub autotune_cache: bool,
+    /// Per-cell kernel thread budget override (`CAE_CELL_THREAD_BUDGET`);
+    /// `None` derives `ceil(pool / cells)` at run time.
+    pub cell_thread_budget: Option<usize>,
     /// Frozen-graph eval forwards enabled (`CAE_INFER`).
     pub infer: bool,
     /// Freeze mode for eval forwards (`CAE_FUSE`: off ⇒ exact).
@@ -261,6 +270,12 @@ impl Config {
                 "CAE_NUM_THREADS",
                 std::thread::available_parallelism().map_or(1, |n| n.get()),
             ),
+            autotune: cae_tensor::autotune::enabled(),
+            autotune_cache: cae_tensor::autotune::cache_enabled(),
+            cell_thread_budget: std::env::var("CAE_CELL_THREAD_BUDGET")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1),
             infer: cae_nn::infer::infer_enabled(),
             fuse: FreezeMode::from_env(),
             trace: cae_trace::enabled(),
@@ -292,13 +307,16 @@ impl Config {
     pub fn entries() -> &'static [ConfigEntry] {
         &[
             ConfigEntry { var: "CAE_SIMD", values: "`scalar`/`avx2`/`neon`", default: "auto-detect", doc: "SIMD backend for all f32 kernels; unsupported requests fall back to detection. All backends are bit-identical." },
-            ConfigEntry { var: "CAE_NUM_THREADS", values: "integer ≥ 1", default: "all cores", doc: "Tensor-pool parallelism (kernel and cell levels share the pool)." },
+            ConfigEntry { var: "CAE_NUM_THREADS", values: "integer ≥ 1", default: "all cores", doc: "Tensor-pool parallelism (kernel and cell levels share the pool cooperatively)." },
+            ConfigEntry { var: "CAE_AUTOTUNE", values: "bool (off-tokens disable)", default: "on", doc: "Measure candidate GEMM blockings/cutoffs once per shape-class and cache the winner; results are bit-identical either way." },
+            ConfigEntry { var: "CAE_AUTOTUNE_CACHE", values: "path, or off-tokens", default: "temp dir, host-keyed", doc: "On-disk autotune winner cache; off-tokens disable persistence (in-process tuning still runs)." },
             ConfigEntry { var: "CAE_INFER", values: "bool (off-tokens disable)", default: "on", doc: "Route eval-mode forwards through frozen graphs instead of autograd." },
             ConfigEntry { var: "CAE_FUSE", values: "bool (off-tokens disable)", default: "on", doc: "Conv+BN folding and activation fusion at freeze time; off selects the bit-exact mode." },
             ConfigEntry { var: "CAE_TRACE", values: "bool (`1`/`true`/`on`/`yes` enable)", default: "off", doc: "In-process tracing: spans, counters, gauges, series." },
             ConfigEntry { var: "CAE_TRACE_MAX_EVENTS", values: "integer ≥ 1", default: "65536", doc: "Per-thread span/counter event cap; excess is dropped and flagged." },
             ConfigEntry { var: "CAE_TRACE_SERIES_CAP", values: "integer ≥ 1", default: "65536", doc: "Per-thread series event cap." },
             ConfigEntry { var: "CAE_CELL_PARALLEL", values: "bool (off-tokens disable)", default: "on", doc: "Fan experiment cells out across the pool; off runs cells serially with kernel parallelism inside each." },
+            ConfigEntry { var: "CAE_CELL_THREAD_BUDGET", values: "integer ≥ 1", default: "ceil(pool / cells)", doc: "Pool threads each parallel cell's kernels may recruit; the default gives surplus workers to cells when cells are scarcer than threads." },
             ConfigEntry { var: "CAE_CELL_RETRIES", values: "integer ≥ 0", default: "0", doc: "Re-runs of a panicked cell (identical derived seed, so recovery is byte-identical)." },
             ConfigEntry { var: "CAE_FAULT_INJECT", values: "`<prob>:<seed>`", default: "off", doc: "Deterministic panic injection at cell-attempt entry, for testing the recovery path." },
             ConfigEntry { var: "CAE_BUDGET", values: "`smoke`/`fast`/`full`", default: "per-binary", doc: "Experiment budget preset for bench binaries." },
@@ -330,12 +348,19 @@ impl Config {
         let rows: Vec<(&str, String)> = vec![
             ("CAE_SIMD", self.simd_backend.clone()),
             ("CAE_NUM_THREADS", self.num_threads.to_string()),
+            ("CAE_AUTOTUNE", self.autotune.to_string()),
+            ("CAE_AUTOTUNE_CACHE", self.autotune_cache.to_string()),
             ("CAE_INFER", self.infer.to_string()),
             ("CAE_FUSE", format!("{:?}", self.fuse).to_lowercase()),
             ("CAE_TRACE", self.trace.to_string()),
             ("CAE_TRACE_MAX_EVENTS", self.trace_max_events.to_string()),
             ("CAE_TRACE_SERIES_CAP", self.trace_series_cap.to_string()),
             ("CAE_CELL_PARALLEL", self.cell_parallel.to_string()),
+            (
+                "CAE_CELL_THREAD_BUDGET",
+                self.cell_thread_budget
+                    .map_or_else(|| "<auto>".to_owned(), |n| n.to_string()),
+            ),
             ("CAE_CELL_RETRIES", self.cell_retries.to_string()),
             (
                 "CAE_FAULT_INJECT",

@@ -17,14 +17,12 @@
 //! thread count would make `dW`/`db` rounding — and therefore whole
 //! training trajectories — depend on `CAE_NUM_THREADS`.
 
+use crate::autotune::PARALLEL_FLOP_THRESHOLD;
 use crate::gemm::gemm;
 use crate::pool;
 use crate::simd::vecmath;
 use crate::tensor::Tensor;
 use crate::workspace::{self, Slot};
-
-/// FLOP threshold below which a conv pass stays on the calling thread.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
 
 /// Fixed batch chunking for [`conv2d_backward`]'s `dW`/`db` partials.
 ///
@@ -287,8 +285,12 @@ pub fn conv2d_fused(
     let (xd, wd_flat) = (x.data(), weight.data());
 
     let flops = 2 * n * o * krows * ncols;
+    // Budget-aware: inside a budgeted experiment cell this sees the cell's
+    // share of the pool, not the whole pool. Chunking is per-sample (no
+    // cross-chunk reduction), so the chunk count is free to vary with the
+    // thread budget without changing bits.
     let chunks = if flops >= PARALLEL_FLOP_THRESHOLD {
-        pool::max_parallelism().min(n)
+        pool::current_parallelism().min(n)
     } else {
         1
     };

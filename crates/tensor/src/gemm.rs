@@ -21,15 +21,23 @@
 //!   fallback. Per output element the k-loop is one sequential FMA chain,
 //!   so the result is bit-identical across backends and tile shapes (see
 //!   the determinism policy in [`crate::simd`]).
-//! * **Cache blocking** — `MC/KC/NC` outer loops keep the packed A block in
-//!   L2 and the packed B panel streaming through L1.
+//! * **Cache blocking** — `mc/KC/nc` outer loops keep the packed A block in
+//!   L2 and the packed B panel streaming through L1. The row/column block
+//!   sizes and the parallel/serial cutoff come from
+//!   [`crate::autotune::plan_gemm`]: measured once per shape class when
+//!   autotuning is on, the static defaults otherwise. The depth block `KC`
+//!   is fixed — tuning it would change accumulation grouping and bits.
 //! * **Adaptive parallelism** — row blocks go through
-//!   [`crate::pool::parallel_for`] when the product is large enough;
-//!   on single-core hosts or small products everything runs inline.
+//!   [`crate::pool::parallel_for`] when the plan says so, sized from the
+//!   calling thread's budget ([`crate::pool::current_parallelism`]), so a
+//!   GEMM inside a budgeted experiment cell only recruits its cell's share
+//!   of the pool; on single-core hosts or small products everything runs
+//!   inline.
 //!
 //! Packing buffers come from [`crate::workspace`], so steady-state calls
 //! allocate nothing.
 
+use crate::autotune;
 use crate::pool;
 use crate::simd::{self, simd_dispatch, SimdF32, LANES};
 use crate::workspace::{self, Slot};
@@ -39,16 +47,11 @@ const MR: usize = 4;
 /// Micro-kernel columns: two 8-lane SIMD vectors per row (8 accumulator
 /// registers total on AVX2, half the register file).
 const NR: usize = 2 * LANES;
-/// Row-block size: one packed `MC x KC` A block (64 KiB) stays L2-resident.
-const MC: usize = 64;
-/// Depth-block size.
+/// Depth-block size. Fixed (never autotuned): splitting k into blocks
+/// stores and re-adds partial products, so the block size participates in
+/// the f32 accumulation order — see the determinism policy in
+/// [`crate::autotune`].
 const KC: usize = 256;
-/// Column-block size: one packed `KC x NC` B block is 256 KiB.
-const NC: usize = 256;
-
-/// Products below this many FLOPs (`2 m n k`) never leave the calling
-/// thread; above it, row blocks are distributed over the pool.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
 
 /// Strides describing how a logical `rows x cols` operand maps onto its
 /// backing slice: element `(i, j)` lives at `i * row_stride + j * col_stride`.
@@ -119,19 +122,27 @@ pub fn gemm(
     // (millions per run would instantly hit the per-thread event cap).
     let _gemm_span = cae_trace::span_stat("gemm");
 
-    let threads = if 2 * m * n * k >= PARALLEL_FLOP_THRESHOLD {
-        pool::max_parallelism()
-    } else {
-        1
-    };
+    // Blocking and the parallel cutoff come from the autotuner, sized
+    // against this thread's budget (its cell's share of the pool, or the
+    // whole pool at top level). While the shape class is warming up the
+    // call itself is the benchmark: time it and feed the sample back.
+    let budget = pool::current_parallelism();
+    let plan = autotune::plan_gemm(m, n, k, budget);
+    let timer = plan.measure.map(|_| std::time::Instant::now());
+    let autotune::GemmConfig {
+        mc: mc_max,
+        nc: nc_max,
+        threads,
+    } = plan.config;
 
     // Unzeroed: `pack_b` overwrites every element of the region the
     // micro-kernel reads (padding included).
-    let mut bbuf = workspace::take_unzeroed(Slot::PackB, n.min(NC).div_ceil(NR) * NR * k.min(KC));
+    let mut bbuf =
+        workspace::take_unzeroed(Slot::PackB, n.min(nc_max).div_ceil(NR) * NR * k.min(KC));
     let cptr = SendPtr(c.as_mut_ptr());
 
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    for jc in (0..n).step_by(nc_max) {
+        let nc = nc_max.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             pack_b(&mut bbuf, b, brs, bcs, pc, kc, jc, nc);
@@ -142,9 +153,9 @@ pub fn gemm(
             // Shrink row blocks when parallel so every thread gets work,
             // but never below one micro-tile.
             let mc_step = if threads > 1 {
-                MC.min(m.div_ceil(threads).next_multiple_of(MR))
+                mc_max.min(m.div_ceil(threads).next_multiple_of(MR))
             } else {
-                MC
+                mc_max
             };
             let blocks = m.div_ceil(mc_step);
             let run = |blk: usize| {
@@ -172,6 +183,9 @@ pub fn gemm(
         }
     }
     workspace::give(Slot::PackB, bbuf);
+    if let (Some(candidate), Some(timer)) = (plan.measure, timer) {
+        autotune::record(m, n, k, budget, candidate, timer.elapsed());
+    }
 }
 
 /// Reference implementation: the seed's naive i-k-j saxpy loop (minus its

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod autograd;
+pub mod autotune;
 pub mod conv;
 pub mod error;
 pub mod gemm;

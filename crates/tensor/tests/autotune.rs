@@ -1,0 +1,142 @@
+//! Autotune cache semantics end-to-end through real [`cae_tensor::gemm`]
+//! calls: winners are measured once per shape class and then cached,
+//! disabling the tuner falls back to the static heuristic, the on-disk
+//! cache short-circuits measurement in a "new process" (simulated via
+//! [`cae_tensor::autotune::reset_for_tests`]), and — the determinism
+//! contract — every candidate, the winner, and the untuned default all
+//! produce bit-identical output.
+
+use cae_tensor::{autotune, gemm::gemm, pool};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: the tuner is process-global and
+/// every test resets it.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A product big enough to tune (`2*96^3 ≈ 2^20.75` FLOPs clears the
+/// min-tune floor) but fast enough to run dozens of times in a test.
+const DIM: usize = 96;
+
+fn fill(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(747796405).wrapping_add(2891336453);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(747796405).wrapping_add(2891336453);
+            (state >> 8) as f32 / (1u32 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+fn run_gemm(a: &[f32], b: &[f32]) -> Vec<u32> {
+    let mut c = vec![0.0f32; DIM * DIM];
+    gemm(DIM, DIM, DIM, a, (DIM, 1), b, (DIM, 1), &mut c, false);
+    c.into_iter().map(f32::to_bits).collect()
+}
+
+#[test]
+fn winner_is_measured_once_and_every_candidate_is_bit_identical() {
+    let _guard = lock();
+    let a = fill(DIM * DIM, 11);
+    let b = fill(DIM * DIM, 23);
+    let budget = pool::max_parallelism();
+
+    // Reference bits from the static heuristic (tuning off).
+    autotune::reset_for_tests(None);
+    autotune::force_autotune(Some(false));
+    let reference = run_gemm(&a, &b);
+
+    // Warm-up phase: every measured candidate must already match the
+    // reference bit-for-bit — determinism may not depend on which config
+    // wins.
+    autotune::force_autotune(Some(true));
+    for call in 0..64 {
+        assert_eq!(
+            run_gemm(&a, &b),
+            reference,
+            "call {call} during measurement diverged from the untuned bits"
+        );
+    }
+    let winner = autotune::winner_for(DIM, DIM, DIM, budget)
+        .expect("64 calls must be enough to decide a winner");
+    assert!(winner.threads <= budget);
+
+    // Once decided, the winner is cached: no further samples are taken.
+    let samples = autotune::timed_samples(DIM, DIM, DIM, budget);
+    assert!(samples > 0);
+    for _ in 0..8 {
+        assert_eq!(run_gemm(&a, &b), reference);
+    }
+    assert_eq!(
+        autotune::timed_samples(DIM, DIM, DIM, budget),
+        samples,
+        "a decided shape class must not be re-measured"
+    );
+
+    // Turning the tuner back off returns the same bits too.
+    autotune::force_autotune(Some(false));
+    assert_eq!(run_gemm(&a, &b), reference);
+    autotune::force_autotune(None);
+}
+
+#[test]
+fn disabling_autotune_skips_measurement_entirely() {
+    let _guard = lock();
+    autotune::reset_for_tests(None);
+    autotune::force_autotune(Some(false));
+    let a = fill(DIM * DIM, 5);
+    let b = fill(DIM * DIM, 9);
+    let budget = pool::max_parallelism();
+    for _ in 0..8 {
+        run_gemm(&a, &b);
+    }
+    assert_eq!(autotune::timed_samples(DIM, DIM, DIM, budget), 0);
+    assert_eq!(autotune::winner_for(DIM, DIM, DIM, budget), None);
+    autotune::force_autotune(None);
+}
+
+#[test]
+fn disk_cache_short_circuits_measurement_after_a_reset() {
+    let _guard = lock();
+    let cache = std::env::temp_dir().join(format!(
+        "cae_autotune_itest_{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache);
+    let a = fill(DIM * DIM, 3);
+    let b = fill(DIM * DIM, 17);
+    let budget = pool::max_parallelism();
+
+    // First "process": measure to a winner, persisting to the temp cache.
+    autotune::reset_for_tests(Some(cache.clone()));
+    autotune::force_autotune(Some(true));
+    for _ in 0..64 {
+        run_gemm(&a, &b);
+        if autotune::winner_for(DIM, DIM, DIM, budget).is_some() {
+            break;
+        }
+    }
+    let winner = autotune::winner_for(DIM, DIM, DIM, budget).expect("winner must be decided");
+    assert!(cache.exists(), "winner must be persisted to the cache file");
+
+    // Second "process": fresh in-process state over the same cache file.
+    // The first plan adopts the disk winner — zero measurement.
+    autotune::reset_for_tests(Some(cache.clone()));
+    run_gemm(&a, &b);
+    assert_eq!(
+        autotune::winner_for(DIM, DIM, DIM, budget),
+        Some(winner),
+        "the disk-cached winner must be adopted verbatim"
+    );
+    assert_eq!(
+        autotune::timed_samples(DIM, DIM, DIM, budget),
+        0,
+        "a disk-cached class must not be re-measured"
+    );
+
+    autotune::force_autotune(None);
+    autotune::reset_for_tests(None);
+    let _ = std::fs::remove_file(&cache);
+}

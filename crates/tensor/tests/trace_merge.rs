@@ -3,16 +3,20 @@
 //! concurrent pool tasks must merge into deterministic totals regardless
 //! of which thread ran which task.
 
-use std::sync::{Mutex, Once};
+use std::sync::Mutex;
 
 /// Forces a multi-worker pool before its `OnceLock` initializes — the
 /// container may expose a single core, which would otherwise run every
-/// task inline on one thread and make this test vacuous.
+/// task inline on one thread and make this test vacuous. Uses the
+/// in-process [`cae_tensor::pool::force_pool_size`] hook: mutating
+/// `CAE_NUM_THREADS` via `std::env::set_var` is racy under the parallel
+/// test harness (and unsound on newer toolchains).
 fn setup() {
-    static INIT: Once = Once::new();
-    INIT.call_once(|| {
-        std::env::set_var("CAE_NUM_THREADS", "4");
-    });
+    let size = cae_tensor::pool::force_pool_size(4);
+    assert!(
+        size >= 2,
+        "the pool must spin up multi-threaded before anything else touches it (got {size})"
+    );
 }
 
 /// Serializes the tests in this binary: `drain()` is process-global, so a
@@ -36,10 +40,6 @@ fn concurrent_counter_and_gauge_writers_merge_deterministically() {
     let trace = cae_trace::drain();
     cae_trace::force_enabled(false);
 
-    assert!(
-        cae_tensor::pool::max_parallelism() >= 2,
-        "CAE_NUM_THREADS=4 must be set before the pool spins up"
-    );
     // Sum 1..=64, independent of the task->thread assignment.
     assert_eq!(trace.counters["merge.count"], (N * (N + 1) / 2) as u64);
     let g = &trace.gauges["merge.gauge"];
