@@ -13,7 +13,7 @@
 //! pass, so a perf regression fails tier-1 the same way a broken test
 //! does.
 
-use cae_bench::compare::{gated_files, Check};
+use cae_bench::compare::{attribute_regression, gated_files, Check};
 use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -92,6 +92,23 @@ fn main() -> ExitCode {
     }
 
     if regressions > 0 {
+        // Attribute before failing: the traces bench_trace leaves behind
+        // (committed baseline vs current run) usually name the span that
+        // slowed down, turning "a number moved" into "this code moved".
+        let base_trace = baseline_dir.join("trace_table02.jsonl");
+        let cur_trace = current_dir.join("trace_table02.jsonl");
+        match attribute_regression(&base_trace, &cur_trace) {
+            Some(rendered) => {
+                eprintln!("trace-diff attribution ({} vs {}):", base_trace.display(), cur_trace.display());
+                eprint!("{rendered}");
+            }
+            None => eprintln!(
+                "no trace-diff attribution: need both {} and {} — run bench_trace, or \
+                 diff two traces by hand with `cae-dfkd trace-diff`",
+                base_trace.display(),
+                cur_trace.display()
+            ),
+        }
         eprintln!("bench_compare: {regressions}/{total} checks regressed");
         ExitCode::FAILURE
     } else {

@@ -58,16 +58,36 @@ fn requests_from_env() -> usize {
 }
 
 fn run_record(name: &str, run: &RunResult) -> Value {
+    // Per-phase percentiles come from the lock-free serve.phase.*
+    // histograms, reset per run by the drivers — queue-wait, batch
+    // assembly, forward and completion handoff, in pipeline order.
+    let phases = run
+        .phases
+        .iter()
+        .map(|p| {
+            Value::Object(vec![
+                ("phase".to_string(), Value::String(p.phase.to_string())),
+                ("count".to_string(), Value::Number(p.count as f64)),
+                ("p50_us".to_string(), Value::Number(p.p50_us as f64)),
+                ("p99_us".to_string(), Value::Number(p.p99_us as f64)),
+            ])
+        })
+        .collect();
     Value::Object(vec![
         ("name".to_string(), Value::String(name.to_string())),
         ("rps".to_string(), Value::Number(run.throughput_rps())),
         ("p50_us".to_string(), Value::Number(run.latency_percentile_us(0.5) as f64)),
         ("p99_us".to_string(), Value::Number(run.latency_percentile_us(0.99) as f64)),
         ("mean_batch".to_string(), Value::Number(run.mean_batch())),
+        ("phases".to_string(), Value::Array(phases)),
     ])
 }
 
 fn main() {
+    // Phase histograms are the source of the per-request latency
+    // decomposition in every record below; recording costs two relaxed
+    // atomic adds per phase sample.
+    cae_trace::metrics::force_enabled(true);
     let budget = budget_from_env("smoke");
     let requests = requests_from_env();
     let preset = ClassificationPreset::C10Sim;
@@ -115,6 +135,9 @@ fn main() {
         sequential.latency_percentile_us(0.5),
         sequential.latency_percentile_us(0.99)
     );
+    if let Some(phases) = sequential.phase_summary() {
+        println!("    phases: {phases}");
+    }
 
     let mut predictions_identical = true;
     let mut config_records = Vec::new();
@@ -136,6 +159,9 @@ fn main() {
             run.latency_percentile_us(0.99),
             run.mean_batch()
         );
+        if let Some(phases) = run.phase_summary() {
+            println!("    phases: {phases}");
+        }
         config_records.push(run_record(config.name, &run));
         let better = best
             .as_ref()

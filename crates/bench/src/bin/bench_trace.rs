@@ -21,9 +21,13 @@ use std::time::Instant;
 
 const CHILD_ENV: &str = "CAE_BENCH_TRACE_CHILD";
 const CHILD_TRACE_ENV: &str = "CAE_BENCH_TRACE_SUMMARY";
+const CHILD_JSONL_ENV: &str = "CAE_BENCH_TRACE_JSONL";
 
 /// Child mode: run table02, write its JSON report to the given path, and —
-/// when tracing is on — the drained trace summary to `CAE_BENCH_TRACE_SUMMARY`.
+/// when tracing is on — the drained trace summary to `CAE_BENCH_TRACE_SUMMARY`
+/// plus the raw span jsonl to `CAE_BENCH_TRACE_JSONL` (the input
+/// `bench_compare`'s trace-diff attribution and `cae-dfkd trace-diff`
+/// consume).
 fn run_child(out_path: &str) {
     let budget = budget_from_env("smoke");
     let report = run_one("table02", &budget);
@@ -33,6 +37,9 @@ fn run_child(out_path: &str) {
         assert!(!trace.is_empty(), "traced run recorded nothing");
         let path = std::env::var(CHILD_TRACE_ENV).expect("trace summary path missing");
         std::fs::write(&path, trace.summary_json()).expect("failed to write trace summary");
+        if let Ok(jsonl_path) = std::env::var(CHILD_JSONL_ENV) {
+            std::fs::write(&jsonl_path, trace.to_jsonl()).expect("failed to write raw trace");
+        }
     }
 }
 
@@ -42,13 +49,19 @@ struct Outcome {
     report_json: String,
 }
 
-fn run_config(mode: &'static str, trace: &str, summary_path: &std::path::Path) -> Outcome {
+fn run_config(
+    mode: &'static str,
+    trace: &str,
+    summary_path: &std::path::Path,
+    jsonl_path: &std::path::Path,
+) -> Outcome {
     let exe = std::env::current_exe().expect("current_exe");
     let out = std::env::temp_dir().join(format!("cae_bench_trace_{mode}.json"));
     let started = Instant::now();
     let status = Command::new(&exe)
         .env(CHILD_ENV, out.display().to_string())
         .env(CHILD_TRACE_ENV, summary_path.display().to_string())
+        .env(CHILD_JSONL_ENV, jsonl_path.display().to_string())
         .env("CAE_TRACE", trace)
         .status()
         .expect("failed to spawn child");
@@ -67,10 +80,11 @@ fn main() {
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let summary_path = std::path::Path::new(root).join("TRACE_table02.json");
+    let jsonl_path = std::path::Path::new(root).join("trace_table02.jsonl");
     println!("timing table02 with tracing disabled vs enabled ...");
-    let disabled = run_config("disabled", "0", &summary_path);
+    let disabled = run_config("disabled", "0", &summary_path, &jsonl_path);
     println!("  CAE_TRACE=0: {:.1}s", disabled.seconds);
-    let enabled = run_config("enabled", "1", &summary_path);
+    let enabled = run_config("enabled", "1", &summary_path, &jsonl_path);
     println!("  CAE_TRACE=1: {:.1}s", enabled.seconds);
 
     let identical = disabled.report_json == enabled.report_json;
@@ -96,6 +110,10 @@ fn main() {
         (
             "trace_summary".to_string(),
             Value::String("TRACE_table02.json".to_string()),
+        ),
+        (
+            "trace_jsonl".to_string(),
+            Value::String("trace_table02.jsonl".to_string()),
         ),
     ]))
     .expect("benchmark record always serializes");

@@ -404,6 +404,26 @@ pub fn compare_serve(current: &Value, baseline: &Value) -> Result<Vec<Check>, Co
     Ok(checks)
 }
 
+/// Best-effort regression attribution: aligns a committed baseline trace
+/// against the current run's trace (`trace_table02.jsonl`, written by
+/// `bench_trace`) by span name and renders the per-span self-time deltas
+/// sorted by contribution — the `cae-dfkd trace-diff` view, produced
+/// in-process so the gate's failure output already names the span that
+/// slowed down.
+///
+/// Attribution never gates: a missing or unparseable trace on either side
+/// returns `None` and the numeric checks stand on their own.
+pub fn attribute_regression(
+    baseline_jsonl: &std::path::Path,
+    current_jsonl: &std::path::Path,
+) -> Option<String> {
+    let base = std::fs::read_to_string(baseline_jsonl).ok()?;
+    let cur = std::fs::read_to_string(current_jsonl).ok()?;
+    let base = cae_trace::profile::Profile::from_jsonl(&base).ok()?;
+    let cur = cae_trace::profile::Profile::from_jsonl(&cur).ok()?;
+    Some(cae_trace::profile::diff(&base, &cur).render(10))
+}
+
 /// A per-file comparison function: `(current, baseline) -> checks`.
 pub type CompareFn = fn(&Value, &Value) -> Result<Vec<Check>, CompareError>;
 
@@ -680,6 +700,38 @@ mod tests {
         }"#);
         let err = compare_serve(&no_int8, &v(SERVE)).expect_err("missing int8 block");
         assert!(err.to_string().contains("int8"));
+    }
+
+    #[test]
+    fn attribution_names_the_slowed_span_and_never_gates() {
+        let dir = std::env::temp_dir().join(format!("cae_attrib_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let base = dir.join("base.jsonl");
+        let cur = dir.join("cur.jsonl");
+        std::fs::write(
+            &base,
+            "{\"name\":\"experiment\",\"id\":1,\"parent\":null,\"thread\":0,\"start_ns\":0,\"dur_ns\":3000}\n\
+             {\"name\":\"trainer.step\",\"id\":2,\"parent\":1,\"thread\":0,\"start_ns\":100,\"dur_ns\":1000}\n",
+        )
+        .expect("write base");
+        std::fs::write(
+            &cur,
+            "{\"name\":\"experiment\",\"id\":1,\"parent\":null,\"thread\":0,\"start_ns\":0,\"dur_ns\":5000}\n\
+             {\"name\":\"trainer.step\",\"id\":2,\"parent\":1,\"thread\":0,\"start_ns\":100,\"dur_ns\":3000}\n",
+        )
+        .expect("write cur");
+
+        let rendered = attribute_regression(&base, &cur).expect("both traces parse");
+        assert!(
+            rendered.contains("top-delta span: trainer.step"),
+            "attribution must name the slowed span:\n{rendered}"
+        );
+
+        // Missing or garbage traces degrade to None, never to an error.
+        assert!(attribute_regression(&dir.join("absent.jsonl"), &cur).is_none());
+        std::fs::write(&base, "not json at all").expect("write garbage");
+        assert!(attribute_regression(&base, &cur).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -212,6 +212,10 @@ pub struct Config {
     pub trace_max_events: usize,
     /// Per-thread series event cap (`CAE_TRACE_SERIES_CAP`).
     pub trace_series_cap: usize,
+    /// Periodic metrics-exporter interval (`CAE_METRICS_INTERVAL_MS`);
+    /// `None` disables the exporter (histograms still record under
+    /// `CAE_TRACE`).
+    pub metrics_interval_ms: Option<u64>,
     /// Cell-level experiment parallelism (`CAE_CELL_PARALLEL`).
     pub cell_parallel: bool,
     /// Failed-cell retry count (`CAE_CELL_RETRIES`).
@@ -281,6 +285,7 @@ impl Config {
             trace: cae_trace::enabled(),
             trace_max_events: cae_trace::event_cap(),
             trace_series_cap: cae_trace::series_cap(),
+            metrics_interval_ms: cae_trace::metrics::interval_ms(),
             cell_parallel: match std::env::var("CAE_CELL_PARALLEL") {
                 Ok(v) => !crate::experiments::scheduler::parallelism_disabled_by(&v),
                 Err(_) => true,
@@ -315,6 +320,7 @@ impl Config {
             ConfigEntry { var: "CAE_TRACE", values: "bool (`1`/`true`/`on`/`yes` enable)", default: "off", doc: "In-process tracing: spans, counters, gauges, series." },
             ConfigEntry { var: "CAE_TRACE_MAX_EVENTS", values: "integer ≥ 1", default: "65536", doc: "Per-thread span/counter event cap; excess is dropped and flagged." },
             ConfigEntry { var: "CAE_TRACE_SERIES_CAP", values: "integer ≥ 1", default: "65536", doc: "Per-thread series event cap." },
+            ConfigEntry { var: "CAE_METRICS_INTERVAL_MS", values: "integer ≥ 1", default: "off", doc: "Periodic in-process metrics exporter: snapshot the latency histograms to `METRICS_*.json`/`metrics_*.prom` every N ms (also turns metric recording on)." },
             ConfigEntry { var: "CAE_CELL_PARALLEL", values: "bool (off-tokens disable)", default: "on", doc: "Fan experiment cells out across the pool; off runs cells serially with kernel parallelism inside each." },
             ConfigEntry { var: "CAE_CELL_THREAD_BUDGET", values: "integer ≥ 1", default: "ceil(pool / cells)", doc: "Pool threads each parallel cell's kernels may recruit; the default gives surplus workers to cells when cells are scarcer than threads." },
             ConfigEntry { var: "CAE_CELL_RETRIES", values: "integer ≥ 0", default: "0", doc: "Re-runs of a panicked cell (identical derived seed, so recovery is byte-identical)." },
@@ -355,6 +361,11 @@ impl Config {
             ("CAE_TRACE", self.trace.to_string()),
             ("CAE_TRACE_MAX_EVENTS", self.trace_max_events.to_string()),
             ("CAE_TRACE_SERIES_CAP", self.trace_series_cap.to_string()),
+            (
+                "CAE_METRICS_INTERVAL_MS",
+                self.metrics_interval_ms
+                    .map_or_else(|| "<unset>".to_owned(), |n| n.to_string()),
+            ),
             ("CAE_CELL_PARALLEL", self.cell_parallel.to_string()),
             (
                 "CAE_CELL_THREAD_BUDGET",

@@ -10,8 +10,55 @@ use crate::server::{Prediction, ServeOptions, Server, Ticket};
 use cae_nn::infer::FrozenClassifier;
 use cae_tensor::rng::TensorRng;
 use cae_tensor::Tensor;
+use cae_trace::metrics;
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
+
+/// The four per-request phases, in pipeline order, paired with their
+/// histogram names. The drivers read percentiles back out of these
+/// histograms — not out of the raw predictions — so the reported p50/p99
+/// are exactly what the live exposition layer would publish.
+pub const PHASE_HISTOGRAMS: [(&str, &str); 4] = [
+    ("queue_wait", "serve.phase.queue_wait"),
+    ("assembly", "serve.phase.assembly"),
+    ("forward", "serve.phase.forward"),
+    ("handoff", "serve.phase.handoff"),
+];
+
+/// Histogram-derived p50/p99 for one serve phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Short phase name (`queue_wait`, `assembly`, `forward`, `handoff`).
+    pub phase: &'static str,
+    /// Samples recorded (= requests served while metrics were on).
+    pub count: u64,
+    /// Median, µs (log2-bucket resolution).
+    pub p50_us: u64,
+    /// 99th percentile, µs (log2-bucket resolution).
+    pub p99_us: u64,
+}
+
+/// Reads the current `serve.phase.*` histogram contents as per-phase
+/// stats, pipeline order. Empty when metrics recording is disabled (the
+/// histograms then hold no samples).
+pub fn phase_stats_from_metrics() -> Vec<PhaseStats> {
+    let snap = metrics::snapshot();
+    PHASE_HISTOGRAMS
+        .iter()
+        .filter_map(|&(phase, hist_name)| {
+            let h = snap.histogram(hist_name)?;
+            if h.count == 0 {
+                return None;
+            }
+            Some(PhaseStats {
+                phase,
+                count: h.count,
+                p50_us: h.p50_ns() / 1_000,
+                p99_us: h.p99_ns() / 1_000,
+            })
+        })
+        .collect()
+}
 
 /// A reproducible sequence of single-image requests: request `i` is a
 /// pure function of `(seed, i)`, so every run over the same trace serves
@@ -53,6 +100,9 @@ pub struct RunResult {
     pub predictions: Vec<Prediction>,
     /// Wall-clock seconds from first submission to last completion.
     pub seconds: f64,
+    /// Histogram-derived per-phase p50/p99 for this run (the drivers
+    /// reset the histograms at start). Empty when metrics are disabled.
+    pub phases: Vec<PhaseStats>,
 }
 
 impl RunResult {
@@ -81,6 +131,21 @@ impl RunResult {
         let total: usize = self.predictions.iter().map(|p| p.batch_size).sum();
         total as f64 / self.predictions.len() as f64
     }
+
+    /// One-line per-phase summary for console output, `None` when no
+    /// phase histograms were populated (metrics disabled).
+    pub fn phase_summary(&self) -> Option<String> {
+        if self.phases.is_empty() {
+            return None;
+        }
+        Some(
+            self.phases
+                .iter()
+                .map(|p| format!("{} p50 {}us p99 {}us", p.phase, p.p50_us, p.p99_us))
+                .collect::<Vec<String>>()
+                .join(" | "),
+        )
+    }
 }
 
 fn sorted_by_id(mut predictions: Vec<Prediction>) -> Vec<Prediction> {
@@ -93,6 +158,9 @@ fn sorted_by_id(mut predictions: Vec<Prediction>) -> Vec<Prediction> {
 /// batched-speedup acceptance gate compares against — it pays the full
 /// queue/handoff overhead per request and can never batch.
 pub fn run_closed_loop(model: FrozenClassifier, opts: ServeOptions, trace: &RequestTrace) -> RunResult {
+    // Per-run phase percentiles: clear whatever a previous run left in
+    // the (process-cumulative) histograms.
+    metrics::reset();
     let server = Server::start(model, opts);
     let started = Instant::now();
     let predictions = (0..trace.len())
@@ -100,7 +168,11 @@ pub fn run_closed_loop(model: FrozenClassifier, opts: ServeOptions, trace: &Requ
         .collect();
     let seconds = started.elapsed().as_secs_f64();
     server.shutdown();
-    RunResult { predictions: sorted_by_id(predictions), seconds }
+    RunResult {
+        predictions: sorted_by_id(predictions),
+        seconds,
+        phases: phase_stats_from_metrics(),
+    }
 }
 
 /// Open-loop driver: `clients` concurrent submitters flood the queue
@@ -114,6 +186,7 @@ pub fn run_open_loop(
     clients: usize,
 ) -> RunResult {
     assert!(clients >= 1, "at least one client required");
+    metrics::reset();
     let server = Server::start(model, opts);
     let collected: Mutex<Vec<Prediction>> = Mutex::new(Vec::with_capacity(trace.len()));
     let started = Instant::now();
@@ -137,7 +210,11 @@ pub fn run_open_loop(
     let seconds = started.elapsed().as_secs_f64();
     server.shutdown();
     let predictions = collected.into_inner().unwrap_or_else(PoisonError::into_inner);
-    RunResult { predictions: sorted_by_id(predictions), seconds }
+    RunResult {
+        predictions: sorted_by_id(predictions),
+        seconds,
+        phases: phase_stats_from_metrics(),
+    }
 }
 
 /// Renders predictions as a byte-stable log: one `id argmax logit-bits…`
@@ -208,16 +285,53 @@ mod tests {
             logits: vec![0.0],
             latency_us,
             batch_size: 1,
+            phases: Default::default(),
         };
         let run = RunResult {
             predictions: (1..=100).map(mk).collect(),
             seconds: 1.0,
+            phases: Vec::new(),
         };
         assert_eq!(run.latency_percentile_us(0.0), 1);
         assert_eq!(run.latency_percentile_us(0.5), 51);
         assert_eq!(run.latency_percentile_us(0.99), 99);
         assert_eq!(run.latency_percentile_us(1.0), 100);
         assert!((run.throughput_rps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_stats_come_from_the_histograms() {
+        // Force metrics on for this run: the driver's phases must be the
+        // histogram-derived view, one entry per pipeline phase.
+        metrics::force_enabled(true);
+        let trace = RequestTrace::synthetic(16, 2, 5, 23);
+        let run = run_open_loop(
+            tiny_model(),
+            ServeOptions::default().with_max_batch(4).with_max_latency_us(1000),
+            &trace,
+            2,
+        );
+        metrics::reset_to_env();
+        // Concurrent tests may interleave their own serve runs (and their
+        // drivers reset the shared histograms), so require presence and
+        // ordering rather than exact counts.
+        assert!(!run.phases.is_empty(), "metrics were on, phases must be populated");
+        let names: Vec<&str> = run.phases.iter().map(|p| p.phase).collect();
+        for name in &names {
+            assert!(
+                PHASE_HISTOGRAMS.iter().any(|(phase, _)| phase == name),
+                "unknown phase {name}"
+            );
+        }
+        for p in &run.phases {
+            assert!(p.p50_us <= p.p99_us, "p50 must not exceed p99");
+        }
+        let summary = run.phase_summary().expect("phases present");
+        assert!(summary.contains("p50"));
+        assert!(summary.contains("p99"));
+        // Disabled metrics ⇒ empty phases ⇒ no summary line.
+        let empty = RunResult { predictions: Vec::new(), seconds: 1.0, phases: Vec::new() };
+        assert!(empty.phase_summary().is_none());
     }
 
     #[test]
@@ -228,6 +342,7 @@ mod tests {
             logits: vec![logit],
             latency_us: 5,
             batch_size: 2,
+            phases: Default::default(),
         };
         let log = prediction_log(&[p(2, 1.5), p(0, -0.25), p(1, 0.0)]);
         let lines: Vec<&str> = log.lines().collect();

@@ -25,9 +25,19 @@
 //!
 //! Runtime knobs come from the `CAE_SERVE_*` entries of
 //! [`cae_core::config::Config`] via [`ServeOptions::from_config`].
+//!
+//! Every prediction carries a [`PhaseBreakdown`] decomposing its
+//! server-side latency into queue-wait, batch-assembly, forward and
+//! completion-handoff; when metrics recording is on
+//! ([`cae_trace::metrics`]) the same durations feed the lock-free
+//! `serve.phase.*` histograms, from which the bench harnesses derive
+//! per-phase p50/p99 ([`bench::PhaseStats`]).
 
 pub mod bench;
 pub mod server;
 
-pub use bench::{prediction_log, run_closed_loop, run_open_loop, RequestTrace, RunResult};
-pub use server::{Prediction, ServeOptions, ServeSummary, Server, Ticket};
+pub use bench::{
+    phase_stats_from_metrics, prediction_log, run_closed_loop, run_open_loop, PhaseStats,
+    RequestTrace, RunResult, PHASE_HISTOGRAMS,
+};
+pub use server::{PhaseBreakdown, Prediction, ServeOptions, ServeSummary, Server, Ticket};

@@ -34,6 +34,7 @@
 
 use cae_nn::infer::FrozenClassifier;
 use cae_tensor::Tensor;
+use cae_trace::metrics::{histogram, Histogram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -90,6 +91,24 @@ impl ServeOptions {
     }
 }
 
+/// Where one request's server-side latency went, phase by phase. Carried
+/// on every [`Prediction`] (the timestamps are free — the worker already
+/// holds them) so bench harnesses can report per-phase percentiles even
+/// with metrics recording off; when metrics are on the same durations
+/// also land in the `serve.phase.*` histograms for live exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// Enqueue until the dispatching worker drained this request.
+    pub queue_wait_us: u64,
+    /// Drain until the batched forward started (gathering rows, concat).
+    pub assembly_us: u64,
+    /// The batched forward itself (shared by every request in the batch).
+    pub forward_us: u64,
+    /// Forward completion until this request's result slot was filled
+    /// (row extraction, argmax, slot handoff).
+    pub handoff_us: u64,
+}
+
 /// One completed request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
@@ -103,6 +122,8 @@ pub struct Prediction {
     pub latency_us: u64,
     /// Size of the batch this request was served in.
     pub batch_size: usize,
+    /// Per-phase latency decomposition.
+    pub phases: PhaseBreakdown,
 }
 
 /// One-shot result cell: the worker fills it, the client waits on it.
@@ -122,6 +143,32 @@ struct Pending {
 struct QueueState {
     queue: VecDeque<Pending>,
     open: bool,
+    /// Deepest the queue has been since the last batch drain. Sampling
+    /// the depth gauge only at enqueue/dequeue misses bursts that arrive
+    /// and drain between two samples; the high-water mark per batch
+    /// window is what capacity planning actually needs.
+    high_water: usize,
+}
+
+/// `&'static` handles into the `serve.phase.*` latency histograms, looked
+/// up once at server start so workers record without touching the
+/// registry lock.
+struct PhaseHistograms {
+    queue_wait: &'static Histogram,
+    assembly: &'static Histogram,
+    forward: &'static Histogram,
+    handoff: &'static Histogram,
+}
+
+impl PhaseHistograms {
+    fn intern() -> PhaseHistograms {
+        PhaseHistograms {
+            queue_wait: histogram("serve.phase.queue_wait"),
+            assembly: histogram("serve.phase.assembly"),
+            forward: histogram("serve.phase.forward"),
+            handoff: histogram("serve.phase.handoff"),
+        }
+    }
 }
 
 struct Shared {
@@ -132,6 +179,7 @@ struct Shared {
     model: FrozenClassifier,
     batches: AtomicU64,
     served: AtomicU64,
+    phase_hists: PhaseHistograms,
 }
 
 /// A claim on one submitted request's eventual [`Prediction`].
@@ -176,13 +224,14 @@ impl Server {
         assert!(opts.workers >= 1, "at least one worker required");
         assert!(opts.queue_cap >= 1, "queue capacity must be at least 1");
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState { queue: VecDeque::new(), open: true }),
+            state: Mutex::new(QueueState { queue: VecDeque::new(), open: true, high_water: 0 }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             opts,
             model,
             batches: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            phase_hists: PhaseHistograms::intern(),
         });
         let workers = (0..opts.workers)
             .map(|i| {
@@ -219,6 +268,7 @@ impl Server {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         state.queue.push_back(pending);
+        state.high_water = state.high_water.max(state.queue.len());
         cae_trace::gauge("serve.queue_depth", state.queue.len() as f64);
         drop(state);
         self.shared.not_empty.notify_all();
@@ -249,9 +299,10 @@ impl Server {
     }
 }
 
-/// Waits for a dispatchable batch and drains it, or returns `None` when
-/// the server is shut down and the queue is empty.
-fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
+/// Waits for a dispatchable batch and drains it (returning the drain
+/// instant, which anchors the per-request phase decomposition), or
+/// returns `None` when the server is shut down and the queue is empty.
+fn next_batch(shared: &Shared) -> Option<(Vec<Pending>, Instant)> {
     let opts = &shared.opts;
     let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
@@ -285,23 +336,34 @@ fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
     }
     let n = opts.max_batch.min(state.queue.len());
     let batch: Vec<Pending> = state.queue.drain(..n).collect();
+    let drained_at = Instant::now();
     cae_trace::gauge("serve.queue_depth", state.queue.len() as f64);
+    cae_trace::gauge("serve.queue_high_water", state.high_water as f64);
+    state.high_water = state.queue.len();
     drop(state);
     shared.not_full.notify_all();
-    Some(batch)
+    Some((batch, drained_at))
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(batch) = next_batch(shared) {
+    while let Some((batch, drained_at)) = next_batch(shared) {
         let batch_index = shared.batches.fetch_add(1, Ordering::Relaxed);
         cae_trace::series("serve.batch_size", batch_index, batch.len() as f64);
+        // Assembly: everything between draining the queue and launching
+        // the batched forward (gathering image refs, the dim-0 concat).
+        let input = {
+            let images: Vec<&Tensor> = batch.iter().map(|p| &p.image).collect();
+            Tensor::concat0(&images)
+        };
+        let forward_start = Instant::now();
         let logits = {
             let _stat = cae_trace::span_stat("serve.forward");
-            let images: Vec<&Tensor> = batch.iter().map(|p| &p.image).collect();
-            shared.model.forward(&Tensor::concat0(&images))
+            shared.model.forward(&input)
         };
+        let forward_end = Instant::now();
+        let assembly_ns = forward_start.duration_since(drained_at).as_nanos() as u64;
+        let forward_ns = forward_end.duration_since(forward_start).as_nanos() as u64;
         let classes = logits.shape().dims()[1];
-        let done = Instant::now();
         for (row, pending) in batch.iter().enumerate() {
             let row_logits = logits.data()[row * classes..(row + 1) * classes].to_vec();
             let argmax = row_logits
@@ -310,12 +372,27 @@ fn worker_loop(shared: &Shared) {
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("logits row is non-empty");
+            let queue_wait_ns = drained_at.duration_since(pending.enqueued).as_nanos() as u64;
+            // Handoff ends here, just before the slot fills: the row
+            // extraction and argmax above are this request's share of
+            // completion work.
+            let handoff_ns = forward_end.elapsed().as_nanos() as u64;
+            shared.phase_hists.queue_wait.record_ns(queue_wait_ns);
+            shared.phase_hists.assembly.record_ns(assembly_ns);
+            shared.phase_hists.forward.record_ns(forward_ns);
+            shared.phase_hists.handoff.record_ns(handoff_ns);
             let prediction = Prediction {
                 id: pending.id,
                 argmax,
                 logits: row_logits,
-                latency_us: done.duration_since(pending.enqueued).as_micros() as u64,
+                latency_us: forward_end.duration_since(pending.enqueued).as_micros() as u64,
                 batch_size: batch.len(),
+                phases: PhaseBreakdown {
+                    queue_wait_us: queue_wait_ns / 1_000,
+                    assembly_us: assembly_ns / 1_000,
+                    forward_us: forward_ns / 1_000,
+                    handoff_us: handoff_ns / 1_000,
+                },
             };
             let mut ready = pending
                 .slot
@@ -414,6 +491,55 @@ mod tests {
             }
         }
         single_server.shutdown();
+    }
+
+    #[test]
+    fn queue_high_water_mark_sees_bursts_the_depth_gauge_misses() {
+        // Serialize against other tests toggling the global trace state.
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _l = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        cae_trace::force_enabled(true);
+        let _ = cae_trace::drain();
+        // A far-off latency cutoff parks all five requests; shutdown then
+        // drains them in one batch, so dequeue-time depth sampling sees
+        // only 0 — the high-water gauge must still report the burst of 5.
+        let opts = ServeOptions::default().with_max_batch(64).with_max_latency_us(60_000_000);
+        let server = Server::start(tiny_model(), opts);
+        let tickets: Vec<Ticket> = (0..5).map(|i| server.submit(i, image(i))).collect();
+        server.shutdown();
+        for t in tickets {
+            t.wait();
+        }
+        let trace = cae_trace::drain();
+        cae_trace::reset_to_env();
+        // Other concurrently-running tests may also emit serve gauges (the
+        // whole suite runs under CAE_TRACE=1 in tier1), so assert the burst
+        // is visible rather than demanding exact ownership of the trace.
+        let high_water = trace.gauges["serve.queue_high_water"];
+        assert!(high_water.max >= 5.0, "the full burst must be visible, got {}", high_water.max);
+        let depth = trace.gauges["serve.queue_depth"];
+        assert!(depth.count > 0, "depth gauge still sampled at enqueue/dequeue");
+    }
+
+    #[test]
+    fn phase_breakdown_is_carried_on_every_prediction() {
+        let opts = ServeOptions::default().with_max_batch(4).with_max_latency_us(500);
+        let server = Server::start(tiny_model(), opts);
+        let tickets: Vec<Ticket> = (0..8).map(|i| server.submit(i, image(i))).collect();
+        for t in tickets {
+            let p = t.wait();
+            let ph = p.phases;
+            // Phases partition enqueue→fulfillment, so their sum can't
+            // exceed the end-to-end latency by more than handoff (which
+            // extends past the latency stamp) plus rounding.
+            let partial = ph.queue_wait_us + ph.assembly_us + ph.forward_us;
+            assert!(
+                partial <= p.latency_us + 4,
+                "queue+assembly+forward ({partial}us) exceeds total latency ({}us)",
+                p.latency_us
+            );
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! (`TRACE_<stem>.json`) next to the experiment report JSONs.
 
 pub mod health;
+pub mod metrics;
 pub mod profile;
 
 use std::cell::RefCell;
@@ -76,7 +77,7 @@ const STATE_ON: u8 = 2;
 
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 
-fn env_wants_tracing() -> bool {
+pub(crate) fn env_wants_tracing() -> bool {
     match std::env::var("CAE_TRACE") {
         Ok(v) => matches!(
             v.trim().to_ascii_lowercase().as_str(),
@@ -487,6 +488,37 @@ pub fn series_snapshot() -> Vec<SeriesEvent> {
     out
 }
 
+/// Clones every thread's counter totals and gauge statistics without
+/// clearing anything (the counters/gauges analogue of [`series_snapshot`]).
+/// The metrics exposition layer ([`metrics::snapshot`]) reads through this
+/// so a periodic exporter never steals events from the final [`drain`].
+pub fn aggregates_snapshot() -> (
+    BTreeMap<&'static str, u64>,
+    BTreeMap<&'static str, GaugeStat>,
+) {
+    let buffers: Vec<Arc<ThreadBuf>> = buffers()
+        .lock()
+        .expect("trace buffer registry poisoned")
+        .clone();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<&'static str, GaugeStat> = BTreeMap::new();
+    for buf in buffers {
+        let inner = buf.inner.lock().expect("trace thread buffer poisoned");
+        for (&name, total) in &inner.counters {
+            *counters.entry(name).or_insert(0) += total;
+        }
+        for (&name, stat) in &inner.gauges {
+            match gauges.entry(name) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(stat),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(*stat);
+                }
+            }
+        }
+    }
+    (counters, gauges)
+}
+
 /// Guard returned by [`span_stat`]; on drop it records the interval into
 /// the aggregated per-name span statistics only — no raw event, no parent
 /// stack. Safe for sites called millions of times per run.
@@ -711,7 +743,7 @@ fn tag_value_json(v: &TagValue, out: &mut String) {
 
 /// Writes an `f64` as JSON: `null` for non-finite values (NaN/Inf have no
 /// JSON representation), the shortest round-trip form otherwise.
-fn json_f64(value: f64, out: &mut String) {
+pub(crate) fn json_f64(value: f64, out: &mut String) {
     if value.is_finite() {
         let _ = write!(out, "{value}");
     } else {
@@ -879,14 +911,21 @@ impl Trace {
     }
 }
 
+/// Serializes tests (across this crate's modules) that toggle the global
+/// enablement state or reset shared registries.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// Serializes tests that toggle the global enablement state.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        test_lock()
     }
 
     #[test]

@@ -422,6 +422,146 @@ impl Profile {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Trace diff: regression attribution
+// ---------------------------------------------------------------------------
+
+/// One span name's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRow {
+    /// Span name (present in either profile).
+    pub name: String,
+    /// Baseline aggregates (zeroed when the span is new).
+    pub base: NameProfile,
+    /// Current aggregates (zeroed when the span disappeared).
+    pub cur: NameProfile,
+    /// Current minus baseline summed self time, nanoseconds (positive =
+    /// the span got slower).
+    pub delta_self_ns: i64,
+    /// Current minus baseline summed total time, nanoseconds.
+    pub delta_total_ns: i64,
+}
+
+/// A name-aligned comparison of two profiles, rows sorted by absolute
+/// self-time delta (largest contribution first, names breaking ties).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// Per-name rows, contribution order.
+    pub rows: Vec<DiffRow>,
+    /// Summed self time across the baseline profile, nanoseconds.
+    pub base_self_ns: u64,
+    /// Summed self time across the current profile, nanoseconds.
+    pub cur_self_ns: u64,
+}
+
+/// Aligns two span trees by name and reports per-span self-time deltas:
+/// the attribution step behind `cae-dfkd trace-diff` and the bench gate's
+/// regression output. Spans appearing in only one profile compare against
+/// zero, so added or removed phases surface as whole-size deltas.
+pub fn diff(baseline: &Profile, current: &Profile) -> TraceDiff {
+    let mut names: Vec<&String> = baseline.stats.keys().collect();
+    names.extend(current.stats.keys());
+    names.sort();
+    names.dedup();
+    let mut rows: Vec<DiffRow> = names
+        .into_iter()
+        .map(|name| {
+            let base = baseline.stats.get(name).copied().unwrap_or_default();
+            let cur = current.stats.get(name).copied().unwrap_or_default();
+            DiffRow {
+                name: name.clone(),
+                base,
+                cur,
+                delta_self_ns: cur.self_ns as i64 - base.self_ns as i64,
+                delta_total_ns: cur.total_ns as i64 - base.total_ns as i64,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.delta_self_ns
+            .unsigned_abs()
+            .cmp(&a.delta_self_ns.unsigned_abs())
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    TraceDiff {
+        rows,
+        base_self_ns: baseline.stats.values().map(|s| s.self_ns).sum(),
+        cur_self_ns: current.stats.values().map(|s| s.self_ns).sum(),
+    }
+}
+
+impl TraceDiff {
+    /// The span that got slower by the most self time — the "guilty span"
+    /// a regression report should name. `None` when nothing slowed down.
+    pub fn top_regression(&self) -> Option<&DiffRow> {
+        // Rows are contribution-ordered, so the first positive delta is
+        // the largest one.
+        self.rows.iter().find(|r| r.delta_self_ns > 0)
+    }
+
+    /// Renders up to `limit` rows as a fixed-width table (delta, percent
+    /// of the total absolute delta, counts) with a summary footer.
+    pub fn render(&self, limit: usize) -> String {
+        let total_abs: u64 = self.rows.iter().map(|r| r.delta_self_ns.unsigned_abs()).sum();
+        let shown = self.rows.iter().take(limit);
+        let name_w = shown
+            .clone()
+            .map(|r| r.name.len())
+            .chain(std::iter::once("span".len()))
+            .max()
+            .unwrap_or(4)
+            + 2;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:name_w$}{:>14}{:>14}{:>14}{:>8}{:>14}",
+            "span", "base_self_ms", "cur_self_ms", "delta_ms", "share%", "count"
+        );
+        for r in shown {
+            let share = if total_abs > 0 {
+                r.delta_self_ns.unsigned_abs() as f64 / total_abs as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:name_w$}{:>14.3}{:>14.3}{:>+14.3}{:>8.1}{:>14}",
+                r.name,
+                r.base.self_ns as f64 / 1e6,
+                r.cur.self_ns as f64 / 1e6,
+                r.delta_self_ns as f64 / 1e6,
+                share,
+                format!("{}->{}", r.base.count, r.cur.count),
+            );
+        }
+        if self.rows.len() > limit {
+            let _ = writeln!(out, "... {} more spans elided", self.rows.len() - limit);
+        }
+        let delta = self.cur_self_ns as i64 - self.base_self_ns as i64;
+        let _ = writeln!(
+            out,
+            "total self time: {:.3}ms -> {:.3}ms ({:+.3}ms)",
+            self.base_self_ns as f64 / 1e6,
+            self.cur_self_ns as f64 / 1e6,
+            delta as f64 / 1e6,
+        );
+        match self.top_regression() {
+            Some(top) => {
+                let _ = writeln!(
+                    out,
+                    "top-delta span: {} ({:+.3}ms self)",
+                    top.name,
+                    top.delta_self_ns as f64 / 1e6,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "top-delta span: none (no span got slower)");
+            }
+        }
+        out
+    }
+}
+
 /// Nearest-rank percentile over an ascending-sorted slice.
 fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
     if sorted.is_empty() {
@@ -752,6 +892,106 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("readable");
         assert_eq!(text, p.folded());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_trace_produces_an_empty_but_renderable_profile() {
+        for p in [
+            Profile::from_spans(Vec::new()),
+            Profile::from_jsonl("").expect("empty jsonl parses"),
+            Profile::from_trace(&Trace::default()),
+        ] {
+            assert!(p.nodes.is_empty());
+            assert!(p.roots.is_empty());
+            assert!(p.stats.is_empty());
+            assert!(p.critical_path().is_empty());
+            assert_eq!(p.experiment_coverage(), None);
+            assert_eq!(p.folded(), "");
+            // The table must still render (header only, no footers) rather
+            // than panic on empty aggregates.
+            let table = p.self_time_table();
+            assert!(table.starts_with("span"));
+            assert!(!table.contains("self-time coverage"));
+            assert!(!table.contains("critical path"));
+        }
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_the_sample() {
+        let p = Profile::from_spans(vec![span("solo", 1, None, 0, 777)]);
+        let st = &p.stats["solo"];
+        assert_eq!(st.count, 1);
+        assert_eq!(st.p50_ns, 777);
+        assert_eq!(st.p95_ns, 777, "one sample is every percentile");
+        assert_eq!(st.total_ns, 777);
+        assert_eq!(st.self_ns, 777);
+    }
+
+    #[test]
+    fn missing_root_from_truncated_jsonl_still_profiles() {
+        // A truncated file lost the experiment root (id 1): every child
+        // whose parent is absent becomes its own root, the critical path
+        // falls back to the heaviest surviving root, and coverage (which
+        // is defined against the experiment span) reports absence.
+        let jsonl = "\
+            {\"name\":\"scheduler.cell\",\"id\":2,\"parent\":1,\"thread\":0,\"start_ns\":10,\"dur_ns\":600}\n\
+            {\"name\":\"trainer.step\",\"id\":3,\"parent\":2,\"thread\":0,\"start_ns\":20,\"dur_ns\":200}\n\
+            {\"name\":\"scheduler.cell\",\"id\":4,\"parent\":1,\"thread\":0,\"start_ns\":620,\"dur_ns\":250}\n";
+        let p = Profile::from_jsonl(jsonl).expect("parses");
+        assert_eq!(p.roots.len(), 2, "both orphaned cells become roots");
+        assert!(p.experiment_root().is_none());
+        assert_eq!(p.experiment_coverage(), None);
+        let path = p.critical_path();
+        let names: Vec<&str> = path.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["scheduler.cell", "trainer.step"]);
+        // The intact subtree still has exact self times.
+        assert_eq!(p.stats["scheduler.cell"].self_ns, (600 - 200) + 250);
+    }
+
+    #[test]
+    fn diff_aligns_by_name_and_sorts_by_contribution() {
+        let base = Profile::from_spans(sample_spans());
+        // Current run: the step got 300ns slower, one cell shrank by
+        // 50ns, and a new span appeared.
+        let cur = Profile::from_spans(vec![
+            span("experiment", 1, None, 0, 1300),
+            span("scheduler.cell", 2, Some(1), 10, 900),
+            span("trainer.step", 3, Some(2), 20, 500),
+            span("scheduler.cell", 4, Some(1), 920, 200),
+            span("novel.phase", 5, Some(1), 1150, 20),
+        ]);
+        let d = diff(&base, &cur);
+        assert_eq!(d.base_self_ns, 1000);
+        assert_eq!(d.cur_self_ns, 1300);
+        let top = d.top_regression().expect("something slowed down");
+        assert_eq!(top.name, "trainer.step");
+        assert_eq!(top.delta_self_ns, 300);
+        // Contribution order: |delta| descending.
+        let names: Vec<&str> = d.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names[0], "trainer.step");
+        let novel = d.rows.iter().find(|r| r.name == "novel.phase").expect("new span present");
+        assert_eq!(novel.base.count, 0, "new spans compare against zero");
+        assert_eq!(novel.delta_self_ns, 20);
+        let rendered = d.render(10);
+        assert!(rendered.contains("top-delta span: trainer.step (+0.000ms self)")
+            || rendered.contains("top-delta span: trainer.step"));
+        assert!(rendered.contains("trainer.step"));
+        assert!(rendered.contains("1->1"));
+    }
+
+    #[test]
+    fn diff_render_elides_and_handles_no_regression() {
+        let base = Profile::from_spans(sample_spans());
+        let d = diff(&base, &base);
+        assert!(d.top_regression().is_none(), "identical profiles have no regression");
+        let rendered = d.render(1);
+        assert!(rendered.contains("top-delta span: none"));
+        assert!(rendered.contains("more spans elided"));
+        assert!(rendered.contains("total self time: 0.001ms -> 0.001ms (+0.000ms)"));
+        // Empty vs empty renders a header and clean totals.
+        let empty = diff(&Profile::default(), &Profile::default());
+        assert!(empty.rows.is_empty());
+        assert!(empty.render(5).contains("total self time: 0.000ms -> 0.000ms"));
     }
 
     #[test]

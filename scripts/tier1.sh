@@ -70,6 +70,19 @@ cargo run --release --offline -- profile table02 --budget smoke \
   --out "$trace_tmp/profile" | tee "$trace_tmp/profile_out.txt" >/dev/null
 test -s "$trace_tmp/profile/PROFILE_table02.txt"
 grep -q 'self-time coverage' "$trace_tmp/profile_out.txt"
+# Metrics smoke: metric recording (enabled here via the exporter-interval
+# knob) must not perturb results — the run must reproduce the untraced
+# report byte-for-byte — and the exposition must be byte-stable: two
+# snapshots of the same quiescent process render identical
+# METRICS_table02.json.
+CAE_BUDGET=smoke CAE_TRACE=0 CAE_METRICS_INTERVAL_MS=200 \
+  CAE_RESULTS_DIR="$trace_tmp/metrics_on" \
+  cargo run --release --offline -p cae-bench --bin table02 >/dev/null
+cmp "$trace_tmp/off/table_ii.json" "$trace_tmp/metrics_on/table_ii.json"
+cargo run --release --offline -- metrics table02 --budget smoke \
+  --out "$trace_tmp/m1" --dup "$trace_tmp/m2" >/dev/null
+cmp "$trace_tmp/m1/METRICS_table02.json" "$trace_tmp/m2/METRICS_table02.json"
+grep -q 'cae_serve_phase\|cae_gemm_calls' "$trace_tmp/m1/metrics_table02.prom"
 # Serving smoke: a tiny pretrained student served over a simulated request
 # trace must produce a fresh non-empty BENCH_serve.json reporting
 # byte-identical predictions across batching configurations ...

@@ -12,16 +12,21 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-/// A parsed command line: subcommand, an optional leading positional
-/// argument (`cae-dfkd profile table02`) and `--key value` options.
+/// A parsed command line: subcommand, up to two leading positional
+/// arguments (`cae-dfkd profile table02`,
+/// `cae-dfkd trace-diff base.jsonl cur.jsonl`) and `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Command {
     /// The subcommand (`distill`, `evaluate`, `transfer`, `table`,
-    /// `profile`, `health`, `list`, `help`).
+    /// `profile`, `metrics`, `trace-diff`, `health`, `list`, `help`).
     pub name: String,
-    /// A single positional argument directly after the subcommand, if any
-    /// (`profile`/`health`/`table` accept the experiment id this way).
+    /// The first positional argument directly after the subcommand, if any
+    /// (`profile`/`health`/`table`/`metrics` accept the experiment id this
+    /// way; `trace-diff` takes the baseline trace path).
     pub positional: Option<String>,
+    /// The second positional argument, if any (`trace-diff` takes the
+    /// current trace path here).
+    pub positional2: Option<String>,
     /// Flag map.
     pub options: BTreeMap<String, String>,
 }
@@ -47,15 +52,17 @@ impl Command {
     ///
     /// # Errors
     /// Returns an error when no subcommand is given, a flag is missing its
-    /// value, or more than one positional argument appears (a single
-    /// positional is accepted, directly after the subcommand only).
+    /// value, or more than two positional arguments appear (positionals
+    /// are accepted directly after the subcommand only).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseArgsError> {
         let mut iter = args.into_iter().peekable();
         let name = iter.next().ok_or_else(|| err("missing subcommand; try `help`"))?;
-        let positional = match iter.peek() {
+        let mut take_positional = || match iter.peek() {
             Some(arg) if !arg.starts_with("--") => iter.next(),
             _ => None,
         };
+        let positional = take_positional();
+        let positional2 = take_positional();
         let mut options = BTreeMap::new();
         while let Some(arg) = iter.next() {
             let key = arg
@@ -66,7 +73,7 @@ impl Command {
                 .ok_or_else(|| err(format!("flag --{key} is missing its value")))?;
             options.insert(key.to_owned(), value);
         }
-        Ok(Command { name, positional, options })
+        Ok(Command { name, positional, positional2, options })
     }
 
     /// String option with a default.
@@ -253,6 +260,8 @@ USAGE:
   cae-dfkd table    <id> [--budget smoke|fast|full] [--out results]
   cae-dfkd profile  <id> [--budget smoke|fast|full] [--out .]
   cae-dfkd profile  --trace trace_table_ii.jsonl [--out .]
+  cae-dfkd metrics  <id> [--budget smoke|fast|full] [--out .] [--dup DIR]
+  cae-dfkd trace-diff <baseline.jsonl> <current.jsonl> [--limit 20]
   cae-dfkd health   <id> [--budget smoke|fast|full]
   cae-dfkd config
   cae-dfkd list
@@ -268,6 +277,18 @@ span forest is one tree), prints a per-span self-time table with the
 critical path and derived throughput, and writes flamegraph-folded stacks
 to PROFILE_<id>.txt under --out. With --trace it instead profiles an
 existing trace_<stem>.jsonl, no run needed.
+
+`metrics` runs the experiment with metric recording forced on, prints the
+lock-free latency-histogram snapshot in Prometheus text exposition format,
+and writes METRICS_<id>.json + metrics_<id>.prom under --out (--dup writes
+an independently rendered second copy for byte-diffing; the render is
+byte-stable). Long serve runs can instead export periodically: set
+CAE_METRICS_INTERVAL_MS to snapshot every N ms in-process.
+
+`trace-diff` aligns two saved trace_*.jsonl span trees by span name and
+prints per-span self-time deltas sorted by absolute contribution, naming
+the top-delta span — the regression-attribution view the bench gate uses
+when a traced run slows down.
 
 `health` runs the experiment with tracing forced on and prints a
 training-health verdict (NaN/Inf, divergence, plateau) per recorded series
@@ -318,8 +339,8 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(Command::parse(args("")).is_err());
         assert!(
-            Command::parse(args("distill one two")).is_err(),
-            "only a single leading positional is accepted"
+            Command::parse(args("distill one two three")).is_err(),
+            "at most two leading positionals are accepted"
         );
         assert!(
             Command::parse(args("table --budget smoke table02")).is_err(),
@@ -328,6 +349,17 @@ mod tests {
         assert!(Command::parse(args("distill --n")).is_err());
         let c = Command::parse(args("distill --n x")).expect("parses");
         assert!(c.usize_or("n", 4).is_err());
+    }
+
+    #[test]
+    fn two_positionals_feed_trace_diff() {
+        let c = Command::parse(args("trace-diff base.jsonl cur.jsonl --limit 5")).expect("parses");
+        assert_eq!(c.positional.as_deref(), Some("base.jsonl"));
+        assert_eq!(c.positional2.as_deref(), Some("cur.jsonl"));
+        assert_eq!(c.usize_or("limit", 20).expect("int"), 5);
+
+        let c = Command::parse(args("profile table02")).expect("parses");
+        assert_eq!(c.positional2, None);
     }
 
     #[test]
@@ -351,6 +383,10 @@ mod tests {
         assert!(HELP.contains("cae-dfkd profile"));
         assert!(HELP.contains("cae-dfkd health"));
         assert!(HELP.contains("PROFILE_<id>.txt"));
+        assert!(HELP.contains("cae-dfkd metrics"));
+        assert!(HELP.contains("METRICS_<id>.json"));
+        assert!(HELP.contains("cae-dfkd trace-diff"));
+        assert!(HELP.contains("CAE_METRICS_INTERVAL_MS"));
     }
 
     #[test]

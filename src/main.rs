@@ -48,6 +48,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error + Send + Sync>> {
         "serve-bench" => serve_bench(&cmd),
         "table" => table(&cmd),
         "profile" => profile(&cmd),
+        "metrics" => metrics(&cmd),
+        "trace-diff" => trace_diff(&cmd),
         "health" => health(&cmd),
         "config" => {
             print!("{}", Config::get().render());
@@ -145,6 +147,59 @@ fn profile(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
     print!("{}", profile.self_time_table());
     let saved = profile.save(&out, id)?;
     println!("profile: {}", saved.display());
+    Ok(())
+}
+
+/// `cae-dfkd metrics <id>`: run with metric recording forced on, print
+/// the Prometheus-style snapshot and export METRICS_<id>.json +
+/// metrics_<id>.prom.
+fn metrics(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let out = std::path::PathBuf::from(cmd.str_or("out", "."));
+    let id = cmd.id_arg()?;
+    let budget = cmd.budget_or("smoke")?;
+    let entry = entry_by_id(id)?;
+    // Counters and gauges ride the trace buffers, so both gates go on;
+    // histograms additionally need the metrics gate.
+    cae_dfkd::trace::force_enabled(true);
+    cae_dfkd::trace::metrics::force_enabled(true);
+    cae_dfkd::trace::drain(); // observe this run only
+    cae_dfkd::trace::metrics::reset();
+    let run_outcome = entry.run(&budget);
+    // Snapshot before the cleanup drain — draining consumes the counter
+    // and gauge aggregates the snapshot reads non-destructively. The
+    // optional second snapshot exists so callers can byte-diff two
+    // independently taken+rendered exports of the same quiescent state.
+    let snap = cae_dfkd::trace::metrics::snapshot();
+    let dup_snap = cmd
+        .options
+        .get("dup")
+        .map(|_| cae_dfkd::trace::metrics::snapshot());
+    cae_dfkd::trace::drain();
+    cae_dfkd::trace::metrics::reset_to_env();
+    cae_dfkd::trace::reset_to_env();
+    run_outcome?;
+
+    print!("{}", snap.prometheus_text());
+    let (json, prom) = snap.save(&out, id)?;
+    println!("metrics: {} + {}", json.display(), prom.display());
+    if let (Some(dir), Some(dup)) = (cmd.options.get("dup"), dup_snap) {
+        let (json2, _) = dup.save(std::path::Path::new(dir), id)?;
+        println!("metrics dup: {}", json2.display());
+    }
+    Ok(())
+}
+
+/// `cae-dfkd trace-diff <baseline.jsonl> <current.jsonl>`: align two saved
+/// traces by span name and print self-time deltas sorted by contribution.
+fn trace_diff(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let missing = "trace-diff needs two trace paths: <baseline.jsonl> <current.jsonl>";
+    let baseline = cmd.positional.as_deref().ok_or(missing)?;
+    let current = cmd.positional2.as_deref().ok_or(missing)?;
+    let limit = cmd.usize_or("limit", 20)?;
+    let base = cae_dfkd::trace::profile::Profile::from_jsonl(&std::fs::read_to_string(baseline)?)?;
+    let cur = cae_dfkd::trace::profile::Profile::from_jsonl(&std::fs::read_to_string(current)?)?;
+    println!("trace-diff: {baseline} -> {current}");
+    print!("{}", cae_dfkd::trace::profile::diff(&base, &cur).render(limit));
     Ok(())
 }
 
@@ -278,6 +333,12 @@ fn serve_bench(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
         opts = opts.with_max_latency_us(cmd.u64_or("max-latency-us", 0)?);
     }
 
+    // Per-phase latency decomposition comes from the lock-free metrics
+    // histograms; force them on for the bench and export periodically if
+    // CAE_METRICS_INTERVAL_MS asks for it.
+    cae_dfkd::trace::metrics::force_enabled(true);
+    let exporter = cae_dfkd::trace::metrics::start_exporter(std::path::Path::new("."), "serve");
+
     let trace = RequestTrace::synthetic(requests, 3, dataset.resolution(), budget.seed ^ 0x7e5e);
     println!("sequential baseline ({requests} requests, {mode}) ...");
     let sequential = run_closed_loop(
@@ -291,6 +352,9 @@ fn serve_bench(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
         sequential.latency_percentile_us(0.5),
         sequential.latency_percentile_us(0.99)
     );
+    if let Some(phases) = sequential.phase_summary() {
+        println!("  phases: {phases}");
+    }
     println!("open loop ({clients} clients, max_batch {}, cutoff {}us) ...", opts.max_batch, opts.max_latency_us);
     let batched = run_open_loop(model.freeze_with(&freeze_opts), opts, &trace, clients);
     println!(
@@ -300,6 +364,14 @@ fn serve_bench(cmd: &Command) -> Result<(), Box<dyn Error + Send + Sync>> {
         batched.latency_percentile_us(0.99),
         batched.mean_batch()
     );
+    if let Some(phases) = batched.phase_summary() {
+        println!("  phases: {phases}");
+    }
+    if let Some(exporter) = exporter {
+        let (json, prom) = exporter.stop()?;
+        println!("metrics export: {} + {}", json.display(), prom.display());
+    }
+    cae_dfkd::trace::metrics::reset_to_env();
     let log = prediction_log(&batched.predictions);
     let identical = prediction_log(&sequential.predictions) == log;
     println!(

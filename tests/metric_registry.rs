@@ -1,0 +1,166 @@
+//! Metric-name registry: every statically-named instrumentation point in
+//! the workspace must be documented in DESIGN.md's Telemetry table.
+//!
+//! The scanner is deliberately dumb — a hand-rolled substring walk over
+//! the non-test source (everything before the first `#[cfg(test)]`) for
+//! the recording-call literals `span("..")`, `span_with("..")`,
+//! `span_stat("..")`, `counter("..")`, `counters(&[".."])`,
+//! `gauge("..")`, `series("..")` and `histogram("..")`. Names assembled
+//! at run time (the `gemm.backend.<backend>` counters) are invisible to
+//! it and are documented in the table by pattern instead.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Recording calls whose first argument is the metric name literal.
+const CALLS: [&str; 8] = [
+    "span(\"",
+    "span_with(\"",
+    "span_stat(\"",
+    "counter(\"",
+    "gauge(\"",
+    "series(\"",
+    "histogram(\"",
+    "counters(&[",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every `.rs` file under `dir`'s `src/` trees, recursively.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Integration-test trees document nothing.
+            if path.file_name().is_some_and(|n| n == "tests") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Reads a string literal starting at `text[start..]` (just past the
+/// opening quote), handling `\"` escapes.
+fn read_literal(text: &str, start: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&text[start..i]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Collects metric-name literals from one file's non-test, non-comment
+/// source.
+fn scan_file(path: &Path, names: &mut BTreeSet<String>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let code: String = text
+        .split("#[cfg(test)]")
+        .next()
+        .unwrap_or("")
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            !t.starts_with("//") && !t.starts_with("//!")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    for call in CALLS {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(call) {
+            let at = from + pos + call.len();
+            if call.ends_with("(&[") {
+                // counters(&["a", "b", ...]) — every literal up to the ']'.
+                let slice_end = code[at..].find(']').map_or(code.len(), |e| at + e);
+                let mut cursor = at;
+                while let Some(q) = code[cursor..slice_end].find('"') {
+                    let lit_start = cursor + q + 1;
+                    let Some(name) = read_literal(&code, lit_start) else { break };
+                    names.insert(name.to_string());
+                    cursor = lit_start + name.len() + 1;
+                }
+            } else if let Some(name) = read_literal(&code, at) {
+                names.insert(name.to_string());
+            }
+            from = at;
+        }
+    }
+}
+
+/// DESIGN.md's Telemetry section (header to the next `## `).
+fn telemetry_section() -> String {
+    let design = std::fs::read_to_string(repo_root().join("DESIGN.md"))
+        .expect("DESIGN.md must exist at the repository root");
+    let start = design
+        .find("## Telemetry")
+        .expect("DESIGN.md must have a Telemetry section");
+    let rest = &design[start..];
+    let end = rest[3..].find("\n## ").map_or(rest.len(), |e| e + 3);
+    rest[..end].to_string()
+}
+
+#[test]
+fn every_recorded_metric_name_is_documented_in_design_md() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates/ exists");
+    for entry in crates.flatten() {
+        rust_sources(&entry.path().join("src"), &mut files);
+    }
+    rust_sources(&root.join("src"), &mut files);
+    assert!(files.len() > 10, "scanner found too few sources: {files:?}");
+
+    let mut names = BTreeSet::new();
+    for file in &files {
+        scan_file(file, &mut names);
+    }
+    // The workspace is heavily instrumented; a scanner that suddenly sees
+    // only a handful of names is broken, not a sign the code got cleaner.
+    assert!(
+        names.len() > 25,
+        "scanner found only {} metric names — scanner or instrumentation broke: {names:?}",
+        names.len()
+    );
+
+    let section = telemetry_section();
+    let undocumented: Vec<&String> = names
+        .iter()
+        .filter(|name| !section.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metric names recorded in code but missing from DESIGN.md's Telemetry table: {undocumented:?}"
+    );
+}
+
+#[test]
+fn telemetry_table_documents_the_histograms_and_dynamic_counters() {
+    let section = telemetry_section();
+    // The four serve phase histograms and the dynamically named GEMM
+    // backend counters must stay documented even though only the former
+    // are scanner-visible.
+    for needle in [
+        "`serve.phase.queue_wait`",
+        "`serve.phase.assembly`",
+        "`serve.phase.forward`",
+        "`serve.phase.handoff`",
+        "`serve.queue_high_water`",
+        "gemm.backend.",
+    ] {
+        assert!(section.contains(needle), "Telemetry section lost {needle}");
+    }
+}
